@@ -1,0 +1,94 @@
+"""Extension micro-benchmark: incremental vs fresh cycle detection on the
+bare event-graph data structure.
+
+Figure 10 measures the effect end-to-end through the whole verifier; this
+companion isolates the algorithmic claim: per-insertion cost of the
+two-way-search ICD (amortized O(min(m^1/2, n^2/3))) against fresh full
+search (O(n+m)) as the graph grows.
+"""
+
+import random
+
+import pytest
+from conftest import write_output
+
+from repro.ordering import (
+    Edge,
+    EdgeKind,
+    EventGraph,
+    IncrementalCycleDetector,
+    TarjanCycleDetector,
+)
+
+
+def _insert_workload(n_nodes, n_edges, seed=7):
+    """A random DAG-respecting edge sequence (u < v keeps it acyclic)."""
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < n_edges:
+        u = rng.randrange(n_nodes - 1)
+        v = rng.randrange(u + 1, n_nodes)
+        edges.append((u, v))
+    return edges
+
+
+def _run(detector_cls, n_nodes, edges):
+    graph = EventGraph(n_nodes)
+    det = detector_cls(graph)
+    var = 0
+    for u, v in edges:
+        var += 1
+        res = det.add_edge(Edge(u, v, EdgeKind.WS, (var,), var))
+        assert not res.cycle
+    return graph.n_active_edges
+
+
+@pytest.mark.parametrize("n_nodes,n_edges", [(200, 800), (400, 1600)])
+def test_icd_micro(benchmark, n_nodes, n_edges):
+    edges = _insert_workload(n_nodes, n_edges)
+    benchmark.pedantic(
+        lambda: _run(IncrementalCycleDetector, n_nodes, edges),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_nodes,n_edges", [(200, 800)])
+def test_tarjan_micro(benchmark, n_nodes, n_edges):
+    edges = _insert_workload(n_nodes, n_edges)
+    benchmark.pedantic(
+        lambda: _run(TarjanCycleDetector, n_nodes, edges),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_icd_vs_tarjan_scaling(benchmark):
+    """The gap must widen as the graph grows."""
+    import time
+
+    edges_small = _insert_workload(100, 400)
+    benchmark.pedantic(
+        lambda: _run(IncrementalCycleDetector, 100, edges_small),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = ["n_nodes n_edges icd_s tarjan_s ratio"]
+    ratios = []
+    for n_nodes, n_edges in [(100, 400), (200, 800), (400, 1600)]:
+        edges = _insert_workload(n_nodes, n_edges)
+        t0 = time.monotonic()
+        _run(IncrementalCycleDetector, n_nodes, edges)
+        t_icd = time.monotonic() - t0
+        t0 = time.monotonic()
+        _run(TarjanCycleDetector, n_nodes, edges)
+        t_tarjan = time.monotonic() - t0
+        ratio = t_tarjan / max(t_icd, 1e-9)
+        ratios.append(ratio)
+        rows.append(
+            f"{n_nodes} {n_edges} {t_icd:.4f} {t_tarjan:.4f} {ratio:.2f}"
+        )
+    write_output("ext_icd_micro.txt", "\n".join(rows))
+    # Fresh detection must be clearly slower at the largest size.
+    assert ratios[-1] > 2.0, rows

@@ -1,0 +1,31 @@
+"""Extension experiment: the litmus matrix under SC / TSO / PSO.
+
+The paper's conclusion names weak-memory support as future work; this
+reproduction implements it by feeding the event graph the preserved
+program order of the weak model (see repro/encoding/ppo.py).  The bench
+regenerates the classic litmus verdict matrix.
+"""
+
+from conftest import write_output
+
+from repro.verify import VerifierConfig, verify
+from tests.verify.test_weak_memory import LITMUS
+
+
+def test_weak_memory_matrix(benchmark):
+    benchmark.pedantic(
+        lambda: verify(LITMUS[0][1], VerifierConfig.zord(memory_model="tso")),
+        rounds=3,
+        iterations=1,
+    )
+    models = ("sc", "tso", "pso")
+    lines = [f"{'litmus':<14}" + "".join(f"{m.upper():>8}" for m in models)]
+    for name, src, *expected in LITMUS:
+        row = f"{name:<14}"
+        for model, exp in zip(models, expected):
+            result = verify(src, VerifierConfig.zord(memory_model=model))
+            cell = "forbid" if result.verdict == "safe" else "ALLOW"
+            row += f"{cell:>8}"
+            assert result.verdict == exp, (name, model)
+        lines.append(row)
+    write_output("ext_weak_memory.txt", "\n".join(lines))

@@ -1,0 +1,33 @@
+"""Figure 6: per-task CPU time, Zord vs the Lazy-CSeq-style baseline.
+
+Paper shape: Zord is faster on most (but not all) tasks; Lazy-CSeq remains
+competitive on bug-finding tasks where a shallow schedule exposes the bug.
+"""
+
+from conftest import write_output
+
+from repro.bench.harness import render_scatter
+from repro.verify import VerifierConfig, verify
+from tests.verify.programs import STORE_BUFFERING
+
+
+def test_fig6(benchmark, svcomp_results):
+    benchmark.pedantic(
+        lambda: verify(STORE_BUFFERING, VerifierConfig.lazy_cseq(rounds=3)),
+        rounds=3,
+        iterations=1,
+    )
+    fig = render_scatter(
+        svcomp_results,
+        "lazy-cseq",
+        "zord",
+        "Figure 6: Zord vs Lazy-CSeq (per-task seconds)",
+    )
+    write_output("fig6.txt", fig)
+
+    zord = svcomp_results["zord"]
+    lazy = svcomp_results["lazy-cseq"]
+    solved_both = [(a, b) for a, b in zip(lazy, zord) if a.solved and b.solved]
+    t_lazy = sum(a.time_s for a, _ in solved_both)
+    t_zord = sum(b.time_s for _, b in solved_both)
+    assert t_zord <= t_lazy, "Zord should be faster overall on both-solved"

@@ -1,0 +1,37 @@
+"""Figure 7: per-task CPU time, Zord vs CPA-Seq (blue) and Dartagnan
+(orange).
+
+Paper shape: Zord dominates both baselines on essentially every task;
+Dartagnan additionally fails (UNKNOWN) on many larger tasks.
+"""
+
+from conftest import write_output
+
+from repro.bench.harness import render_scatter
+from repro.verify import VerifierConfig, verify
+from tests.verify.programs import MESSAGE_PASSING
+
+
+def test_fig7(benchmark, svcomp_results):
+    benchmark.pedantic(
+        lambda: verify(MESSAGE_PASSING, VerifierConfig.dartagnan()),
+        rounds=3,
+        iterations=1,
+    )
+    fig_a = render_scatter(
+        svcomp_results, "cpa-seq", "zord",
+        "Figure 7a: Zord vs CPA-Seq (per-task seconds)",
+    )
+    fig_b = render_scatter(
+        svcomp_results, "dartagnan", "zord",
+        "Figure 7b: Zord vs Dartagnan (per-task seconds)",
+    )
+    write_output("fig7.txt", fig_a + "\n\n" + fig_b)
+
+    zord = svcomp_results["zord"]
+    for tool in ("cpa-seq", "dartagnan"):
+        rows = svcomp_results[tool]
+        both = [(a, b) for a, b in zip(rows, zord) if a.solved and b.solved]
+        t_tool = sum(a.time_s for a, _ in both)
+        t_zord = sum(b.time_s for _, b in both)
+        assert t_zord <= t_tool, f"Zord should beat {tool} on both-solved"

@@ -1,0 +1,36 @@
+"""Table 2: summary results with the wmm sub-category excluded.
+
+Paper shape: the same ordering as Table 1 holds on the larger, more
+realistic non-wmm tasks.
+"""
+
+from conftest import write_output
+
+from repro.bench.harness import render_summary_table
+from repro.verify import VerifierConfig, verify
+from tests.verify.programs import LOCKED_COUNTER_SAFE
+
+
+def test_table2(benchmark, svcomp_results, svcomp_tasks):
+    benchmark.pedantic(
+        lambda: verify(LOCKED_COUNTER_SAFE, VerifierConfig.zord()),
+        rounds=3,
+        iterations=1,
+    )
+    keep = [i for i, t in enumerate(svcomp_tasks) if t.category != "wmm"]
+    filtered = {
+        name: [rows[i] for i in keep] for name, rows in svcomp_results.items()
+    }
+    table = render_summary_table(
+        filtered,
+        reference="zord",
+        title=f"Table 2: {len(keep)} non-wmm tasks "
+        "(#solved; CPU time and memory on both-solved cases)",
+    )
+    write_output("table2.txt", table)
+
+    zord = filtered["zord"]
+    n_zord = sum(1 for r in zord if r.solved)
+    for tool in ("cbmc", "cpa-seq", "dartagnan"):
+        n_tool = sum(1 for r in filtered[tool] if r.solved)
+        assert n_zord >= n_tool, f"zord should solve at least as many as {tool}"

@@ -1,0 +1,44 @@
+"""Mini Table 1: run every engine over a slice of the benchmark suite.
+
+Run:  python examples/engine_shootout.py [scale]
+"""
+
+import sys
+
+from repro.bench import run_suite, svcomp_suite
+from repro.bench.harness import render_summary_table
+from repro.verify import VerifierConfig
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    tasks = svcomp_suite(scale=scale)[:30]
+    print(f"running 6 engines on {len(tasks)} tasks "
+          "(5s per-task budget, this takes a minute)...")
+    configs = {
+        "zord": VerifierConfig.zord,
+        "cbmc": VerifierConfig.cbmc,
+        "dartagnan": VerifierConfig.dartagnan,
+        "cpa-seq": VerifierConfig.cpa_seq,
+        "lazy-cseq": VerifierConfig.lazy_cseq,
+        "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
+    }
+    results = run_suite(tasks, configs, time_limit_s=5.0, measure_memory=True)
+    print()
+    print(render_summary_table(results, reference="zord",
+                               title="Mini summary (Table 1 layout)"))
+    print()
+    wrong = [
+        (name, r.task)
+        for name, rows in results.items()
+        for r in rows
+        if r.correct is False
+    ]
+    if wrong:
+        print("WRONG verdicts:", wrong)
+    else:
+        print("no engine produced a wrong verdict.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""The paper's running example (Figure 2 / Section 5.5).
+
+The two-threaded program below cannot reach m == 1 && n == 1 under
+sequential consistency; Section 5.5 of the paper walks through how the
+ordering-consistency theory solver proves this.  This script reproduces the
+verdict with the full tool (Zord), each ablation, and the baselines, and
+shows the statistics that drive the paper's analysis (e.g. Zord encodes no
+from-read constraints at all, while Zord⁻ and the CBMC-style baseline pay
+for them upfront).
+
+Run:  python examples/paper_example.py
+"""
+
+from repro import VerifierConfig, verify
+
+FIGURE_2 = """
+int x = 0, y = 0, m = 0, n = 0;
+
+thread thr1 {
+    if (x == 1) { m = 1; } else { m = x; }
+    y = x + 1;
+}
+
+thread thr2 {
+    if (y == 1) { n = 1; } else { n = y; }
+    x = y + 1;
+}
+
+main {
+    start thr1; start thr2;
+    join thr1;  join thr2;
+    assert(!(m == 1 && n == 1));
+}
+"""
+
+ENGINES = [
+    ("Zord (the paper's tool)", VerifierConfig.zord()),
+    ("Zord⁻ (rho_fr encoded upfront)", VerifierConfig.zord_minus()),
+    ("Zord′ (no unit-edge propagation)", VerifierConfig.zord_prime()),
+    ("Zord/Tarjan (fresh cycle detection)", VerifierConfig.zord_tarjan()),
+    ("CBMC-style (clock differences)", VerifierConfig.cbmc()),
+    ("Dartagnan-style (closure SAT)", VerifierConfig.dartagnan()),
+    ("CPA-Seq-style (explicit states)", VerifierConfig.cpa_seq()),
+    ("Nidhugg-style (Source-DPOR)", VerifierConfig.nidhugg_rfsc()),
+    ("GenMC-style (rf classes)", VerifierConfig.genmc()),
+]
+
+
+def main() -> None:
+    print("Figure 2 program: assert(!(m == 1 && n == 1)) under SC\n")
+    header = f"{'engine':<38} {'verdict':>8} {'time':>9}  notes"
+    print(header)
+    print("-" * len(header))
+    for name, config in ENGINES:
+        result = verify(FIGURE_2, config)
+        notes = []
+        if "fr_vars" in result.stats:
+            notes.append(f"fr_vars={result.stats['fr_vars']}")
+        if "sat_vars" in result.stats:
+            notes.append(f"sat_vars={result.stats['sat_vars']}")
+        if "traces" in result.stats:
+            notes.append(f"traces={result.stats['traces']}")
+        if "states" in result.stats:
+            notes.append(f"states={result.stats['states']}")
+        print(
+            f"{name:<38} {result.verdict.upper():>8} "
+            f"{result.wall_time_s:>8.3f}s  {' '.join(notes)}"
+        )
+
+    # The Section 5.5 deduction ends in UNSAT: flipping the assertion to
+    # something reachable demonstrates counterexample extraction.
+    print("\nWeakened assertion (m == 1 alone IS reachable):")
+    weakened = FIGURE_2.replace(
+        "assert(!(m == 1 && n == 1));", "assert(!(m == 1));"
+    )
+    result = verify(weakened, VerifierConfig.zord())
+    print(f"verdict: {result.verdict.upper()}")
+    print(result.witness)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: satisfiability modulo ordering consistency for multi-threaded
+program verification.
+
+A from-scratch Python reproduction of
+
+    He, Sun, Fan. "Satisfiability Modulo Ordering Consistency Theory for
+    Multi-threaded Program Verification." PLDI 2021.
+
+Quickstart::
+
+    import repro
+
+    SOURCE = '''
+    int x = 0, y = 0;
+    thread t1 { x = 1; y = 1; }
+    thread t2 { int a; int b; a = y; b = x; assert(!(a == 1 && b == 0)); }
+    '''
+    result = repro.verify(SOURCE)
+    print(result.verdict)          # "safe" under sequential consistency
+
+The main entry points are :func:`verify` and :class:`VerifierConfig` (which
+selects between the paper's tool Zord, its ablations Zord⁻ / Zord′ /
+Tarjan-detection, and the baseline engines used in the evaluation).
+"""
+
+from repro.lang import parse
+from repro.verify import (
+    Trace,
+    Verdict,
+    VerificationResult,
+    VerifierConfig,
+    verify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse",
+    "verify",
+    "Verdict",
+    "VerifierConfig",
+    "VerificationResult",
+    "Trace",
+    "__version__",
+]

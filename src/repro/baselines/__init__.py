@@ -1,0 +1,15 @@
+"""Baseline verification engines (the comparators of Section 6.2).
+
+Each module is an in-repo analogue of a tool the paper compares against,
+implementing the same algorithmic idea on our substrate:
+
+* :mod:`repro.baselines.idl` -- CBMC-style: integer-difference-logic
+  ordering (per-event clocks), all from-read constraints encoded, fresh
+  (non-incremental) consistency checks, non-minimal conflicts;
+* :mod:`repro.baselines.closure` -- Dartagnan-style: pure-SAT relational
+  encoding with an explicit transitive-closure axiomatization;
+* :mod:`repro.baselines.explicit` -- CPA-Seq-style: explicit-state
+  reachability with state hashing;
+* :mod:`repro.baselines.lazyseq` -- Lazy-CSeq-style: bounded round-robin
+  (context-bounded) exploration.
+"""

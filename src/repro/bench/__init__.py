@@ -1,0 +1,34 @@
+"""Benchmark workloads and the experiment harness.
+
+* :mod:`repro.bench.svcomp` -- a synthetic suite shaped like SV-COMP's
+  ConcurrencySafety category (many small ``wmm`` litmus tasks plus fewer,
+  larger tasks across pthread/atomic/lit/... sub-categories), with known
+  verdicts;
+* :mod:`repro.bench.nidhugg` -- the nine parameterized programs of the
+  Table 3 comparison (CO-2+2W, float_r, airline, fib_bench, szymanski,
+  lamport, cir_buf, parker, account);
+* :mod:`repro.bench.harness` -- runs engine configurations over task
+  lists with time budgets and renders the paper's tables/figure series.
+"""
+
+from repro.bench.task import Task
+from repro.bench.svcomp import svcomp_suite
+from repro.bench.nidhugg import nidhugg_suite
+from repro.bench.harness import (
+    TaskResult,
+    run_suite,
+    render_summary_table,
+    render_scatter,
+    render_table3,
+)
+
+__all__ = [
+    "Task",
+    "svcomp_suite",
+    "nidhugg_suite",
+    "run_suite",
+    "TaskResult",
+    "render_summary_table",
+    "render_scatter",
+    "render_table3",
+]

@@ -1,0 +1,203 @@
+"""Experiment harness: run engine configurations over task suites and
+render the paper's tables and figure series.
+
+The harness reports, per (task, engine): verdict, correctness against the
+task's ground truth, wall time, and (optionally) peak traced memory --
+the columns of Tables 1-3.  Scatter figures (Figs. 5-10) are rendered as
+aligned per-task time pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.task import Task
+from repro.verify import Verdict, VerifierConfig, verify
+
+__all__ = [
+    "TaskResult",
+    "run_task",
+    "run_suite",
+    "render_summary_table",
+    "render_scatter",
+    "render_table3",
+    "results_to_csv",
+]
+
+
+@dataclass
+class TaskResult:
+    task: str
+    category: str
+    config: str
+    verdict: str
+    correct: Optional[bool]  # None when verdict is UNKNOWN
+    time_s: float
+    memory_bytes: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def solved(self) -> bool:
+        return self.correct is True
+
+
+def run_task(
+    task: Task,
+    config_factory: Callable[..., VerifierConfig],
+    time_limit_s: Optional[float] = None,
+    measure_memory: bool = False,
+) -> TaskResult:
+    """Run one engine on one task with a wall-clock budget."""
+    config = config_factory(unwind=task.unwind, time_limit_s=time_limit_s)
+    start = time.monotonic()
+    try:
+        result = verify(task.source, config, measure_memory=measure_memory)
+        verdict = result.verdict
+        memory = result.peak_memory_bytes
+        stats = result.stats
+    except RecursionError:  # pragma: no cover - defensive
+        verdict, memory, stats = Verdict.UNKNOWN, 0, {}
+    elapsed = time.monotonic() - start
+    if verdict == Verdict.UNKNOWN:
+        correct: Optional[bool] = None
+    else:
+        expected = Verdict.SAFE if task.expected_safe else Verdict.UNSAFE
+        correct = verdict == expected
+    return TaskResult(
+        task.name, task.category, config.name, verdict, correct,
+        elapsed, memory, stats,
+    )
+
+
+def run_suite(
+    tasks: Sequence[Task],
+    config_factories: Dict[str, Callable[..., VerifierConfig]],
+    time_limit_s: Optional[float] = 10.0,
+    measure_memory: bool = False,
+) -> Dict[str, List[TaskResult]]:
+    """Run every configuration over every task.
+
+    Returns ``{config_name: [TaskResult per task, aligned with tasks]}``.
+    """
+    results: Dict[str, List[TaskResult]] = {}
+    for name, factory in config_factories.items():
+        results[name] = [
+            run_task(t, factory, time_limit_s, measure_memory) for t in tasks
+        ]
+    return results
+
+
+def results_to_csv(results: Dict[str, List[TaskResult]]) -> str:
+    """Flatten a result grid to CSV (one row per task x engine)."""
+    lines = ["config,task,category,verdict,correct,time_s,memory_bytes"]
+    for name, rows in results.items():
+        for r in rows:
+            correct = "" if r.correct is None else str(r.correct).lower()
+            lines.append(
+                f"{name},{r.task},{r.category},{r.verdict},{correct},"
+                f"{r.time_s:.6f},{r.memory_bytes}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_summary_table(
+    results: Dict[str, List[TaskResult]],
+    reference: str = "zord",
+    title: str = "Summary",
+) -> str:
+    """Render the Table 1/2 layout: #solved, and CPU time / memory on the
+    cases both the tool and the reference solved."""
+    ref = results[reference]
+    lines = [title]
+    header = (
+        f"{'Tool':<14} {'#Solved':>8} {'Wrong':>6} {'Both':>6} "
+        f"{'CPU_time(s) (-/ref)':>22} {'Memory(MB) (-/ref)':>22}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    ref_solved = sum(1 for r in ref if r.solved)
+    ref_wrong = sum(1 for r in ref if r.correct is False)
+    lines.append(
+        f"{reference:<14} {ref_solved:>8} {ref_wrong:>6} {'-':>6} "
+        f"{'-':>22} {'-':>22}"
+    )
+    for name, rows in results.items():
+        if name == reference:
+            continue
+        solved = sum(1 for r in rows if r.solved)
+        wrong = sum(1 for r in rows if r.correct is False)
+        both = [
+            (a, b) for a, b in zip(rows, ref) if a.solved and b.solved
+        ]
+        t_tool = sum(a.time_s for a, _ in both)
+        t_ref = sum(b.time_s for _, b in both)
+        m_tool = sum(a.memory_bytes for a, _ in both) / 1e6
+        m_ref = sum(b.memory_bytes for _, b in both) / 1e6
+        lines.append(
+            f"{name:<14} {solved:>8} {wrong:>6} {len(both):>6} "
+            f"{t_tool:>10.2f}/{t_ref:<10.2f} "
+            f"{m_tool:>10.1f}/{m_ref:<10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_scatter(
+    results: Dict[str, List[TaskResult]],
+    x_config: str,
+    y_config: str,
+    title: str,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a Fig. 5-10-style scatter as per-task time pairs."""
+    xs = results[x_config]
+    ys = results[y_config]
+    lines = [title, f"{'task':<36} {x_config + '/s':>12} {y_config + '/s':>12}"]
+    n_below = n_above = 0
+    for x, y in zip(xs, ys):
+        if limit is not None and len(lines) - 2 >= limit:
+            break
+        lines.append(f"{x.task:<36} {x.time_s:>12.4f} {y.time_s:>12.4f}")
+        if y.time_s <= x.time_s:
+            n_below += 1
+        else:
+            n_above += 1
+    total_x = sum(x.time_s for x in xs)
+    total_y = sum(y.time_s for y in ys)
+    lines.append(
+        f"-- {y_config} faster on {n_below}/{n_below + n_above} tasks; "
+        f"totals {x_config}={total_x:.2f}s {y_config}={total_y:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_table3(
+    tasks: Sequence[Task],
+    results: Dict[str, List[TaskResult]],
+    tool_order: Sequence[str] = ("nidhugg-rfsc", "genmc", "cbmc", "zord"),
+    traces_from: str = "genmc",
+) -> str:
+    """Render the Table 3 layout: per task, verdict, trace count, and the
+    per-tool times (TO marks budget exhaustion)."""
+    lines = [
+        f"{'Files':<16} {'Rst':>4} {'Traces':>8} "
+        + " ".join(f"{t:>14}" for t in tool_order)
+    ]
+    for i, task in enumerate(tasks):
+        row = [f"{task.name:<16}"]
+        row.append(f"{'T' if task.expected_safe else 'F':>4}")
+        traces = results[traces_from][i].stats.get("traces", 0)
+        row.append(f"{traces:>8}")
+        for tool in tool_order:
+            r = results[tool][i]
+            cell = "TO" if r.verdict == Verdict.UNKNOWN else f"{r.time_s:.2f}"
+            if r.correct is False:
+                cell += "(!)"
+            row.append(f"{cell:>14}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,300 @@
+"""The nine parameterized programs of the Table 3 comparison.
+
+Mini-language ports of the Nidhugg benchmark programs the paper selects
+(gcc-compilable, assertion-carrying, parameterizable, Nidhugg-verifiable).
+Substitutions from the C originals are documented per program; array-based
+state (cir_buf, lamport's flag array) becomes fixed scalar slots selected
+by if-chains, and floating point (float_r) becomes fixed-point arithmetic
+-- both preserve the events/interleaving structure that the comparison
+measures.
+
+Parameter choices are scaled down from the paper's (a pure-Python stack
+replaces native tools), preserving the growth *shape* of each family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.task import Task
+
+__all__ = ["nidhugg_suite", "FAMILIES"]
+
+
+def co_2_2w(n: int) -> Task:
+    """N writer threads on disjoint variables; checked after joining.
+
+    Trace-sparse (writes commute), formula size grows with N: the stateless
+    checkers stay fast while BMC cost grows -- the paper's shape for this
+    family.
+    """
+    decls = [f"int x{i} = 0;" for i in range(n)]
+    threads = [f"thread w{i} {{ x{i} = {i + 1}; }}" for i in range(n)]
+    asserts = " ".join(f"assert(x{i} == {i + 1});" for i in range(n))
+    starts = " ".join(f"start w{i};" for i in range(n))
+    joins = " ".join(f"join w{i};" for i in range(n))
+    src = "\n".join(decls + threads + [f"main {{ {starts} {joins} {asserts} }}"])
+    return Task(f"CO-2+2W({n})", "nidhugg", src, True, unwind=2)
+
+
+def float_r(n: int) -> Task:
+    """N threads computing a fixed-point product into private slots.
+
+    Substitution: the C original accumulates float rounding results; we use
+    fixed-point multiplication (the visible-event structure -- one write
+    per thread, reads only after joins -- is identical).
+    """
+    decls = [f"int r{i} = 0;" for i in range(n)]
+    threads = [f"thread f{i} {{ r{i} = {(i % 5) + 1} * 3; }}" for i in range(n)]
+    asserts = " ".join(
+        f"assert(r{i} == {((i % 5) + 1) * 3});" for i in range(n)
+    )
+    starts = " ".join(f"start f{i};" for i in range(n))
+    joins = " ".join(f"join f{i};" for i in range(n))
+    src = "\n".join(decls + threads + [f"main {{ {starts} {joins} {asserts} }}"])
+    return Task(f"float_r({n})", "nidhugg", src, True, unwind=2)
+
+
+def airline(n: int) -> Task:
+    """N racy ticket sellers; seats can be oversold but never negative."""
+    decls = [f"int seats = {n};"]
+    threads = []
+    for i in range(n):
+        threads.append(
+            f"thread s{i} {{ int t; t = seats; if (t > 0) {{ seats = t - 1; }} }}"
+        )
+    starts = " ".join(f"start s{i};" for i in range(n))
+    joins = " ".join(f"join s{i};" for i in range(n))
+    src = "\n".join(
+        decls + threads + [f"main {{ {starts} {joins} assert(seats >= 0); }}"]
+    )
+    return Task(f"airline({n})", "nidhugg", src, True, unwind=2)
+
+
+def fib_bench(n: int) -> Task:
+    """Two threads racing on a Fibonacci recurrence; bound holds."""
+    bound = _fib(2 * n + 1)
+    src = f"""
+    int a = 1, b = 1;
+    thread ta {{
+        int i; i = 0;
+        while (i < {n}) {{ int t; t = b; a = a + t; i = i + 1; }}
+    }}
+    thread tb {{
+        int j; j = 0;
+        while (j < {n}) {{ int t; t = a; b = b + t; j = j + 1; }}
+    }}
+    main {{
+        start ta; start tb; join ta; join tb;
+        assert(a <= {bound} && b <= {bound});
+    }}
+    """
+    return Task(f"fib_bench({n})", "nidhugg", src, True, unwind=n + 1)
+
+
+def szymanski(n: int) -> Task:
+    """Szymanski's mutual exclusion protocol, two processes.
+
+    ``n`` bounds the busy-wait unrolling (the paper's parameter controls
+    unrolling as well).
+    """
+    def proc(me: int, other: int) -> str:
+        return f"""
+        thread p{me} {{
+            f{me} = 1;
+            int g; g = f{other};
+            while (g >= 3) {{ g = f{other}; }}
+            f{me} = 3;
+            g = f{other};
+            if (g == 1) {{
+                f{me} = 2;
+                g = f{other};
+                while (g != 4) {{ g = f{other}; }}
+            }}
+            f{me} = 4;
+            {"g = f0; while (g >= 2) { g = f0; }" if me == 1 else "skip;"}
+            inside = inside + 1;
+            if (inside != 1) {{ bad = 1; }}
+            inside = inside - 1;
+            {"g = f1; while (g == 2 || g == 3) { g = f1; }" if me == 0 else "skip;"}
+            f{me} = 0;
+        }}
+        """
+    src = f"""
+    int f0 = 0, f1 = 0, inside = 0, bad = 0;
+    {proc(0, 1)}
+    {proc(1, 0)}
+    main {{
+        start p0; start p1; join p0; join p1;
+        assert(bad == 0);
+    }}
+    """
+    return Task(f"szymanski({n})", "nidhugg", src, True, unwind=n + 1)
+
+
+def lamport(n: int) -> Task:
+    """Lamport's fast mutex (two threads); ``n`` bounds the retry loops.
+
+    Substitution: the per-process boolean array ``b[]`` becomes the scalars
+    ``b1``/``b2``.
+    """
+    def proc(me: int, other: int) -> str:
+        return f"""
+        thread q{me} {{
+            int done; done = 0;
+            while (done == 0) {{
+                b{me} = 1;
+                x = {me};
+                int yy; yy = y;
+                if (yy != 0) {{
+                    b{me} = 0;
+                    yy = y;
+                    while (yy != 0) {{ yy = y; }}
+                }} else {{
+                    y = {me};
+                    int xx; xx = x;
+                    if (xx != {me}) {{
+                        b{me} = 0;
+                        int bo; bo = b{other};
+                        while (bo != 0) {{ bo = b{other}; }}
+                        yy = y;
+                        if (yy == {me}) {{ done = 1; }} else {{
+                            yy = y;
+                            while (yy != 0) {{ yy = y; }}
+                        }}
+                    }} else {{ done = 1; }}
+                }}
+            }}
+            inside = inside + 1;
+            if (inside != 1) {{ bad = 1; }}
+            inside = inside - 1;
+            y = 0;
+            b{me} = 0;
+        }}
+        """
+    src = f"""
+    int b1 = 0, b2 = 0, x = 0, y = 0, inside = 0, bad = 0;
+    {proc(1, 2)}
+    {proc(2, 1)}
+    main {{
+        start q1; start q2; join q1; join q2;
+        assert(bad == 0);
+    }}
+    """
+    return Task(f"lamport({n})", "nidhugg", src, True, unwind=n + 1)
+
+
+def cir_buf(n: int) -> Task:
+    """Single-producer single-consumer circular buffer of 2 slots.
+
+    Substitution: the C array buffer becomes two scalar slots selected by
+    if-chains on the (thread-local) head/tail indices.
+    """
+    expected = n * (n + 1) // 2
+    src = f"""
+    int slot0 = 0, slot1 = 0, count = 0, sum = 0;
+    thread prod {{
+        int i; i = 0;
+        int w; w = 0;
+        while (i < {n}) {{
+            int c; c = count;
+            while (c == 2) {{ c = count; }}
+            if (w == 0) {{ slot0 = i + 1; w = 1; }} else {{ slot1 = i + 1; w = 0; }}
+            atomic {{ count = count + 1; }}
+            i = i + 1;
+        }}
+    }}
+    thread cons {{
+        int j; j = 0;
+        int r; r = 0;
+        int acc; acc = 0;
+        while (j < {n}) {{
+            int c; c = count;
+            while (c == 0) {{ c = count; }}
+            int v;
+            if (r == 0) {{ v = slot0; r = 1; }} else {{ v = slot1; r = 0; }}
+            acc = acc + v;
+            atomic {{ count = count - 1; }}
+            j = j + 1;
+        }}
+        sum = acc;
+    }}
+    main {{
+        start prod; start cons; join prod; join cons;
+        assert(sum == {expected});
+    }}
+    """
+    return Task(f"cir_buf({n})", "nidhugg", src, True, unwind=n + 2)
+
+
+def parker(n: int) -> Task:
+    """Park/unpark handshake: a parker spinning on a permit while the
+    unparker pulses it ``n`` times; the permit stays 0/1 throughout."""
+    src = f"""
+    int permit = 0, parked = 0;
+    thread parker {{
+        int spins; spins = 0;
+        int p; p = permit;
+        while (p == 0 && spins < {n}) {{ spins = spins + 1; p = permit; }}
+        if (p == 1) {{ atomic {{ permit = 0; }} parked = 1; }}
+        assert(permit == 0 || permit == 1);
+    }}
+    thread unparker {{
+        int k; k = 0;
+        while (k < {n}) {{ permit = 1; k = k + 1; }}
+    }}
+    main {{
+        start parker; start unparker; join parker; join unparker;
+        assert(permit == 0 || permit == 1);
+    }}
+    """
+    return Task(f"parker({n})", "nidhugg", src, True, unwind=n + 1)
+
+
+def account(n: int) -> Task:
+    """Racy bank account (the buggy benchmark): unlocked deposits lose
+    updates, so the final balance check fails on some interleaving."""
+    decls = ["int balance = 10;"]
+    threads = []
+    for i in range(n):
+        threads.append(
+            f"thread d{i} {{ int t; t = balance; balance = t + 1; }}"
+        )
+    starts = " ".join(f"start d{i};" for i in range(n))
+    joins = " ".join(f"join d{i};" for i in range(n))
+    src = "\n".join(
+        decls
+        + threads
+        + [f"main {{ {starts} {joins} assert(balance == {10 + n}); }}"]
+    )
+    return Task(f"account({n})", "nidhugg", src, False, unwind=2)
+
+
+def _fib(k: int) -> int:
+    fib = [1, 1]
+    while len(fib) <= k:
+        fib.append(fib[-1] + fib[-2])
+    return fib[k]
+
+
+#: family name -> (generator, paper's parameters, our scaled parameters)
+FAMILIES: Dict[str, Tuple[Callable[[int], Task], List[int], List[int]]] = {
+    "CO-2+2W": (co_2_2w, [5, 15, 25], [5, 15, 25]),
+    "float_r": (float_r, [10, 50, 100], [10, 30, 50]),
+    "airline": (airline, [3, 7, 9], [2, 3, 4]),
+    "fib_bench": (fib_bench, [4, 5, 6], [2, 3, 4]),
+    "szymanski": (szymanski, [2, 4, 6], [1, 2, 3]),
+    "lamport": (lamport, [2, 6, 10], [1, 2, 3]),
+    "cir_buf": (cir_buf, [5, 9, 13], [2, 3, 4]),
+    "parker": (parker, [12, 20, 28], [2, 3, 4]),
+    "account": (account, [5, 15, 25], [2, 3, 4]),
+}
+
+
+def nidhugg_suite(scaled: bool = True) -> List[Task]:
+    """All nine families at the (scaled) parameters."""
+    tasks: List[Task] = []
+    for _name, (gen, paper_params, our_params) in FAMILIES.items():
+        for p in (our_params if scaled else paper_params):
+            tasks.append(gen(p))
+    return tasks

@@ -1,0 +1,493 @@
+"""Synthetic SV-COMP-ConcurrencySafety-like benchmark suite.
+
+The paper evaluates on the 1061 tasks of SV-COMP 2019's ConcurrencySafety
+category, dominated by the ``wmm`` sub-category (898 small litmus-style
+programs) plus ten smaller sub-categories of more realistic pthread
+programs.  This module generates a suite with the same *shape* --
+many small ``wmm`` litmus variants and fewer, larger tasks in
+pthread/atomic/ldv-races/lit/... sub-categories -- with known ground-truth
+verdicts (every generated program is independently checked by the test
+suite against multiple engines).
+
+All programs are generated structurally (threads, variables, and assertion
+patterns vary), not copy-pasted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench import patterns
+from repro.bench.task import Task
+
+__all__ = ["svcomp_suite"]
+
+
+# ----------------------------------------------------------------------
+# wmm litmus generators (safe under SC; the _weak outcome is asserted
+# absent).  Each takes k = number of independent instances.
+# ----------------------------------------------------------------------
+
+def _sb(k: int, safe: bool) -> str:
+    """Store buffering: forbidden outcome (all reads 0) under SC."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, y{i} = 0, a{i} = 0, b{i} = 0;")
+        threads.append(f"thread w{i} {{ x{i} = 1; a{i} = y{i}; }}")
+        threads.append(f"thread v{i} {{ y{i} = 1; b{i} = x{i}; }}")
+        if safe:
+            asserts.append(f"assert(!(a{i} == 0 && b{i} == 0));")
+        else:
+            asserts.append(f"assert(!(a{i} == 1 && b{i} == 1));")
+    return _program(decls, threads, asserts)
+
+
+def _mp(k: int, safe: bool) -> str:
+    """Message passing: flag set implies data visible under SC."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int d{i} = 0, f{i} = 0, r{i} = 0, s{i} = 0;")
+        threads.append(f"thread p{i} {{ d{i} = 42; f{i} = 1; }}")
+        threads.append(f"thread c{i} {{ r{i} = f{i}; s{i} = d{i}; }}")
+        if safe:
+            asserts.append(f"assert(!(r{i} == 1 && s{i} == 0));")
+        else:
+            asserts.append(f"assert(!(r{i} == 1 && s{i} == 42));")
+    return _program(decls, threads, asserts)
+
+
+def _lb(k: int, safe: bool) -> str:
+    """Load buffering: both loads seeing the other's store is non-SC."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, y{i} = 0, a{i} = 0, b{i} = 0;")
+        threads.append(f"thread p{i} {{ a{i} = y{i}; x{i} = 1; }}")
+        threads.append(f"thread q{i} {{ b{i} = x{i}; y{i} = 1; }}")
+        if safe:
+            asserts.append(f"assert(!(a{i} == 1 && b{i} == 1));")
+        else:
+            asserts.append(f"assert(!(a{i} == 1 && b{i} == 0));")
+    return _program(decls, threads, asserts)
+
+
+def _two_plus_two_w(k: int, safe: bool) -> str:
+    """2+2W: both variables ending at the first thread's values is non-SC."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, y{i} = 0;")
+        threads.append(f"thread p{i} {{ x{i} = 1; y{i} = 2; }}")
+        threads.append(f"thread q{i} {{ y{i} = 1; x{i} = 2; }}")
+        if safe:
+            asserts.append(f"assert(!(x{i} == 1 && y{i} == 1));")
+        else:
+            asserts.append(f"assert(!(x{i} == 1 && y{i} == 2));")
+    return _program(decls, threads, asserts)
+
+
+def _corr(k: int, safe: bool) -> str:
+    """Coherence: a later read cannot see an older same-thread write."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, a{i} = 0, b{i} = 0;")
+        threads.append(f"thread p{i} {{ x{i} = 1; x{i} = 2; }}")
+        threads.append(f"thread q{i} {{ a{i} = x{i}; b{i} = x{i}; }}")
+        if safe:
+            asserts.append(f"assert(!(a{i} == 2 && b{i} == 1));")
+        else:
+            asserts.append(f"assert(!(a{i} == 1 && b{i} == 2));")
+    return _program(decls, threads, asserts)
+
+
+def _iriw(k: int, safe: bool) -> str:
+    """IRIW: the two readers disagreeing on write order is non-SC."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, y{i} = 0;")
+        decls.append(f"int r1{i} = 0, r2{i} = 0, r3{i} = 0, r4{i} = 0;")
+        threads.append(f"thread wa{i} {{ x{i} = 1; }}")
+        threads.append(f"thread wb{i} {{ y{i} = 1; }}")
+        threads.append(f"thread ra{i} {{ r1{i} = x{i}; r2{i} = y{i}; }}")
+        threads.append(f"thread rb{i} {{ r3{i} = y{i}; r4{i} = x{i}; }}")
+        if safe:
+            asserts.append(
+                f"assert(!(r1{i} == 1 && r2{i} == 0 && r3{i} == 1 && r4{i} == 0));"
+            )
+        else:
+            asserts.append(f"assert(!(r1{i} == 1 && r2{i} == 1));")
+    return _program(decls, threads, asserts)
+
+
+def _r_pattern(k: int, safe: bool) -> str:
+    """The R litmus pattern: write-write plus a read."""
+    decls, threads, asserts = [], [], []
+    for i in range(k):
+        decls.append(f"int x{i} = 0, y{i} = 0, a{i} = 0;")
+        threads.append(f"thread p{i} {{ x{i} = 1; y{i} = 1; }}")
+        threads.append(f"thread q{i} {{ y{i} = 2; a{i} = x{i}; }}")
+        if safe:
+            # y == 2 at the end means q's write came last, so if q's read
+            # also missed p's x write, p ran entirely after ... (non-SC
+            # outcome ruled out): y==2 && a==0 implies p's y=1 before y=2,
+            # hence x=1 before a=x, so a==1.  Outcome (y==2 && a==0) is
+            # reachable only when p hasn't run yet -- but joins force
+            # completion, so it is unreachable under SC.
+            asserts.append(f"assert(!(y{i} == 2 && a{i} == 0));")
+        else:
+            asserts.append(f"assert(!(y{i} == 1));")
+    return _program(decls, threads, asserts)
+
+
+# ----------------------------------------------------------------------
+# Non-wmm sub-categories
+# ----------------------------------------------------------------------
+
+def _mutex_counter(n_threads: int, increments: int, locked: bool) -> str:
+    decls = ["int c = 0;"]
+    if locked:
+        decls.append("lock m;")
+    threads = []
+    for i in range(n_threads):
+        body = []
+        for k in range(increments):
+            tmp = f"t{i}_{k}"
+            if locked:
+                body.append(
+                    f"lock(m); int {tmp}; {tmp} = c; c = {tmp} + 1; unlock(m);"
+                )
+            else:
+                body.append(f"int {tmp}; {tmp} = c; c = {tmp} + 1;")
+        threads.append(f"thread t{i} {{ {' '.join(body)} }}")
+    total = n_threads * increments
+    asserts = [f"assert(c == {total});"]
+    return _program(decls, threads, asserts)
+
+
+def _atomic_counter(n_threads: int, increments: int) -> str:
+    decls = ["int c = 0;"]
+    threads = []
+    for i in range(n_threads):
+        body = " ".join("atomic { c = c + 1; }" for _ in range(increments))
+        threads.append(f"thread t{i} {{ {body} }}")
+    total = n_threads * increments
+    return _program(decls, threads, [f"assert(c == {total});"])
+
+
+def _tas_spinlock(n_threads: int, safe: bool) -> str:
+    decls = ["int l = 0, c = 0;"]
+    threads = []
+    for i in range(n_threads):
+        if safe:
+            body = (
+                "atomic { assume(l == 0); l = 1; } "
+                f"int t{i}; t{i} = c; c = t{i} + 1; l = 0;"
+            )
+        else:
+            body = f"int t{i}; t{i} = c; c = t{i} + 1;"
+        threads.append(f"thread t{i} {{ {body} }}")
+    return _program(decls, threads, [f"assert(c == {n_threads});"])
+
+
+def _peterson(broken: bool) -> str:
+    turn_set_0 = "skip;" if broken else "turn = 1;"
+    turn_set_1 = "skip;" if broken else "turn = 0;"
+    return f"""
+    int flag0 = 0, flag1 = 0, turn = 0, inside = 0, bad = 0;
+    thread p0 {{
+        flag0 = 1; {turn_set_0}
+        int f; int t; f = flag1; t = turn;
+        while (f == 1 && t == 1) {{ f = flag1; t = turn; }}
+        inside = inside + 1;
+        if (inside != 1) {{ bad = 1; }}
+        inside = inside - 1;
+        flag0 = 0;
+    }}
+    thread p1 {{
+        flag1 = 1; {turn_set_1}
+        int f; int t; f = flag0; t = turn;
+        while (f == 1 && t == 0) {{ f = flag0; t = turn; }}
+        inside = inside + 1;
+        if (inside != 1) {{ bad = 1; }}
+        inside = inside - 1;
+        flag1 = 0;
+    }}
+    main {{
+        start p0; start p1; join p0; join p1;
+        assert(bad == 0);
+    }}
+    """
+
+
+def _dekker() -> str:
+    return """
+    int flag0 = 0, flag1 = 0, turn = 0, inside = 0, bad = 0;
+    thread p0 {
+        flag0 = 1;
+        int f; f = flag1;
+        while (f == 1) {
+            int t; t = turn;
+            if (t != 0) { flag0 = 0; assume(turn == 0); flag0 = 1; }
+            f = flag1;
+        }
+        inside = inside + 1;
+        if (inside != 1) { bad = 1; }
+        inside = inside - 1;
+        turn = 1; flag0 = 0;
+    }
+    thread p1 {
+        flag1 = 1;
+        int f; f = flag0;
+        while (f == 1) {
+            int t; t = turn;
+            if (t != 1) { flag1 = 0; assume(turn == 1); flag1 = 1; }
+            f = flag0;
+        }
+        inside = inside + 1;
+        if (inside != 1) { bad = 1; }
+        inside = inside - 1;
+        turn = 0; flag1 = 0;
+    }
+    main {
+        start p0; start p1; join p0; join p1;
+        assert(bad == 0);
+    }
+    """
+
+
+def _handshake(rounds: int, safe: bool) -> str:
+    expect = rounds if safe else rounds + 1
+    return f"""
+    int req = 0, ack = 0, count = 0;
+    thread client {{
+        int i; i = 0;
+        while (i < {rounds}) {{
+            req = i + 1;
+            int a; a = ack;
+            while (a != i + 1) {{ a = ack; }}
+            i = i + 1;
+        }}
+    }}
+    thread server {{
+        int j; j = 0;
+        while (j < {rounds}) {{
+            int r; r = req;
+            while (r != j + 1) {{ r = req; }}
+            count = count + 1;
+            ack = j + 1;
+            j = j + 1;
+        }}
+    }}
+    main {{
+        start client; start server; join client; join server;
+        assert(count == {expect});
+    }}
+    """
+
+
+def _ldv_register_race(locked: bool, n_writers: int) -> str:
+    decls = ["int reg = 0, shadow = 0;"]
+    if locked:
+        decls.append("lock m;")
+    threads = []
+    for i in range(n_writers):
+        val = i + 1
+        if locked:
+            body = f"lock(m); reg = {val}; shadow = {val}; unlock(m);"
+        else:
+            body = f"reg = {val}; shadow = {val};"
+        threads.append(f"thread w{i} {{ {body} }}")
+    # With the lock, reg and shadow are always updated together.
+    return _program(decls, threads, ["assert(reg == shadow);"])
+
+
+def _nondet_guess(safe: bool) -> str:
+    if safe:
+        return """
+        int x = 0, y = 0;
+        thread t { x = nondet(); assume(x < 10); assume(x >= 0); y = x * 2; }
+        main { start t; join t; assert(y < 20); }
+        """
+    return """
+    int x = 0, y = 0;
+    thread t { x = nondet(); y = x + 1; }
+    main { start t; join t; assert(y != 5); }
+    """
+
+
+def _fib_like(rounds: int, safe: bool) -> str:
+    # Two threads race on a Fibonacci-ish recurrence; the safe bound is the
+    # maximum achievable value with all interleavings, the unsafe variant
+    # asserts a smaller bound that some interleaving exceeds.
+    bound = _fib_bound(rounds)
+    target = bound + 1 if safe else bound
+    return f"""
+    int a = 1, b = 1;
+    thread ta {{
+        int i; i = 0;
+        while (i < {rounds}) {{ int t; t = b; a = a + t; i = i + 1; }}
+    }}
+    thread tb {{
+        int j; j = 0;
+        while (j < {rounds}) {{ int t; t = a; b = b + t; j = j + 1; }}
+    }}
+    main {{
+        start ta; start tb; join ta; join tb;
+        assert(a < {target} && b < {target});
+    }}
+    """
+
+
+def _fib_bound(rounds: int) -> int:
+    # Max of a/b after `rounds` alternating additions = fib(2*rounds + 1).
+    fib = [1, 1]
+    while len(fib) < 2 * rounds + 2:
+        fib.append(fib[-1] + fib[-2])
+    return fib[2 * rounds + 1]
+
+
+def _big_parallel(n_threads: int, k: int) -> str:
+    """Many threads, many events, all on disjoint variables.
+
+    Trivial for the ordering theory (tiny per-address constraint sets) but
+    hostile to baselines whose cost is global in the event count: the
+    closure encoding's transitivity axioms are cubic in *all* events, and
+    explicit-state/sequentialization engines face the full interleaving
+    space."""
+    decls, threads, asserts = [], [], []
+    for i in range(n_threads):
+        decls.append(f"int g{i} = 0;")
+        body = " ".join(f"g{i} = {j + 1};" for j in range(k))
+        threads.append(f"thread t{i} {{ {body} }}")
+        asserts.append(f"assert(g{i} == {k});")
+    return _program(decls, threads, asserts)
+
+
+def _pipeline(stages: int) -> str:
+    decls = [f"int s{i} = 0;" for i in range(stages + 1)]
+    decls.insert(0, "lock m;")
+    threads = []
+    for i in range(stages):
+        threads.append(
+            f"thread st{i} {{ int v; v = 0; while (v == 0) {{ v = s{i}; }} "
+            f"lock(m); s{i + 1} = v + 1; unlock(m); }}"
+        )
+    # Stage i reads v = s_i and writes s_{i+1} = v + 1, so the chain ends
+    # at s_stages == stages + 1 (s0 is seeded with 1).
+    asserts = [f"assert(s{stages} == {stages + 1});"]
+    main_extra = "s0 = 1;"
+    return _program(decls, threads, asserts, main_prologue=main_extra)
+
+
+# ----------------------------------------------------------------------
+# Assembly helpers
+# ----------------------------------------------------------------------
+
+def _program(
+    decls: List[str],
+    threads: List[str],
+    asserts: List[str],
+    main_prologue: str = "",
+) -> str:
+    names = [t.split()[1] for t in threads]
+    starts = " ".join(f"start {n};" for n in names)
+    joins = " ".join(f"join {n};" for n in names)
+    return "\n".join(
+        decls
+        + threads
+        + [f"main {{ {main_prologue} {starts} {joins} {' '.join(asserts)} }}"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Suite construction
+# ----------------------------------------------------------------------
+
+def svcomp_suite(scale: int = 1) -> List[Task]:
+    """Build the suite.  ``scale`` widens the parameter sweeps."""
+    tasks: List[Task] = []
+
+    def add(name, category, source, safe, unwind=4):
+        tasks.append(Task(f"{category}/{name}", category, source, safe, unwind))
+
+    # wmm: many small litmus variants (the dominant sub-category).
+    litmus = [
+        ("sb", _sb), ("mp", _mp), ("lb", _lb),
+        ("2+2w", _two_plus_two_w), ("corr", _corr), ("iriw", _iriw),
+        ("r", _r_pattern),
+    ]
+    for fam_name, fam in litmus:
+        for k in range(1, 2 + 2 * scale):
+            add(f"{fam_name}-{k}-safe", "wmm", fam(k, True), True)
+            add(f"{fam_name}-{k}-unsafe", "wmm", fam(k, False), False)
+
+    # pthread: lock-based counters and handshakes.
+    for n in range(2, 2 + scale + 1):
+        add(f"mutex-counter-{n}-safe", "pthread", _mutex_counter(n, 1, True), True)
+        add(f"mutex-counter-{n}-unsafe", "pthread", _mutex_counter(n, 1, False), False)
+    add("handshake-2-safe", "pthread", _handshake(2, True), True, unwind=4)
+    add("handshake-2-unsafe", "pthread", _handshake(2, False), False, unwind=4)
+
+    # atomic.
+    for n in range(2, 2 + scale + 1):
+        add(f"atomic-counter-{n}", "atomic", _atomic_counter(n, 1), True)
+        add(f"tas-lock-{n}-safe", "atomic", _tas_spinlock(n, True), True)
+        add(f"tas-lock-{n}-unsafe", "atomic", _tas_spinlock(n, False), False)
+
+    # ldv-races / driver-races.
+    for n in (2, 3):
+        add(f"register-{n}-locked", "ldv-races", _ldv_register_race(True, n), True)
+        add(f"register-{n}-racy", "ldv-races", _ldv_register_race(False, n), False)
+        add(f"dev-update-{n}-locked", "driver-races", _ldv_register_race(True, n + 1), True)
+        add(f"dev-update-{n}-racy", "driver-races", _ldv_register_race(False, n + 1), False)
+
+    # lit: textbook mutual exclusion protocols.
+    add("peterson", "lit", _peterson(False), True, unwind=3)
+    add("peterson-broken", "lit", _peterson(True), False, unwind=3)
+    add("dekker", "lit", _dekker(), True, unwind=3)
+
+    # nondet.
+    add("guess-safe", "nondet", _nondet_guess(True), True)
+    add("guess-unsafe", "nondet", _nondet_guess(False), False)
+
+    # complex: racing recurrences.
+    for r in range(1, 1 + scale + 1):
+        add(f"fib-{r}-safe", "complex", _fib_like(r, True), True, unwind=r + 1)
+        add(f"fib-{r}-unsafe", "complex", _fib_like(r, False), False, unwind=r + 1)
+
+    # ext / C-DAC / divine: pipelines and mixed lock/flag protocols.
+    for s in (2, 3):
+        add(f"pipeline-{s}", "ext", _pipeline(s), True, unwind=4)
+    add("cdac-counter", "C-DAC", _mutex_counter(2, 2, True), True)
+    add("cdac-counter-racy", "C-DAC", _mutex_counter(2, 2, False), False)
+    add("divine-handshake", "divine", _handshake(1, True), True)
+    add("divine-handshake-bad", "divine", _handshake(1, False), False)
+
+    # Larger tasks (the non-wmm categories of the original suite contain
+    # programs far bigger than litmus tests; these reproduce the scaling
+    # differences of Table 1/Figure 7).
+    add("big-parallel-6x8", "divine", _big_parallel(6, 8), True, unwind=2)
+    add("big-parallel-8x8", "divine", _big_parallel(8, 8), True, unwind=2)
+    add("big-parallel-10x10", "ext", _big_parallel(10, 10), True, unwind=2)
+    add("big-parallel-12x12", "ext", _big_parallel(12, 12), True, unwind=2)
+    add("mutex-counter-3x2", "pthread", _mutex_counter(3, 2, True), True)
+    add("handshake-3-safe", "pthread", _handshake(3, True), True, unwind=5)
+    add("fib-4-safe", "complex", _fib_like(4, True), True, unwind=5)
+    add("pipeline-4", "ext", _pipeline(4), True, unwind=4)
+
+    # Classic synchronization idioms (repro.bench.patterns).
+    add("ticket-lock-2", "pthread", patterns.ticket_lock(2), True, unwind=4)
+    add("ticket-lock-3", "pthread", patterns.ticket_lock(3), True, unwind=5)
+    add("barrier-2", "divine", patterns.barrier_sum(2), True, unwind=4)
+    add("barrier-3", "divine", patterns.barrier_sum(3), True, unwind=5)
+    add("rw-locked-2", "ldv-races", patterns.readers_writer(2, True), True)
+    add("rw-racy-2", "ldv-races", patterns.readers_writer(2, False), False)
+    add("transfer-locked", "C-DAC", patterns.bank_transfer(True), True)
+    add("transfer-racy", "C-DAC", patterns.bank_transfer(False), False)
+    add("handoff-3", "ext", patterns.flag_handoff(3), True, unwind=5)
+    add("work-split-2x2", "C-DAC", patterns.work_split(2, 2), True, unwind=4)
+    add("work-split-3x2", "C-DAC", patterns.work_split(3, 2), True, unwind=4)
+    add("dcl-correct", "complex", patterns.double_checked_init(False), True)
+    add("dcl-broken", "complex", patterns.double_checked_init(True), False)
+    add("seqlock-correct", "complex", patterns.seqlock(False), True, unwind=4)
+    add("seqlock-broken", "complex", patterns.seqlock(True), False, unwind=4)
+
+    return tasks

@@ -1,0 +1,27 @@
+"""Benchmark task descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    """One verification task of a benchmark suite.
+
+    Attributes:
+        name: unique task name, e.g. ``"wmm/sb-2"``.
+        category: sub-category (``wmm``, ``pthread``, ...).
+        source: program text in the mini language.
+        expected_safe: ground-truth verdict.
+        unwind: loop bound the task should be verified with.
+    """
+
+    name: str
+    category: str
+    source: str
+    expected_safe: bool
+    unwind: int = 4
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,120 @@
+"""Command-line interface: ``repro-verify FILE [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.verify import VerifierConfig, verify
+
+_PRESETS = {
+    "zord": VerifierConfig.zord,
+    "zord-": VerifierConfig.zord_minus,
+    "zord'": VerifierConfig.zord_prime,
+    "zord-tarjan": VerifierConfig.zord_tarjan,
+    "cbmc": VerifierConfig.cbmc,
+    "dartagnan": VerifierConfig.dartagnan,
+    "cpa-seq": VerifierConfig.cpa_seq,
+    "lazy-cseq": VerifierConfig.lazy_cseq,
+    "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
+    "genmc": VerifierConfig.genmc,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Verify a multi-threaded program under sequential "
+        "consistency (PLDI'21 ordering-consistency reproduction).",
+    )
+    parser.add_argument("file", help="program source file")
+    parser.add_argument(
+        "--engine",
+        default="zord",
+        choices=sorted(_PRESETS),
+        help="verification engine preset (default: zord)",
+    )
+    parser.add_argument("--unwind", type=int, default=8, help="loop bound")
+    parser.add_argument("--width", type=int, default=8, help="integer bit-width")
+    parser.add_argument(
+        "--memory-model",
+        default="sc",
+        choices=("sc", "tso", "pso"),
+        help="memory consistency model (weak models: SMT engines only)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="time budget in seconds"
+    )
+    parser.add_argument(
+        "--witness", action="store_true", help="print a counterexample trace"
+    )
+    parser.add_argument("--stats", action="store_true", help="print statistics")
+    parser.add_argument(
+        "--dump-smt2",
+        metavar="FILE",
+        help="write the encoding as an SMT-LIB 2 script and exit",
+    )
+    parser.add_argument(
+        "--dump-dimacs",
+        metavar="FILE",
+        help="write the bit-blasted CNF as DIMACS and exit",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.file) as f:
+        source = f.read()
+
+    from repro.lang.lexer import LexError
+    from repro.lang.parser import ParseError
+    from repro.lang.sema import SemanticError
+
+    try:
+        if args.dump_smt2 or args.dump_dimacs:
+            return _dump(source, args)
+        return _verify(source, args)
+    except (LexError, ParseError, SemanticError) as exc:
+        print(f"{args.file}: error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _verify(source: str, args) -> int:
+    config = _PRESETS[args.engine](
+        unwind=args.unwind,
+        width=args.width,
+        time_limit_s=args.timeout,
+        memory_model=args.memory_model,
+    )
+    result = verify(source, config)
+    print(f"verdict: {result.verdict.upper()}  ({result.wall_time_s:.3f}s)")
+    if args.witness and result.witness is not None:
+        print(result.witness)
+    if args.stats:
+        for key in sorted(result.stats):
+            print(f"  {key}: {result.stats[key]}")
+    return 0 if result.verdict != "unknown" else 2
+
+
+def _dump(source: str, args) -> int:
+    from repro.encoding.encoder import encode_program
+    from repro.encoding.export import to_dimacs, to_smtlib
+    from repro.frontend import build_symbolic_program
+    from repro.lang import parse as parse_program
+
+    sym = build_symbolic_program(
+        parse_program(source), unwind=args.unwind, width=args.width
+    )
+    if args.dump_smt2:
+        with open(args.dump_smt2, "w") as f:
+            f.write(to_smtlib(sym))
+        print(f"wrote {args.dump_smt2}")
+    if args.dump_dimacs:
+        encoded = encode_program(sym, memory_model=args.memory_model)
+        with open(args.dump_dimacs, "w") as f:
+            f.write(to_dimacs(encoded))
+        print(f"wrote {args.dump_dimacs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Symbolic encoding substrate: term IR, Tseitin CNF conversion, bit-blasting.
+
+The BMC front end produces first-order constraints over fixed-width
+bit-vector program variables and Boolean guard/ordering variables.  This
+package lowers those constraints to CNF for the CDCL core:
+
+* :mod:`repro.encoding.formula` -- hash-consed term IR with constant folding,
+* :mod:`repro.encoding.cnf` -- Tseitin gate library over a SAT solver,
+* :mod:`repro.encoding.bitblast` -- bit-vector operations to CNF.
+"""
+
+from repro.encoding.formula import (
+    FALSE,
+    TRUE,
+    Term,
+    bool_var,
+    bv_add,
+    bv_and,
+    bv_const,
+    bv_ite,
+    bv_mul,
+    bv_neg,
+    bv_not,
+    bv_or,
+    bv_sub,
+    bv_var,
+    bv_xor,
+    eq,
+    evaluate,
+    iff,
+    implies,
+    ite,
+    mk_and,
+    mk_not,
+    mk_or,
+    ne,
+    shl,
+    lshr,
+    sle,
+    slt,
+    ule,
+    ult,
+)
+from repro.encoding.cnf import CnfBuilder
+from repro.encoding.bitblast import BitBlaster
+
+__all__ = [
+    "Term", "TRUE", "FALSE",
+    "bool_var", "mk_not", "mk_and", "mk_or", "implies", "iff", "ite",
+    "bv_var", "bv_const", "bv_add", "bv_sub", "bv_mul", "bv_neg",
+    "bv_and", "bv_or", "bv_xor", "bv_not", "bv_ite", "shl", "lshr",
+    "eq", "ne", "ult", "ule", "slt", "sle",
+    "evaluate", "CnfBuilder", "BitBlaster",
+]

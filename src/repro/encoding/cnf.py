@@ -1,0 +1,161 @@
+"""Tseitin gate library over the CDCL solver.
+
+:class:`CnfBuilder` wraps a :class:`repro.sat.Solver` with named gate
+constructors (AND, OR, XOR, ITE, half/full adders).  Each gate allocates a
+fresh output literal and emits the defining clauses; inputs and outputs are
+DIMACS literals.  Constant inputs are short-circuited where cheap.
+
+The builder also maintains the conventional *true literal* ``t`` (a variable
+fixed to true by a unit clause) so constants can flow through gate inputs
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sat import Solver
+
+
+class CnfBuilder:
+    """Gate-level CNF construction helper bound to a solver instance."""
+
+    def __init__(self, solver: Solver) -> None:
+        self.solver = solver
+        self._true = solver.new_var()
+        solver.add_clause([self._true])
+        self._and_cache = {}
+        self._or_cache = {}
+        self._xor_cache = {}
+
+    # ------------------------------------------------------------------
+    # Constants and variables
+    # ------------------------------------------------------------------
+
+    @property
+    def true_lit(self) -> int:
+        return self._true
+
+    @property
+    def false_lit(self) -> int:
+        return -self._true
+
+    def new_lit(self) -> int:
+        return self.solver.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        self.solver.add_clause(list(lits))
+
+    def fix(self, lit: int) -> None:
+        """Assert ``lit`` at the top level."""
+        self.solver.add_clause([lit])
+
+    def is_const(self, lit: int) -> bool:
+        return abs(lit) == abs(self._true)
+
+    def _const_value(self, lit: int) -> bool:
+        return lit == self._true
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    def and_gate(self, lits: Iterable[int]) -> int:
+        """Output literal equivalent to the conjunction of ``lits``."""
+        ins: List[int] = []
+        for lit in lits:
+            if self.is_const(lit):
+                if not self._const_value(lit):
+                    return self.false_lit
+                continue
+            ins.append(lit)
+        if not ins:
+            return self.true_lit
+        ins = sorted(set(ins), key=abs)
+        for lit in ins:
+            if -lit in ins:
+                return self.false_lit
+        if len(ins) == 1:
+            return ins[0]
+        key = tuple(ins)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_lit()
+        for lit in ins:
+            self.add_clause([-out, lit])
+        self.add_clause([out] + [-lit for lit in ins])
+        self._and_cache[key] = out
+        return out
+
+    def or_gate(self, lits: Iterable[int]) -> int:
+        """Output literal equivalent to the disjunction of ``lits``."""
+        return -self.and_gate([-lit for lit in lits])
+
+    def xor_gate(self, a: int, b: int) -> int:
+        if self.is_const(a):
+            return b if self._const_value(a) is False else -b
+        if self.is_const(b):
+            return a if self._const_value(b) is False else -a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        key = (min(a, b), max(a, b))
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_lit()
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+        self._xor_cache[key] = out
+        return out
+
+    def iff_gate(self, a: int, b: int) -> int:
+        return -self.xor_gate(a, b)
+
+    def ite_gate(self, c: int, t: int, e: int) -> int:
+        """Output literal equivalent to ``c ? t : e``."""
+        if self.is_const(c):
+            return t if self._const_value(c) else e
+        if t == e:
+            return t
+        out = self.new_lit()
+        self.add_clause([-out, -c, t])
+        self.add_clause([-out, c, e])
+        self.add_clause([out, -c, -t])
+        self.add_clause([out, c, -e])
+        # Redundant but propagation-strengthening clauses.
+        if t == -e:
+            pass
+        else:
+            self.add_clause([-t, -e, out])
+            self.add_clause([t, e, -out])
+        return out
+
+    def full_adder(self, a: int, b: int, cin: int):
+        """Return (sum, carry-out) literals of a full adder."""
+        s1 = self.xor_gate(a, b)
+        total = self.xor_gate(s1, cin)
+        c1 = self.and_gate([a, b])
+        c2 = self.and_gate([s1, cin])
+        carry = self.or_gate([c1, c2])
+        return total, carry
+
+    # ------------------------------------------------------------------
+    # Implication helpers used by the encoder
+    # ------------------------------------------------------------------
+
+    def imply(self, premise: int, conclusion: int) -> None:
+        """Assert ``premise -> conclusion``."""
+        self.add_clause([-premise, conclusion])
+
+    def imply_all(self, premise: int, conclusions: Iterable[int]) -> None:
+        for c in conclusions:
+            self.imply(premise, c)
+
+    def imply_or(self, premise: int, disjuncts: Sequence[int]) -> None:
+        """Assert ``premise -> (d1 | d2 | ...)``."""
+        self.add_clause([-premise] + list(disjuncts))

@@ -1,0 +1,260 @@
+"""The whole-program SMT encoding (Section 3).
+
+Builds ``Ψ = Φ_ssa ∧ Φ_ord`` over the CDCL core:
+
+* ``Φ_ssa`` (bit-blasted): value assignments ``rho_va``, the error condition
+  ``rho_err``, RF-Val / RF-Some, WS-Cond / WS-Some, and the
+  read-modify-write atomicity constraints for ``atomic`` blocks and locks;
+* ``Φ_ord`` (theory): program order lives in the event-graph skeleton;
+  RF-Ord / WS-Ord are realized by registering each ordering variable with
+  the :class:`repro.ordering.OrderingTheory` as a pre-created edge.
+
+With ``fr_encoding=True`` (the Zord⁻ ablation) the from-read rule is
+additionally encoded as explicit clauses ``rf ∧ ws → fr`` over fresh FR
+ordering variables, and the theory solver's own from-read propagation is
+expected to be disabled by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.bitblast import BitBlaster
+from repro.encoding.cnf import CnfBuilder
+from repro.encoding import formula as F
+from repro.frontend.program import Event, SymbolicProgram
+from repro.ordering import OrderingTheory
+from repro.sat import Solver
+
+__all__ = ["EncodedProgram", "encode_program", "EncodingStats"]
+
+
+@dataclass
+class EncodingStats:
+    """Formula-size statistics (Fig. 8 discusses encoding size)."""
+
+    rf_vars: int = 0
+    ws_vars: int = 0
+    fr_vars: int = 0
+    sat_vars: int = 0
+    clauses_hint: int = 0
+
+
+@dataclass
+class EncodedProgram:
+    """A program encoded into a solver + ordering theory, ready to solve."""
+
+    solver: Solver
+    theory: OrderingTheory
+    blaster: BitBlaster
+    symbolic: SymbolicProgram
+    #: rf variable -> (write event, read event)
+    rf_vars: Dict[int, Tuple[Event, Event]] = field(default_factory=dict)
+    #: ws variable -> (write event, write event)
+    ws_vars: Dict[int, Tuple[Event, Event]] = field(default_factory=dict)
+    #: guard literal per event id
+    guard_lits: Dict[int, int] = field(default_factory=dict)
+    trivially_safe: bool = False
+    stats: EncodingStats = field(default_factory=EncodingStats)
+
+
+def encode_program(
+    sym: SymbolicProgram,
+    detector: str = "icd",
+    unit_edge: bool = True,
+    fr_encoding: bool = False,
+    max_conflict_clauses: int = 8,
+    theory=None,
+    memory_model: str = "sc",
+) -> EncodedProgram:
+    """Encode ``sym`` into CNF + an ordering theory; return the bundle.
+
+    Args:
+        sym: the front end's guarded SSA program.
+        detector: cycle detection strategy (``"icd"`` / ``"tarjan"``).
+        unit_edge: enable unit-edge theory propagation (Zord′ disables).
+        fr_encoding: encode ``rho_fr`` explicitly and disable theory-side
+            from-read propagation (Zord⁻).
+        theory: override the theory solver (the IDL baseline passes its
+            clock-difference theory here; it shares the registration
+            interface of :class:`OrderingTheory`).
+        memory_model: ``"sc"``, ``"tso"`` or ``"pso"``; under the weak
+            models the event-graph skeleton carries only the preserved
+            program order (see :mod:`repro.encoding.ppo`).
+    """
+    if theory is None:
+        from repro.encoding.ppo import preserved_program_order
+
+        theory = OrderingTheory(
+            len(sym.events),
+            preserved_program_order(sym, memory_model),
+            detector=detector,
+            unit_edge=unit_edge,
+            fr_propagation=not fr_encoding,
+            max_conflict_clauses=max_conflict_clauses,
+        )
+    solver = Solver(theory)
+    builder = CnfBuilder(solver)
+    blaster = BitBlaster(builder)
+    enc = EncodedProgram(solver, theory, blaster, sym)
+
+    # --- rho_va and assume constraints -------------------------------
+    for constraint in sym.constraints:
+        blaster.assert_term(constraint)
+
+    # --- rho_err ------------------------------------------------------
+    if not sym.error_disjuncts:
+        enc.trivially_safe = True
+        return enc
+    err_lits = [blaster.blast_bool(d) for d in sym.error_disjuncts]
+    solver.add_clause(err_lits)
+
+    # --- guard literals ----------------------------------------------
+    for ev in sym.memory_events():
+        enc.guard_lits[ev.eid] = blaster.blast_bool(ev.guard)
+
+    width = sym.width
+    po_reach = theory.po_reach  # static PO reachability for pruning
+
+    def value_var(ev: Event) -> F.Term:
+        return F.bv_var(ev.ssa_name, width)
+
+    rf_by_read: Dict[int, Dict[int, int]] = {}  # read eid -> {write eid: var}
+
+    from repro.encoding.formula import TRUE as _TRUE_TERM
+
+    def _definitely_shadowed(w, r, writes) -> bool:
+        """True when an *unconditional* write sits (in preserved program
+        order) between ``w`` and ``r``: the read can never observe ``w``,
+        so no RF candidate is needed (static from-read pruning)."""
+        wr = po_reach[w.eid]
+        for w2 in writes:
+            if (
+                w2.eid != w.eid
+                and w2.guard is _TRUE_TERM
+                and (wr >> w2.eid) & 1
+                and (po_reach[w2.eid] >> r.eid) & 1
+            ):
+                return True
+        return False
+
+    for addr in sym.addresses:
+        reads = sym.reads_of(addr)
+        writes = sym.writes_of(addr)
+
+        # Read-from variables and RF-Val / RF-Some constraints.
+        for r in reads:
+            g_r = enc.guard_lits[r.eid]
+            rf_lits: List[int] = []
+            rf_by_read[r.eid] = {}
+            for w in writes:
+                if (po_reach[r.eid] >> w.eid) & 1:
+                    continue  # w is PO-after r: can never be read
+                if _definitely_shadowed(w, r, writes):
+                    continue
+                var = solver.new_var(relevant=True)
+                theory.add_rf_var(var, w.eid, r.eid)
+                enc.rf_vars[var] = (w, r)
+                rf_by_read[r.eid][w.eid] = var
+                g_w = enc.guard_lits[w.eid]
+                builder.imply(var, g_r)
+                builder.imply(var, g_w)
+                eq_lit = blaster.blast_bool(F.eq(value_var(r), value_var(w)))
+                builder.imply(var, eq_lit)
+                rf_lits.append(var)
+                enc.stats.rf_vars += 1
+            # RF-Some: an enabled read takes its value from somewhere.
+            builder.imply_or(g_r, rf_lits)
+
+        # Write-serialization variables and WS-Cond / WS-Some constraints.
+        ws_var: Dict[Tuple[int, int], int] = {}
+        for i, w1 in enumerate(writes):
+            for w2 in writes[i + 1:]:
+                v12 = solver.new_var(relevant=True)
+                theory.add_ws_var(v12, w1.eid, w2.eid)
+                enc.ws_vars[v12] = (w1, w2)
+                v21 = solver.new_var(relevant=True)
+                theory.add_ws_var(v21, w2.eid, w1.eid)
+                enc.ws_vars[v21] = (w2, w1)
+                ws_var[(w1.eid, w2.eid)] = v12
+                ws_var[(w2.eid, w1.eid)] = v21
+                g1 = enc.guard_lits[w1.eid]
+                g2 = enc.guard_lits[w2.eid]
+                for v in (v12, v21):
+                    builder.imply(v, g1)
+                    builder.imply(v, g2)
+                # WS-Some: both enabled -> one order or the other.
+                builder.add_clause([-g1, -g2, v12, v21])
+                enc.stats.ws_vars += 2
+
+        # Static from-read lemmas: if a write w' lies in preserved program
+        # order before the read, then rf(w, r) and ws(w, w') together
+        # derive fr(r, w'), closing a cycle with the w' ⇝ r path.  The
+        # theory would learn each of these through a conflict; emitting
+        # them upfront is level-0 theory propagation in the spirit of
+        # the initial unit clauses (guarded shadowing only -- the
+        # unconditional case was pruned from the RF candidates above).
+        for r in reads:
+            for w0 in writes:
+                rf = rf_by_read[r.eid].get(w0.eid)
+                if rf is None:
+                    continue
+                for wx in writes:
+                    if wx.eid == w0.eid:
+                        continue
+                    if not (po_reach[wx.eid] >> r.eid) & 1:
+                        continue
+                    ws = ws_var.get((w0.eid, wx.eid))
+                    if ws is not None:
+                        builder.add_clause([-rf, -ws])
+
+        # Explicit from-read encoding (Zord⁻ only).
+        if fr_encoding:
+            fr_var: Dict[Tuple[int, int], int] = {}
+            for r in reads:
+                for w0 in writes:
+                    rf = rf_by_read[r.eid].get(w0.eid)
+                    if rf is None:
+                        continue
+                    for wk in writes:
+                        if wk.eid == w0.eid:
+                            continue
+                        ws = ws_var.get((w0.eid, wk.eid))
+                        if ws is None:
+                            continue
+                        key = (r.eid, wk.eid)
+                        fv = fr_var.get(key)
+                        if fv is None:
+                            fv = solver.new_var(relevant=True)
+                            theory.add_fr_var(fv, r.eid, wk.eid)
+                            fr_var[key] = fv
+                            enc.stats.fr_vars += 1
+                        builder.add_clause([-rf, -ws, fv])
+
+        # Read-modify-write atomicity for this address.
+        for group in sym.rmw_groups:
+            if group.addr != addr:
+                continue
+            r_eid, w_eid = group.read_eid, group.write_eid
+            for w0 in writes:
+                rf = rf_by_read.get(r_eid, {}).get(w0.eid)
+                if rf is None or w0.eid == w_eid:
+                    continue
+                for wx in writes:
+                    if wx.eid in (w0.eid, w_eid):
+                        continue
+                    ws_a = ws_var.get((w0.eid, wx.eid))
+                    ws_b = ws_var.get((wx.eid, w_eid))
+                    if ws_a is None or ws_b is None:
+                        continue
+                    # No write wx strictly between the RMW's source write
+                    # and its own write.
+                    builder.add_clause([-rf, -ws_a, -ws_b])
+
+    # Level-0 unit-edge propagation against the PO skeleton.
+    for clause in theory.initial_unit_clauses():
+        solver.add_clause(clause)
+
+    enc.stats.sat_vars = solver.nvars
+    return enc

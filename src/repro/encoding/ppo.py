@@ -1,0 +1,112 @@
+"""Preserved program order for weak memory models (the paper's future work).
+
+The paper verifies under sequential consistency and names weak-memory
+support as future work; this module provides it for the store-buffer
+models, following the Alglave-style recipe the encoding is built on:
+instead of the full program order, the event-graph skeleton receives only
+the *preserved* program order (ppo) of the chosen model, and the rest of
+the machinery (RF/WS variables, from-read derivation, acyclicity) is
+unchanged.
+
+Supported models (same-address pairs are always preserved, so coherence
+per location stays enforced by the single acyclicity check):
+
+* ``"sc"``  -- everything preserved (the paper's setting);
+* ``"tso"`` -- write-to-read order to *different* addresses is relaxed
+  (store buffering; no store forwarding, a standard simplification that
+  makes the model slightly stronger than x86-TSO);
+* ``"pso"`` -- additionally relaxes write-to-write order to different
+  addresses.
+
+Anchors (thread create/join, `fence;` statements) and the events of atomic
+read-modify-write blocks and locks order everything across them, like
+x86's fenced/locked instructions.
+
+The returned edge set is the transitive reduction of the preserved pairs,
+computed per thread, plus the original create/join anchor edges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.frontend.program import Event, EventKind, SymbolicProgram
+
+__all__ = ["MEMORY_MODELS", "preserved_program_order"]
+
+MEMORY_MODELS = ("sc", "tso", "pso")
+
+
+def preserved_program_order(
+    sym: SymbolicProgram, model: str
+) -> List[Tuple[int, int]]:
+    """Compute the event-graph skeleton edges for ``model``."""
+    if model not in MEMORY_MODELS:
+        raise ValueError(f"unknown memory model {model!r}")
+    if model == "sc":
+        return list(sym.po_edges)
+
+    fence_like = _fence_like_events(sym)
+    intra: Set[Tuple[int, int]] = set()
+    inter: List[Tuple[int, int]] = []
+    # Partition the original edges: intra-thread chain edges vs the
+    # create/join edges between threads (always kept).
+    thread_of = {ev.eid: ev.thread for ev in sym.events}
+    for a, b in sym.po_edges:
+        if thread_of[a] == thread_of[b]:
+            intra.add((a, b))
+        else:
+            inter.append((a, b))
+
+    edges: List[Tuple[int, int]] = list(inter)
+    for thread in sym.threads:
+        events = thread.events
+        n = len(events)
+        preserved = [[False] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                preserved[i][j] = _preserved(
+                    events[i], events[j], model, fence_like
+                )
+        # Transitive reduction: drop (i, j) if some k between mediates it.
+        for i in range(n):
+            for j in range(i + 1, n):
+                if not preserved[i][j]:
+                    continue
+                redundant = any(
+                    preserved[i][k] and preserved[k][j]
+                    for k in range(i + 1, j)
+                )
+                if not redundant:
+                    edges.append((events[i].eid, events[j].eid))
+    return edges
+
+
+def _fence_like_events(sym: SymbolicProgram) -> Set[int]:
+    """Events that order everything: RMW (atomic block / lock-acquire)
+    events and every access to a lock variable (unlock stores carry a
+    release barrier in any real lock implementation)."""
+    out: Set[int] = set()
+    for group in sym.rmw_groups:
+        out.add(group.read_eid)
+        out.add(group.write_eid)
+    locks = set(sym.lock_addrs)
+    if locks:
+        for ev in sym.memory_events():
+            if ev.addr in locks:
+                out.add(ev.eid)
+    return out
+
+
+def _preserved(e1: Event, e2: Event, model: str, fence_like: Set[int]) -> bool:
+    if e1.kind == EventKind.ANCHOR or e2.kind == EventKind.ANCHOR:
+        return True  # create/join/fence anchors are full barriers
+    if e1.eid in fence_like or e2.eid in fence_like:
+        return True  # locked/atomic accesses are fenced
+    if e1.addr == e2.addr:
+        return True  # same-address order (coherence) always preserved
+    if e1.is_write and e2.is_read:
+        return False  # the store-buffer relaxation (TSO and PSO)
+    if model == "pso" and e1.is_write and e2.is_write:
+        return False  # per-address store buffers (PSO)
+    return True

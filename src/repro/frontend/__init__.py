@@ -1,0 +1,19 @@
+"""BMC front end: loop unrolling, SSA transformation, event extraction.
+
+Turns a parsed :class:`repro.lang.ast.Program` into a
+:class:`repro.frontend.program.SymbolicProgram`: straight-line, guarded SSA
+constraints plus the shared-memory access events and program-order edges the
+ordering-consistency encoding needs (Section 3 of the paper).
+"""
+
+from repro.frontend.program import Event, EventKind, SymbolicProgram, ThreadEvents
+from repro.frontend.ssa import SsaError, build_symbolic_program
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SymbolicProgram",
+    "ThreadEvents",
+    "build_symbolic_program",
+    "SsaError",
+]

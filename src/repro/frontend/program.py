@@ -1,0 +1,131 @@
+"""The symbolic program: output of the BMC front end.
+
+A :class:`SymbolicProgram` contains
+
+* per-thread lists of shared-memory access :class:`Event` objects in program
+  order (the skeleton of the event graph, Section 4.2),
+* pure SSA value constraints (``rho_va`` plus ``assume`` conditions),
+* the error condition (``rho_err``),
+* program-order edges including thread create/join anchor edges,
+* read-modify-write atomicity groups from ``atomic`` blocks and locks.
+
+Events carry their guard as a Bool term; the encoder lowers guards to CNF
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.formula import Term
+
+
+class EventKind:
+    """Event types: read, write, or a pure program-order anchor."""
+
+    READ = "R"
+    WRITE = "W"
+    ANCHOR = "A"
+
+
+@dataclass
+class Event:
+    """A shared-memory access event (or a PO anchor).
+
+    Attributes:
+        eid: unique id, dense from 0 (doubles as the event-graph node id).
+        kind: :class:`EventKind` constant.
+        addr: shared variable name (None for anchors).
+        ssa_name: name of the SSA bit-vector variable holding the accessed
+            value (None for anchors).
+        thread: owning thread name ("main" for main-thread events).
+        guard: Bool term; the event is enabled iff the guard holds.
+        label: human-readable description used in witness traces.
+    """
+
+    eid: int
+    kind: str
+    addr: Optional[str]
+    ssa_name: Optional[str]
+    thread: str
+    guard: Term
+    label: str = ""
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == EventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == EventKind.WRITE
+
+    def __repr__(self) -> str:
+        return f"<{self.eid}:{self.kind} {self.label or self.addr}>"
+
+
+@dataclass
+class ThreadEvents:
+    """Events of one thread, in program order."""
+
+    name: str
+    events: List[Event] = field(default_factory=list)
+
+
+@dataclass
+class RmwGroup:
+    """Atomicity requirement: no foreign write to ``addr`` may intervene
+    between the write ``read_ev`` reads from and the write ``write_ev``."""
+
+    addr: str
+    read_eid: int
+    write_eid: int
+
+
+@dataclass
+class SymbolicProgram:
+    """Guarded SSA form + events of a bounded multi-threaded program."""
+
+    width: int
+    shared_inits: Dict[str, int] = field(default_factory=dict)
+    threads: List[ThreadEvents] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    #: Program-order edges (eid pairs): intra-thread chains plus
+    #: create/join anchor edges.  The transitive closure is implicit.
+    po_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Bool terms that must all hold (rho_va, assumes, init values).
+    constraints: List[Term] = field(default_factory=list)
+    #: Bool terms whose disjunction is the error condition (rho_err).
+    error_disjuncts: List[Term] = field(default_factory=list)
+    rmw_groups: List[RmwGroup] = field(default_factory=list)
+    #: SSA variables introduced for ``nondet()`` and uninitialized locals.
+    free_vars: List[str] = field(default_factory=list)
+    #: Addresses declared as locks: their accesses are fence-like under
+    #: weak memory models (lock/unlock carry full barriers).
+    lock_addrs: List[str] = field(default_factory=list)
+
+    def event(self, eid: int) -> Event:
+        return self.events[eid]
+
+    def reads_of(self, addr: str) -> List[Event]:
+        return [e for e in self.events if e.is_read and e.addr == addr]
+
+    def writes_of(self, addr: str) -> List[Event]:
+        return [e for e in self.events if e.is_write and e.addr == addr]
+
+    @property
+    def addresses(self) -> List[str]:
+        return sorted(self.shared_inits)
+
+    def memory_events(self) -> List[Event]:
+        return [e for e in self.events if e.kind != EventKind.ANCHOR]
+
+    def stats(self) -> Dict[str, int]:
+        mem = self.memory_events()
+        return {
+            "events": len(mem),
+            "reads": sum(1 for e in mem if e.is_read),
+            "writes": sum(1 for e in mem if e.is_write),
+            "threads": len(self.threads),
+            "po_edges": len(self.po_edges),
+        }

@@ -1,0 +1,69 @@
+"""Mini concurrent language front end.
+
+The input language is a small C-like language with POSIX-thread-flavoured
+concurrency, sufficient to express the SV-COMP-style and Nidhugg-style
+benchmarks the paper evaluates on::
+
+    int x = 0, y = 0;
+    lock m;
+
+    thread t1 {
+        int a;
+        a = x + 1;       // reads shared x, writes local a
+        lock(m);
+        y = a;           // writes shared y
+        unlock(m);
+    }
+
+    thread t2 {
+        atomic { x = y + 1; }
+    }
+
+    main {
+        start t1;
+        start t2;
+        join t1;
+        join t2;
+        assert(!(x == 1 && y == 1));
+    }
+
+Shared (global) variables are plain ``int`` declarations at the top level;
+``int`` declarations inside a thread are thread-local.  Each *shared* access
+is an individually scheduled memory event (the granularity both the SMT
+encoding and the stateless-model-checking interpreter agree on).
+"""
+
+from repro.lang.ast import (
+    Assert,
+    Assign,
+    Assume,
+    Atomic,
+    Binary,
+    GlobalDecl,
+    If,
+    IntLit,
+    Join,
+    LocalDecl,
+    Lock,
+    Nondet,
+    Program,
+    Skip,
+    Start,
+    ThreadDef,
+    Unary,
+    Unlock,
+    VarRef,
+    While,
+)
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.sema import SemanticError, check_program
+
+__all__ = [
+    "Program", "GlobalDecl", "ThreadDef",
+    "LocalDecl", "Assign", "If", "While", "Assert", "Assume",
+    "Lock", "Unlock", "Atomic", "Start", "Join", "Skip",
+    "IntLit", "VarRef", "Unary", "Binary", "Nondet",
+    "tokenize", "LexError", "parse", "ParseError",
+    "check_program", "SemanticError",
+]

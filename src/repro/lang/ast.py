@@ -1,0 +1,200 @@
+"""AST node definitions for the mini concurrent language.
+
+All nodes are plain frozen dataclasses.  Expressions and statements carry an
+optional source position ``(line, col)`` for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+Pos = Optional[Tuple[int, int]]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+    pos: Pos = None
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+    pos: Pos = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Nondet(Expr):
+    """A nondeterministic int (``nondet()``), unconstrained in the encoding."""
+
+    pos: Pos = None
+
+    def __str__(self) -> str:
+        return "nondet()"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', '!', '~'
+    operand: Expr
+    pos: Pos = None
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * & | ^ && || == != < <= > >=
+    left: Expr
+    right: Expr
+    pos: Pos = None
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class LocalDecl(Stmt):
+    name: str
+    init: Optional[Expr] = None
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt] = field(default_factory=list)
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    cond: Expr
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    cond: Expr
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Lock(Stmt):
+    name: str
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Unlock(Stmt):
+    name: str
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Atomic(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Start(Stmt):
+    thread: str
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Join(Stmt):
+    thread: str
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Fence(Stmt):
+    """A full memory fence: orders all surrounding accesses under weak
+    memory models (a no-op under sequential consistency)."""
+
+    pos: Pos = None
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    """A shared variable (``int x = 0;``) or a mutex (``lock m;``)."""
+
+    name: str
+    init: int = 0
+    is_lock: bool = False
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class ThreadDef:
+    name: str
+    body: List[Stmt] = field(default_factory=list)
+    pos: Pos = None
+
+
+@dataclass(frozen=True)
+class Program:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    threads: List[ThreadDef] = field(default_factory=list)
+    main: Optional[ThreadDef] = None
+
+    def global_names(self) -> List[str]:
+        return [g.name for g in self.globals]
+
+    def thread_named(self, name: str) -> ThreadDef:
+        for t in self.threads:
+            if t.name == name:
+                return t
+        raise KeyError(name)

@@ -1,0 +1,104 @@
+"""Hand-written lexer for the mini concurrent language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "int", "lock", "unlock", "thread", "main", "if", "else", "while",
+    "assert", "assume", "atomic", "start", "join", "skip", "nondet",
+    "fence", "true", "false",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "&&", "||", "==", "!=", "<=", ">=",
+    "+", "-", "*", "&", "|", "^", "!", "~", "<", ">", "=",
+    "(", ")", "{", "}", ";", ",",
+]
+
+
+class LexError(ValueError):
+    """Raised on unrecognized input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int_lit', 'ident', 'kw', 'op', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, col)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int_lit", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += j - i
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

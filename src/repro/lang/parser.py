@@ -1,0 +1,286 @@
+"""Recursive-descent parser for the mini concurrent language.
+
+Expression parsing uses precedence climbing with C-like precedence::
+
+    ||  <  &&  <  |  <  ^  <  &  <  ==/!=  <  < <= > >=  <  +/-  <  *
+    unary: - ! ~
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "+": 8, "-": 8,
+    "*": 9,
+}
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.col}: {message} (got {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def at_kw(self, word: str) -> bool:
+        return self.at("kw", word)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.cur)
+        return self.advance()
+
+    def expect_op(self, text: str) -> Token:
+        return self.expect("op", text)
+
+    def expect_kw(self, word: str) -> Token:
+        return self.expect("kw", word)
+
+    # -- top level ------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        threads: List[ast.ThreadDef] = []
+        main: Optional[ast.ThreadDef] = None
+        while not self.at("eof"):
+            if self.at_kw("int"):
+                globals_.extend(self.parse_global_int())
+            elif self.at_kw("lock") and self.tokens[self.pos + 1].kind == "ident":
+                tok = self.advance()
+                name = self.expect("ident").text
+                self.expect_op(";")
+                globals_.append(
+                    ast.GlobalDecl(name, init=0, is_lock=True, pos=(tok.line, tok.col))
+                )
+            elif self.at_kw("thread"):
+                threads.append(self.parse_thread())
+            elif self.at_kw("main"):
+                if main is not None:
+                    raise ParseError("duplicate main block", self.cur)
+                tok = self.advance()
+                body = self.parse_block()
+                main = ast.ThreadDef("main", body, pos=(tok.line, tok.col))
+            else:
+                raise ParseError("expected declaration, thread, or main", self.cur)
+        return ast.Program(globals_, threads, main)
+
+    def parse_global_int(self) -> List[ast.GlobalDecl]:
+        self.expect_kw("int")
+        decls = []
+        while True:
+            tok = self.expect("ident")
+            init = 0
+            if self.at("op", "="):
+                self.advance()
+                neg = False
+                if self.at("op", "-"):
+                    self.advance()
+                    neg = True
+                lit = self.expect("int_lit")
+                init = -int(lit.text) if neg else int(lit.text)
+            decls.append(ast.GlobalDecl(tok.text, init=init, pos=(tok.line, tok.col)))
+            if self.at("op", ","):
+                self.advance()
+                continue
+            break
+        self.expect_op(";")
+        return decls
+
+    def parse_thread(self) -> ast.ThreadDef:
+        tok = self.expect_kw("thread")
+        name = self.expect("ident").text
+        body = self.parse_block()
+        return ast.ThreadDef(name, body, pos=(tok.line, tok.col))
+
+    # -- statements -----------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect_op("{")
+        body: List[ast.Stmt] = []
+        while not self.at("op", "}"):
+            body.append(self.parse_stmt())
+        self.expect_op("}")
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.cur
+        pos = (tok.line, tok.col)
+        if self.at_kw("int"):
+            self.advance()
+            name = self.expect("ident").text
+            init = None
+            if self.at("op", "="):
+                self.advance()
+                init = self.parse_expr()
+            self.expect_op(";")
+            return ast.LocalDecl(name, init, pos=pos)
+        if self.at_kw("if"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            then_body = self.parse_block()
+            else_body: List[ast.Stmt] = []
+            if self.at_kw("else"):
+                self.advance()
+                if self.at_kw("if"):
+                    else_body = [self.parse_stmt()]
+                else:
+                    else_body = self.parse_block()
+            return ast.If(cond, then_body, else_body, pos=pos)
+        if self.at_kw("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_block()
+            return ast.While(cond, body, pos=pos)
+        if self.at_kw("assert"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.Assert(cond, pos=pos)
+        if self.at_kw("assume"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.Assume(cond, pos=pos)
+        if self.at_kw("lock"):
+            self.advance()
+            self.expect_op("(")
+            name = self.expect("ident").text
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.Lock(name, pos=pos)
+        if self.at_kw("unlock"):
+            self.advance()
+            self.expect_op("(")
+            name = self.expect("ident").text
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.Unlock(name, pos=pos)
+        if self.at_kw("atomic"):
+            self.advance()
+            body = self.parse_block()
+            return ast.Atomic(body, pos=pos)
+        if self.at_kw("start"):
+            self.advance()
+            name = self.expect("ident").text
+            self.expect_op(";")
+            return ast.Start(name, pos=pos)
+        if self.at_kw("join"):
+            self.advance()
+            name = self.expect("ident").text
+            self.expect_op(";")
+            return ast.Join(name, pos=pos)
+        if self.at_kw("skip"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Skip(pos=pos)
+        if self.at_kw("fence"):
+            self.advance()
+            self.expect_op(";")
+            return ast.Fence(pos=pos)
+        if self.at("ident"):
+            name = self.advance().text
+            self.expect_op("=")
+            value = self.parse_expr()
+            self.expect_op(";")
+            return ast.Assign(name, value, pos=pos)
+        raise ParseError("expected statement", tok)
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_binary(1)
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while self.at("op") and self.cur.text in _PRECEDENCE:
+            op = self.cur.text
+            prec = _PRECEDENCE[op]
+            if prec < min_prec:
+                break
+            tok = self.advance()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(op, left, right, pos=(tok.line, tok.col))
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.cur
+        if self.at("op") and tok.text in ("-", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.text, operand, pos=(tok.line, tok.col))
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        pos = (tok.line, tok.col)
+        if self.at("int_lit"):
+            self.advance()
+            return ast.IntLit(int(tok.text), pos=pos)
+        if self.at_kw("true"):
+            self.advance()
+            return ast.IntLit(1, pos=pos)
+        if self.at_kw("false"):
+            self.advance()
+            return ast.IntLit(0, pos=pos)
+        if self.at_kw("nondet"):
+            self.advance()
+            self.expect_op("(")
+            self.expect_op(")")
+            return ast.Nondet(pos=pos)
+        if self.at("ident"):
+            self.advance()
+            return ast.VarRef(tok.text, pos=pos)
+        if self.at("op", "("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse ``source`` into a :class:`repro.lang.ast.Program`."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()

@@ -1,0 +1,224 @@
+"""Semantic checks for the mini concurrent language.
+
+Checks performed (each violation raises :class:`SemanticError`):
+
+* globals and threads have unique names; locals don't shadow globals or
+  other locals in the same thread;
+* every variable reference is declared (global, or local declared earlier
+  in the same thread body);
+* lock variables are only used in ``lock``/``unlock`` and never read or
+  assigned directly;
+* ``start``/``join`` appear only in ``main``, name a declared thread,
+  ``start`` precedes ``join``, and each thread is started/joined at most
+  once;
+* ``atomic`` blocks contain straight-line code only (no ``if``/``while``/
+  nested ``atomic``), matching the fragment the RMW-adjacency encoding
+  supports;
+* asserts appear only outside atomic blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lang import ast
+
+__all__ = ["SemanticError", "check_program"]
+
+
+class SemanticError(ValueError):
+    pass
+
+
+def _err(message: str, pos) -> SemanticError:
+    if pos:
+        return SemanticError(f"{pos[0]}:{pos[1]}: {message}")
+    return SemanticError(message)
+
+
+def check_program(program: ast.Program) -> None:
+    """Validate ``program``; raises :class:`SemanticError` on violation."""
+    shared: Set[str] = set()
+    locks: Set[str] = set()
+    for g in program.globals:
+        if g.name in shared or g.name in locks:
+            raise _err(f"duplicate global {g.name!r}", g.pos)
+        (locks if g.is_lock else shared).add(g.name)
+
+    thread_names: Set[str] = set()
+    for t in program.threads:
+        if t.name in thread_names:
+            raise _err(f"duplicate thread {t.name!r}", t.pos)
+        if t.name == "main":
+            raise _err("thread cannot be named 'main'", t.pos)
+        thread_names.add(t.name)
+
+    for t in program.threads:
+        _check_body(t, t.body, shared, locks, set(), in_main=False, in_atomic=False)
+    if program.main is not None:
+        _check_main(program.main, shared, locks, thread_names)
+
+
+def _check_main(
+    main: ast.ThreadDef, shared: Set[str], locks: Set[str], threads: Set[str]
+) -> None:
+    started: Set[str] = set()
+    joined: Set[str] = set()
+    # start/join must be unconditional, i.e. at the top level of main.
+    for s in main.body:
+        if isinstance(s, ast.Start):
+            if s.thread not in threads:
+                raise _err(f"start of unknown thread {s.thread!r}", s.pos)
+            if s.thread in started:
+                raise _err(f"thread {s.thread!r} started twice", s.pos)
+            started.add(s.thread)
+        elif isinstance(s, ast.Join):
+            if s.thread not in started:
+                raise _err(f"join of thread {s.thread!r} before start", s.pos)
+            if s.thread in joined:
+                raise _err(f"thread {s.thread!r} joined twice", s.pos)
+            joined.add(s.thread)
+        elif isinstance(s, (ast.If, ast.While, ast.Atomic)) and _contains_start_join(s):
+            raise _err("start/join must be unconditional (top level of main)", s.pos)
+    # Ordinary statement checks (start/join accepted in main).
+    locals_: Set[str] = set()
+    _check_body(
+        main, main.body, shared, locks, locals_, in_main=True, in_atomic=False
+    )
+
+
+def _contains_start_join(stmt: ast.Stmt) -> bool:
+    stack: List[ast.Stmt] = [stmt]
+    while stack:
+        s = stack.pop()
+        if isinstance(s, (ast.Start, ast.Join)):
+            return True
+        if isinstance(s, ast.If):
+            stack.extend(s.then_body)
+            stack.extend(s.else_body)
+        elif isinstance(s, ast.While):
+            stack.extend(s.body)
+        elif isinstance(s, ast.Atomic):
+            stack.extend(s.body)
+    return False
+
+
+def _check_body(
+    thread: ast.ThreadDef,
+    stmts: List[ast.Stmt],
+    shared: Set[str],
+    locks: Set[str],
+    locals_: Set[str],
+    in_main: bool,
+    in_atomic: bool,
+) -> None:
+    for s in stmts:
+        if isinstance(s, ast.LocalDecl):
+            if s.name in shared or s.name in locks:
+                raise _err(f"local {s.name!r} shadows a global", s.pos)
+            if s.name in locals_:
+                raise _err(f"duplicate local {s.name!r}", s.pos)
+            locals_.add(s.name)
+            if s.init is not None:
+                _check_expr(s.init, shared, locks, locals_)
+        elif isinstance(s, ast.Assign):
+            if s.name in locks:
+                raise _err(f"cannot assign to lock {s.name!r}", s.pos)
+            if s.name not in shared and s.name not in locals_:
+                raise _err(f"assignment to undeclared variable {s.name!r}", s.pos)
+            _check_expr(s.value, shared, locks, locals_)
+        elif isinstance(s, ast.If):
+            if in_atomic:
+                raise _err("branching inside atomic block", s.pos)
+            _check_expr(s.cond, shared, locks, locals_)
+            _check_body(thread, s.then_body, shared, locks, locals_, in_main, in_atomic)
+            _check_body(thread, s.else_body, shared, locks, locals_, in_main, in_atomic)
+        elif isinstance(s, ast.While):
+            if in_atomic:
+                raise _err("loop inside atomic block", s.pos)
+            _check_expr(s.cond, shared, locks, locals_)
+            _check_body(thread, s.body, shared, locks, locals_, in_main, in_atomic)
+        elif isinstance(s, (ast.Assert, ast.Assume)):
+            if in_atomic and isinstance(s, ast.Assert):
+                raise _err("assert inside atomic block", s.pos)
+            _check_expr(s.cond, shared, locks, locals_)
+        elif isinstance(s, (ast.Lock, ast.Unlock)):
+            if in_atomic:
+                raise _err("lock/unlock inside atomic block", s.pos)
+            if s.name not in locks:
+                raise _err(f"{s.name!r} is not a declared lock", s.pos)
+        elif isinstance(s, ast.Atomic):
+            if in_atomic:
+                raise _err("nested atomic block", s.pos)
+            _check_atomic_accesses(s, shared)
+            _check_body(thread, s.body, shared, locks, locals_, in_main, True)
+        elif isinstance(s, (ast.Start, ast.Join)):
+            if not in_main:
+                raise _err("start/join outside main", s.pos)
+        elif isinstance(s, (ast.Skip, ast.Fence)):
+            pass
+        else:  # pragma: no cover - defensive
+            raise _err(f"unknown statement {type(s).__name__}", getattr(s, "pos", None))
+
+
+def _check_atomic_accesses(block: ast.Atomic, shared: Set[str]) -> None:
+    """Atomic blocks must be read-modify-write shaped: at most one shared
+    variable, with at most one read and at most one write of it.  This is the
+    fragment the encoder's RMW-adjacency constraints capture exactly."""
+    reads: List[str] = []
+    writes: List[str] = []
+
+    def walk_expr(e: ast.Expr) -> None:
+        if isinstance(e, ast.VarRef) and e.name in shared:
+            reads.append(e.name)
+        elif isinstance(e, ast.Nondet):
+            raise _err("nondet() inside atomic block", block.pos)
+        elif isinstance(e, ast.Unary):
+            walk_expr(e.operand)
+        elif isinstance(e, ast.Binary):
+            walk_expr(e.left)
+            walk_expr(e.right)
+
+    for s in block.body:
+        if isinstance(s, ast.Assign):
+            walk_expr(s.value)
+            if s.name in shared:
+                writes.append(s.name)
+        elif isinstance(s, (ast.Assume,)):
+            walk_expr(s.cond)
+        elif isinstance(s, ast.LocalDecl) and s.init is not None:
+            walk_expr(s.init)
+
+    touched = set(reads) | set(writes)
+    if len(touched) > 1:
+        raise _err(
+            f"atomic block touches multiple shared variables {sorted(touched)}",
+            block.pos,
+        )
+    if len(reads) > 1 or len(writes) > 1:
+        raise _err(
+            "atomic block must contain at most one shared read and one "
+            "shared write (read-modify-write shape)",
+            block.pos,
+        )
+
+
+def _check_expr(
+    expr: ast.Expr, shared: Set[str], locks: Set[str], locals_: Set[str]
+) -> None:
+    if isinstance(expr, (ast.IntLit, ast.Nondet)):
+        return
+    if isinstance(expr, ast.VarRef):
+        if expr.name in locks:
+            raise _err(f"lock {expr.name!r} used as a value", expr.pos)
+        if expr.name not in shared and expr.name not in locals_:
+            raise _err(f"undeclared variable {expr.name!r}", expr.pos)
+        return
+    if isinstance(expr, ast.Unary):
+        _check_expr(expr.operand, shared, locks, locals_)
+        return
+    if isinstance(expr, ast.Binary):
+        _check_expr(expr.left, shared, locks, locals_)
+        _check_expr(expr.right, shared, locks, locals_)
+        return
+    raise _err(f"unknown expression {type(expr).__name__}", getattr(expr, "pos", None))

@@ -1,0 +1,126 @@
+"""AST pretty-printer (unparser).
+
+``unparse(parse(src))`` produces normalized, re-parseable source; the
+round-trip ``parse(unparse(p)) == p`` (modulo positions) is property-tested.
+Used by tooling that rewrites or generates programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+__all__ = ["unparse", "unparse_expr", "unparse_stmt"]
+
+_INDENT = "    "
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a whole program."""
+    parts: List[str] = []
+    ints = [g for g in program.globals if not g.is_lock]
+    locks = [g for g in program.globals if g.is_lock]
+    if ints:
+        decls = ", ".join(
+            f"{g.name} = {g.init}" if g.init != 0 else g.name for g in ints
+        )
+        parts.append(f"int {decls};")
+    for g in locks:
+        parts.append(f"lock {g.name};")
+    for t in program.threads:
+        parts.append("")
+        parts.append(f"thread {t.name} {{")
+        parts.extend(_block(t.body, 1))
+        parts.append("}")
+    if program.main is not None:
+        parts.append("")
+        parts.append("main {")
+        parts.extend(_block(program.main.body, 1))
+        parts.append("}")
+    return "\n".join(parts) + "\n"
+
+
+def _block(stmts: List[ast.Stmt], depth: int) -> List[str]:
+    out: List[str] = []
+    for s in stmts:
+        out.extend(unparse_stmt(s, depth))
+    return out
+
+
+def unparse_stmt(stmt: ast.Stmt, depth: int = 0) -> List[str]:
+    """Render one statement as indented lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.LocalDecl):
+        if stmt.init is None:
+            return [f"{pad}int {stmt.name};"]
+        return [f"{pad}int {stmt.name} = {unparse_expr(stmt.init)};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {unparse_expr(stmt.value)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({unparse_expr(stmt.cond)}) {{"]
+        lines.extend(_block(stmt.then_body, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_block(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({unparse_expr(stmt.cond)}) {{"]
+        lines.extend(_block(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Assert):
+        return [f"{pad}assert({unparse_expr(stmt.cond)});"]
+    if isinstance(stmt, ast.Assume):
+        return [f"{pad}assume({unparse_expr(stmt.cond)});"]
+    if isinstance(stmt, ast.Lock):
+        return [f"{pad}lock({stmt.name});"]
+    if isinstance(stmt, ast.Unlock):
+        return [f"{pad}unlock({stmt.name});"]
+    if isinstance(stmt, ast.Atomic):
+        lines = [f"{pad}atomic {{"]
+        lines.extend(_block(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Start):
+        return [f"{pad}start {stmt.thread};"]
+    if isinstance(stmt, ast.Join):
+        return [f"{pad}join {stmt.thread};"]
+    if isinstance(stmt, ast.Skip):
+        return [f"{pad}skip;"]
+    if isinstance(stmt, ast.Fence):
+        return [f"{pad}fence;"]
+    raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+
+#: Binary operator precedence, mirroring the parser.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "+": 8, "-": 8, "*": 9,
+}
+_UNARY_PREC = 10
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Nondet):
+        return "nondet()"
+    if isinstance(expr, ast.Unary):
+        inner = unparse_expr(expr.operand, _UNARY_PREC)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PREC else text
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        # Left-associative: the right child needs a strictly higher bound.
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise TypeError(f"cannot unparse {type(expr).__name__}")

@@ -1,0 +1,32 @@
+"""The ordering consistency theory solver (the paper's core contribution).
+
+This package implements the `T_ord` theory of Section 4 and its DPLL(T)
+theory solver of Section 5:
+
+* :mod:`repro.ordering.event_graph` -- the event graph: nodes are access
+  events, edges are PO / RF / WS / FR orders, each carrying a *derivation
+  reason* (the ordering literals it was derived from);
+* :mod:`repro.ordering.icd` -- incremental cycle detection by two-way
+  search over a pseudo-topological order (Section 5.2);
+* :mod:`repro.ordering.tarjan` -- the non-incremental baseline detector
+  used in the Figure 10 ablation;
+* :mod:`repro.ordering.conflict` -- generation of all shortest-width
+  conflict clauses from critical cycles (Section 5.3);
+* :mod:`repro.ordering.solver` -- the :class:`OrderingTheory` tying it all
+  together with unit-edge and from-read propagation (Section 5.4).
+"""
+
+from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
+from repro.ordering.icd import IncrementalCycleDetector
+from repro.ordering.tarjan import TarjanCycleDetector
+from repro.ordering.solver import OrderingTheory, TheoryStats
+
+__all__ = [
+    "Edge",
+    "EdgeKind",
+    "EventGraph",
+    "IncrementalCycleDetector",
+    "TarjanCycleDetector",
+    "OrderingTheory",
+    "TheoryStats",
+]

@@ -1,0 +1,300 @@
+"""The `T_ord` theory solver (Section 5).
+
+:class:`OrderingTheory` plugs into the CDCL core via the
+:class:`repro.sat.theory.Theory` interface and implements the full loop of
+Figure 4:
+
+* **consistency checking** -- every true assignment to an ordering variable
+  activates its pre-created edge; the configured cycle detector (ICD or the
+  Tarjan-style baseline) checks acyclicity incrementally;
+* **conflict clause generation** -- on a cycle, all shortest-width critical
+  cycle reasons through the new edge are returned as conflict clauses;
+* **unit-edge propagation** -- after a successful insertion, inactive edges
+  from the forward-search set to the backward-search set would close a
+  cycle, so their ordering variables are propagated false with the path's
+  derivation reason;
+* **from-read propagation** -- activating ``w ≺rf r`` derives ``r ≺fr w'``
+  for every active ``w ≺ws w'`` (and symmetrically for WS activations),
+  inserting derived FR edges on the fly (Axiom 2); with
+  ``fr_propagation=False`` (the Zord⁻ ablation) FR edges are instead
+  ordinary variable-controlled edges encoded by the front end.
+
+The theory keeps its own trail of edge activations, synchronized with the
+SAT solver's decision levels through :meth:`backjump`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sat.theory import Theory, TheoryResult
+from repro.ordering.conflict import generate_conflicts
+from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
+from repro.ordering.icd import AddResult, IncrementalCycleDetector
+from repro.ordering.tarjan import TarjanCycleDetector
+
+__all__ = ["OrderingTheory", "TheoryStats"]
+
+
+@dataclass
+class TheoryStats:
+    """Counters for the Section 6.3 ablation studies."""
+
+    consistency_checks: int = 0
+    cycles: int = 0
+    conflict_clauses: int = 0
+    unit_propagations: int = 0
+    fr_derived: int = 0
+    edges_activated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return self.__dict__.copy()
+
+
+class OrderingTheory(Theory):
+    """Theory solver for ordering consistency.
+
+    Args:
+        n_events: number of event-graph nodes (dense event ids).
+        po_edges: static program-order edges (always active).
+        detector: ``"icd"`` (incremental, default) or ``"tarjan"``
+            (fresh full search per insertion -- the Fig. 10 baseline).
+        unit_edge: enable unit-edge propagation (disabled = Zord′).
+        fr_propagation: enable on-the-fly FR derivation (disabled = Zord⁻,
+            which requires the front end to encode ``rho_fr`` itself).
+        max_conflict_clauses: cap on clauses generated per cycle.
+    """
+
+    def __init__(
+        self,
+        n_events: int,
+        po_edges: List[Tuple[int, int]],
+        detector: str = "icd",
+        unit_edge: bool = True,
+        fr_propagation: bool = True,
+        max_conflict_clauses: int = 8,
+    ) -> None:
+        self.graph = EventGraph(n_events)
+        if detector == "icd":
+            self.detector = IncrementalCycleDetector(self.graph)
+        elif detector == "tarjan":
+            self.detector = TarjanCycleDetector(self.graph)
+        else:
+            raise ValueError(f"unknown detector {detector!r}")
+        self.unit_edge = unit_edge
+        self.fr_propagation = fr_propagation
+        self.max_conflict_clauses = max_conflict_clauses
+        self.stats = TheoryStats()
+        self._edge_of_var: Dict[int, Edge] = {}
+        #: Active outgoing RF / WS edges per node, for FR derivation.
+        self._out_rf: List[List[Edge]] = [[] for _ in range(n_events)]
+        self._out_ws: List[List[Edge]] = [[] for _ in range(n_events)]
+        #: Activation trail: (edge, level) pairs, LIFO.
+        self._trail: List[Tuple[Edge, int]] = []
+        for a, b in po_edges:
+            edge = Edge(a, b, EdgeKind.PO)
+            result = self.detector.add_edge(edge)
+            if result.cycle:
+                raise ValueError("program order itself is cyclic")
+        #: Static PO reachability bitmasks (public: the encoder prunes
+        #: read-from candidates with it).
+        self.po_reach = self._compute_po_reachability(n_events, po_edges)
+        self._po_reach = self.po_reach
+
+    # ------------------------------------------------------------------
+    # Construction-time registration
+    # ------------------------------------------------------------------
+
+    def add_rf_var(self, var: int, write_eid: int, read_eid: int) -> None:
+        """Register a read-from variable: true activates write ≺rf read."""
+        self._register(var, Edge(write_eid, read_eid, EdgeKind.RF, (var,), var))
+
+    def add_ws_var(self, var: int, w1_eid: int, w2_eid: int) -> None:
+        """Register a write-serialization variable."""
+        self._register(var, Edge(w1_eid, w2_eid, EdgeKind.WS, (var,), var))
+
+    def add_fr_var(self, var: int, read_eid: int, write_eid: int) -> None:
+        """Register an explicit FR variable (Zord⁻ ablation only)."""
+        self._register(var, Edge(read_eid, write_eid, EdgeKind.FR, (var,), var))
+
+    def _register(self, var: int, edge: Edge) -> None:
+        if var in self._edge_of_var:
+            raise ValueError(f"variable {var} already registered")
+        self._edge_of_var[var] = edge
+        self.graph.register_inactive(edge)
+
+    def initial_unit_clauses(self) -> List[List[int]]:
+        """Level-0 unit-edge propagation against the PO skeleton.
+
+        Any pre-created edge (u, v) whose reverse direction is already
+        enforced by program order can never be activated; its variable is
+        fixed false (e.g. ``ws_{5,1}`` in the Section 5.5 walkthrough).
+        """
+        clauses: List[List[int]] = []
+        for var, edge in self._edge_of_var.items():
+            if (self._po_reach[edge.dst] >> edge.src) & 1:
+                clauses.append([-var])
+        return clauses
+
+    # ------------------------------------------------------------------
+    # Theory interface
+    # ------------------------------------------------------------------
+
+    def relevant(self, var: int) -> bool:
+        return var in self._edge_of_var
+
+    def assign(self, lit: int, level: int) -> TheoryResult:
+        result = TheoryResult()
+        if lit < 0:
+            # False ordering literals remove no edges and add no orders.
+            return result
+        edge = self._edge_of_var.get(lit)
+        if edge is None or edge.active:
+            return result
+        self._activate(edge, level, result)
+        return result
+
+    def backjump(self, level: int) -> None:
+        trail = self._trail
+        while trail and trail[-1][1] > level:
+            edge, _lvl = trail.pop()
+            self.detector.remove_edge(edge)
+            if edge.kind == EdgeKind.RF:
+                popped = self._out_rf[edge.src].pop()
+                assert popped is edge
+            elif edge.kind == EdgeKind.WS:
+                popped = self._out_ws[edge.src].pop()
+                assert popped is edge
+
+    # ------------------------------------------------------------------
+    # Core activation
+    # ------------------------------------------------------------------
+
+    def _activate(self, edge: Edge, level: int, result: TheoryResult) -> bool:
+        """Insert ``edge``; on cycle, fill ``result.conflicts`` and return
+        False (leaving the graph unchanged)."""
+        self.stats.consistency_checks += 1
+        added = self.detector.add_edge(edge)
+        if added.cycle:
+            self.stats.cycles += 1
+            clauses = generate_conflicts(
+                self.graph, self._po_reach, edge, self.max_conflict_clauses
+            )
+            self.stats.conflict_clauses += len(clauses)
+            result.conflicts.extend(clauses)
+            return False
+        self.stats.edges_activated += 1
+        self._trail.append((edge, level))
+        if edge.kind == EdgeKind.RF:
+            self._out_rf[edge.src].append(edge)
+        elif edge.kind == EdgeKind.WS:
+            self._out_ws[edge.src].append(edge)
+        if self.unit_edge:
+            self._unit_edge_scan(edge, added, result)
+        if self.fr_propagation:
+            if not self._derive_from_read(edge, level, result):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Theory propagation (Section 5.4)
+    # ------------------------------------------------------------------
+
+    def _unit_edge_scan(
+        self, new_edge: Edge, added: AddResult, result: TheoryResult
+    ) -> None:
+        """Force to false the variables of inactive edges that would close a
+        cycle through the newly inserted edge."""
+        inactive_out = self.graph.inactive_out
+        back = added.parent_b  # membership: nodes reaching new_edge.src
+        new_reason = list(new_edge.reason)
+        for f in added.fwd_nodes:
+            buckets = inactive_out[f]
+            if not buckets:
+                continue
+            for b_node, edges in buckets.items():
+                if b_node not in back or not edges:
+                    continue
+                # Path: b_node ⇝ src --new--> dst ⇝ f, then (f, b_node)
+                # would close the cycle.
+                path_lits = (
+                    added.back_path_reason(b_node)
+                    + new_reason
+                    + added.fwd_path_reason(f)
+                )
+                path_set = sorted(set(path_lits))
+                for unit in edges:
+                    if unit.var is None or unit is new_edge:
+                        continue
+                    reason_clause = [-unit.var] + [-l for l in path_set]
+                    result.add_propagation(-unit.var, reason_clause)
+                    self.stats.unit_propagations += 1
+
+    def _derive_from_read(
+        self, edge: Edge, level: int, result: TheoryResult
+    ) -> bool:
+        """Apply Axiom 2 around a newly activated RF or WS edge."""
+        if edge.kind == EdgeKind.RF:
+            # w ≺rf r combined with each active w ≺ws w' gives r ≺fr w'.
+            partners = list(self._out_ws[edge.src])
+            for ws_edge in partners:
+                if not self._insert_fr(edge, ws_edge, level, result):
+                    return False
+        elif edge.kind == EdgeKind.WS:
+            # w ≺ws w' combined with each active w ≺rf r gives r ≺fr w'.
+            partners = list(self._out_rf[edge.src])
+            for rf_edge in partners:
+                if not self._insert_fr(rf_edge, edge, level, result):
+                    return False
+        return True
+
+    def _insert_fr(
+        self, rf_edge: Edge, ws_edge: Edge, level: int, result: TheoryResult
+    ) -> bool:
+        read_eid = rf_edge.dst
+        write_eid = ws_edge.dst
+        reason = tuple(sorted(set(rf_edge.reason) | set(ws_edge.reason)))
+        if read_eid == write_eid:
+            # Only possible if the same event is used as both a read and a
+            # write target (ill-typed input); the derived order e ≺fr e is
+            # immediately inconsistent.
+            result.add_conflict([-lit for lit in reason])
+            self.stats.cycles += 1
+            self.stats.conflict_clauses += 1
+            return False
+        fr = Edge(read_eid, write_eid, EdgeKind.FR, reason)
+        self.stats.fr_derived += 1
+        return self._activate(fr, level, result)
+
+    # ------------------------------------------------------------------
+    # Static PO reachability (for PO-chord tests and level-0 propagation)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _compute_po_reachability(
+        n: int, po_edges: List[Tuple[int, int]]
+    ) -> List[int]:
+        """Bitmask per node of all nodes PO-reachable from it (excl. self)."""
+        out: List[List[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for a, b in po_edges:
+            out[a].append(b)
+            indeg[b] += 1
+        queue = [i for i in range(n) if indeg[i] == 0]
+        order: List[int] = []
+        while queue:
+            x = queue.pop()
+            order.append(x)
+            for y in out[x]:
+                indeg[y] -= 1
+                if indeg[y] == 0:
+                    queue.append(y)
+        assert len(order) == n, "PO skeleton must be acyclic"
+        reach = [0] * n
+        for x in reversed(order):
+            mask = 0
+            for y in out[x]:
+                mask |= reach[y] | (1 << y)
+            reach[x] = mask
+        return reach

@@ -1,0 +1,746 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver with theory hooks.
+
+The solver implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* VSIDS-style variable activities with phase saving,
+* first-UIP conflict analysis with recursive clause minimization,
+* non-chronological backjumping,
+* Luby-sequence restarts and learned-clause database reduction.
+
+It additionally implements the *online* DPLL(T) loop of the paper: after the
+Boolean propagation fixpoint, newly assigned theory-relevant literals are fed
+to the attached :class:`repro.sat.theory.Theory`.  Theory conflict clauses
+enter the regular conflict analysis; theory propagations are enqueued with
+their reason clauses.
+
+Literals are DIMACS integers (``v`` / ``-v``); variables are 1-based.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sat.theory import Theory
+
+#: Truth values used in the assignment array.
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class SolveResult:
+    """Tri-valued result of :meth:`Solver.solve`."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters reported by the solver (used by the Fig. 9 ablation)."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+    theory_conflicts: int = 0
+    theory_propagations: int = 0
+    max_trail: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned": self.learned,
+            "theory_conflicts": self.theory_conflicts,
+            "theory_propagations": self.theory_propagations,
+            "max_trail": self.max_trail,
+        }
+
+
+class _Clause:
+    """A clause in the arena.  ``lits[0]`` and ``lits[1]`` are watched."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clause({self.lits}{' L' if self.learned else ''})"
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL SAT solver with an optional attached theory solver.
+
+    Typical use::
+
+        s = Solver()
+        v1, v2 = s.new_var(), s.new_var()
+        s.add_clause([v1, v2])
+        s.add_clause([-v1, v2])
+        assert s.solve() == SolveResult.SAT
+        assert s.model_value(v2)
+    """
+
+    def __init__(self, theory: Optional[Theory] = None) -> None:
+        self.theory: Theory = theory if theory is not None else Theory()
+        self.nvars = 0
+        # Indexed by variable (1-based; index 0 unused).
+        self._assign: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._relevant: List[bool] = [False]
+        # Watches indexed by literal: _watch_index(lit) -> list of clauses.
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._theory_qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order_heap: List = []  # lazy max-heap of (-activity, var)
+        self._unsat = False
+        self._model: List[int] = []
+        self._seen: List[bool] = [False]
+        self._pending_lemmas: List[List[int]] = []
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self, relevant: bool = False) -> int:
+        """Allocate a fresh variable; returns its (positive) index.
+
+        ``relevant=True`` marks the variable as theory-relevant: its
+        assignments are reported to the attached theory solver.
+        """
+        self.nvars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._relevant.append(relevant)
+        self._watches.append([])
+        self._watches.append([])
+        self._seen.append(False)
+        self._heap_insert(self.nvars)
+        return self.nvars
+
+    def mark_relevant(self, var: int) -> None:
+        """Mark an existing variable theory-relevant."""
+        self._relevant[var] = True
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a problem clause.  Returns False if the formula became UNSAT.
+
+        Must be called before :meth:`solve` (top level only).
+        """
+        assert not self._trail_lim, "add_clause is top-level only"
+        # Simplify: drop duplicate/false literals, detect tautologies.
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._value(lit)
+            if val == _TRUE:
+                return True  # already satisfied at top level
+            if val == _FALSE:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._unsat = True
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self._unsat = True
+                return False
+            conflict = self._bool_propagate()
+            if conflict is not None:
+                self._unsat = True
+                return False
+            return True
+        clause = _Clause(out)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Public solving API
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        max_conflicts: Optional[int] = None,
+        time_limit_s: Optional[float] = None,
+    ) -> str:
+        """Run CDCL search.  Returns a :class:`SolveResult` constant."""
+        if self._unsat:
+            return SolveResult.UNSAT
+        start = time.monotonic()
+        restart_idx = 1
+        restart_base = 100
+        conflicts_total = 0
+        max_learned = max(1000, len(self._clauses) // 2)
+        while True:
+            budget = restart_base * luby(restart_idx)
+            status, used = self._search(
+                budget, start, time_limit_s, max_conflicts, conflicts_total, max_learned
+            )
+            conflicts_total += used
+            if status is not None:
+                return status
+            restart_idx += 1
+            self.stats.restarts += 1
+            if len(self._learned) > max_learned:
+                self._reduce_db()
+                max_learned = int(max_learned * 1.3)
+
+    def model_value(self, var: int) -> bool:
+        """Value of ``var`` in the satisfying model (after SAT)."""
+        return self._model[var] == _TRUE
+
+    def model_lit(self, lit: int) -> bool:
+        v = self._model[abs(lit)]
+        return (v == _TRUE) if lit > 0 else (v == _FALSE)
+
+    def value(self, lit: int) -> Optional[bool]:
+        """Current assignment of ``lit`` (None if unassigned)."""
+        v = self._value(lit)
+        if v == _UNASSIGNED:
+            return None
+        return v == _TRUE
+
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+
+    def _search(
+        self,
+        budget: int,
+        start: float,
+        time_limit_s: Optional[float],
+        max_conflicts: Optional[int],
+        conflicts_before: int,
+        max_learned: int,
+    ):
+        """One restart period.  Returns (status-or-None, conflicts used)."""
+        conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                self.stats.conflicts += 1
+                if not self._normalize_conflict_level(conflict):
+                    return SolveResult.UNSAT, conflicts
+                learnt, back_level = self._analyze(conflict)
+                self._backjump(back_level)
+                self._record_learnt(learnt)
+                self._flush_pending_lemmas()
+                self._decay_activities()
+                if max_conflicts is not None and (
+                    conflicts_before + conflicts >= max_conflicts
+                ):
+                    return SolveResult.UNKNOWN, conflicts
+                if time_limit_s is not None and (
+                    time.monotonic() - start > time_limit_s
+                ):
+                    return SolveResult.UNKNOWN, conflicts
+                if conflicts >= budget:
+                    self._backjump(0)
+                    return None, conflicts
+            else:
+                if time_limit_s is not None and (
+                    time.monotonic() - start > time_limit_s
+                ):
+                    return SolveResult.UNKNOWN, conflicts
+                lit = self._pick_branch()
+                if lit == 0:
+                    final = self.theory.final_check()
+                    if final.is_conflict:
+                        handled = self._handle_theory_conflicts(final.conflicts)
+                        if not handled:
+                            return SolveResult.UNSAT, conflicts
+                        continue
+                    if final.propagations:
+                        ok = self._apply_theory_propagations(final.propagations)
+                        if ok is not None:
+                            # Conflict while applying; loop re-propagates.
+                            continue
+                        continue
+                    self._model = list(self._assign)
+                    return SolveResult.SAT, conflicts
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Boolean + theory propagation to fixpoint.
+
+        Returns a falsified clause on conflict, else None.
+        """
+        while True:
+            conflict = self._bool_propagate()
+            if conflict is not None:
+                return conflict
+            # Feed newly assigned relevant literals to the theory.
+            progressed = False
+            while self._theory_qhead < len(self._trail):
+                lit = self._trail[self._theory_qhead]
+                self._theory_qhead += 1
+                if not self._relevant[abs(lit)]:
+                    continue
+                res = self.theory.assign(lit, self.decision_level)
+                if res.is_conflict:
+                    self.stats.theory_conflicts += 1
+                    clause = self._handle_theory_conflict_clauses(res.conflicts)
+                    return clause
+                if res.propagations:
+                    c = self._apply_theory_propagations(res.propagations)
+                    if c is not None:
+                        return c
+                    progressed = True
+                    break  # run boolean propagation on the new literals
+            if not progressed and self._theory_qhead >= len(self._trail):
+                if self._qhead >= len(self._trail):
+                    return None
+
+    def _bool_propagate(self) -> Optional[_Clause]:
+        """Two-watched-literal unit propagation.
+
+        Hand-inlined value lookups: this is the solver's hottest loop and
+        Python call overhead dominates otherwise.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            neg = -lit
+            watchers = watches[2 * lit + 1] if lit > 0 else watches[-2 * lit]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified literal is lits[1].
+                if lits[0] == neg:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                # Inline: value(first).
+                fv = assign[first] if first > 0 else -assign[-first]
+                if fv == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Look for a new (non-false) literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    kv = assign[lk] if lk > 0 else -assign[-lk]
+                    if kv != -1:
+                        lits[1], lits[k] = lk, lits[1]
+                        watches[2 * lk if lk > 0 else 1 - 2 * lk].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or falsified.
+                watchers[j] = clause
+                j += 1
+                if fv == -1:
+                    # Conflict: keep remaining watchers, restore list.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    def _handle_theory_conflict_clauses(self, conflicts: List[List[int]]) -> _Clause:
+        """Store theory conflict clauses; return the first as the conflict.
+
+        All returned clauses are currently falsified.  Extra clauses beyond
+        the first (the paper generates *all* shortest-width conflict clauses)
+        are queued and attached only after the backjump, when the watch
+        invariant can be established safely.
+        """
+        first = _Clause(list(conflicts[0]), learned=True)
+        for extra in conflicts[1:]:
+            if len(extra) >= 1:
+                self._pending_lemmas.append(list(extra))
+        return first
+
+    def _flush_pending_lemmas(self) -> None:
+        """Attach lemmas queued during conflict handling.
+
+        Called right after a backjump.  Each lemma is attached with two
+        non-false watches when possible; unit lemmas propagate immediately;
+        lemmas still falsified are dropped (the theory re-derives them).
+        """
+        pending, self._pending_lemmas = self._pending_lemmas, []
+        for lits in pending:
+            non_false = [l for l in lits if self._value(l) != _FALSE]
+            if len(lits) < 2:
+                continue
+            clause = _Clause(list(lits), learned=True)
+            if len(non_false) >= 2:
+                a = clause.lits.index(non_false[0])
+                clause.lits[0], clause.lits[a] = clause.lits[a], clause.lits[0]
+                b = clause.lits.index(non_false[1])
+                clause.lits[1], clause.lits[b] = clause.lits[b], clause.lits[1]
+            elif len(non_false) == 1:
+                a = clause.lits.index(non_false[0])
+                clause.lits[0], clause.lits[a] = clause.lits[a], clause.lits[0]
+                # Second watch: the highest-level false literal.
+                hi = max(range(1, len(clause.lits)), key=lambda k: self._level[abs(clause.lits[k])])
+                clause.lits[1], clause.lits[hi] = clause.lits[hi], clause.lits[1]
+                if self._value(clause.lits[0]) == _UNASSIGNED:
+                    self._enqueue(clause.lits[0], clause)
+            else:
+                # Still falsified after the backjump; dropping is sound
+                # (the lemma is theory-valid and will be re-derived).
+                continue
+            self._learned.append(clause)
+            self.stats.learned += 1
+            self._attach(clause)
+
+    def _handle_theory_conflicts(self, conflicts: List[List[int]]) -> bool:
+        """Conflict at final check.  Returns False if UNSAT at level 0."""
+        self.stats.conflicts += 1
+        self.stats.theory_conflicts += 1
+        clause = self._handle_theory_conflict_clauses(conflicts)
+        if not self._normalize_conflict_level(clause):
+            return False
+        learnt, back_level = self._analyze(clause)
+        self._backjump(back_level)
+        self._record_learnt(learnt)
+        self._flush_pending_lemmas()
+        self._decay_activities()
+        return True
+
+    def _apply_theory_propagations(self, props) -> Optional[_Clause]:
+        """Enqueue theory-propagated literals.  Returns a conflict clause if
+        a propagated literal is already false."""
+        for lit, reason_lits in props:
+            val = self._value(lit)
+            if val == _TRUE:
+                continue
+            reason = _Clause(list(reason_lits), learned=True)
+            # Put the propagated literal first (reason-clause invariant).
+            if reason.lits[0] != lit:
+                idx = reason.lits.index(lit)
+                reason.lits[0], reason.lits[idx] = reason.lits[idx], reason.lits[0]
+            if val == _FALSE:
+                return reason
+            self.stats.theory_propagations += 1
+            self._enqueue(lit, reason)
+        return None
+
+    def _normalize_conflict_level(self, conflict: _Clause) -> bool:
+        """Prepare a falsified clause for 1UIP analysis.
+
+        Theory conflict clauses (notably from final checks) may contain no
+        literal at the current decision level; analysis requires one, so
+        drop to the clause's highest level first.  Returns False when the
+        clause is falsified at level 0 (the formula is UNSAT).
+        """
+        max_level = 0
+        for lit in conflict.lits:
+            lvl = self._level[abs(lit)]
+            if lvl > max_level:
+                max_level = lvl
+        if max_level == 0:
+            return False
+        if max_level < self.decision_level:
+            self._backjump(max_level)
+        return True
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause):
+        """First-UIP learning.  Returns (learnt clause lits, backjump level).
+
+        The asserting literal ends up at index 0 of the learnt clause.
+        """
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        path_count = 0
+        p = 0  # literal being resolved on (0 = use whole conflict clause)
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = conflict
+        to_clear: List[int] = []
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 1 if p != 0 else 0
+            for k in range(start, len(clause.lits)):
+                q = clause.lits[k]
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    to_clear.append(v)
+                    self._bump_var(v)
+                    if self._level[v] >= self.decision_level:
+                        path_count += 1
+                    else:
+                        learnt.append(q)
+            # Pick next literal on the trail to resolve.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            v = abs(p)
+            clause = self._reason[v]
+            seen[v] = False
+            index -= 1
+            path_count -= 1
+            if path_count <= 0:
+                break
+        learnt[0] = -p
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (self._level[abs(q)] & 31)
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if self._reason[abs(q)] is None or not self._lit_redundant(
+                q, abstract_levels, to_clear
+            ):
+                minimized.append(q)
+        learnt = minimized
+        for v in to_clear:
+            seen[v] = False
+        # Backjump level: second-highest level in the clause.
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if self._level[abs(learnt[k])] > self._level[abs(learnt[max_i])]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[abs(learnt[1])]
+        return learnt, back_level
+
+    def _lit_redundant(self, lit: int, abstract_levels: int, to_clear: List[int]) -> bool:
+        """Check (recursively) whether ``lit`` is implied by other learnt
+        literals; part of clause minimization (Sorensson & Biere)."""
+        stack = [lit]
+        seen = self._seen
+        top = len(to_clear)
+        while stack:
+            p = stack.pop()
+            reason = self._reason[abs(p)]
+            assert reason is not None
+            for q in reason.lits[1:]:
+                v = abs(q)
+                if seen[v] or self._level[v] == 0:
+                    continue
+                if self._reason[v] is None or not (
+                    (1 << (self._level[v] & 31)) & abstract_levels
+                ):
+                    # Cannot be resolved away: undo marks made here.
+                    for u in to_clear[top:]:
+                        seen[u] = False
+                    del to_clear[top:]
+                    return False
+                seen[v] = True
+                to_clear.append(v)
+                stack.append(q)
+        return True
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learned=True)
+        self._learned.append(clause)
+        self.stats.learned += 1
+        self._attach(clause)
+        self._bump_clause(clause)
+        self._enqueue(learnt[0], clause)
+
+    # ------------------------------------------------------------------
+    # Assignment management
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        if lit > 0:
+            v = lit
+            cur = self._assign[v]
+            if cur:
+                return cur == 1
+            self._assign[v] = 1
+            self._phase[v] = True
+        else:
+            v = -lit
+            cur = self._assign[v]
+            if cur:
+                return cur == -1
+            self._assign[v] = -1
+            self._phase[v] = False
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        if len(self._trail) > self.stats.max_trail:
+            self.stats.max_trail = len(self._trail)
+        return True
+
+    def _backjump(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        bound = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            v = abs(lit)
+            self._assign[v] = _UNASSIGNED
+            self._reason[v] = None
+            self._heap_insert(v)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        self._theory_qhead = min(self._theory_qhead, len(self._trail))
+        self.theory.backjump(level)
+
+    def _pick_branch(self) -> int:
+        import heapq
+
+        while self._order_heap:
+            _act, v = heapq.heappop(self._order_heap)
+            if self._assign[v] == _UNASSIGNED:
+                return v if self._phase[v] else -v
+        return 0
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
+            for u in range(1, self.nvars + 1):
+                self._activity[u] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._assign[v] == _UNASSIGNED:
+            # Lazy heap: push a fresh entry; stale duplicates are skipped
+            # (by the unassigned check) when popped.
+            self._heap_insert(v)
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    # ------------------------------------------------------------------
+    # Learned clause DB reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Remove the lower-activity half of removable learned clauses."""
+        locked = set()
+        for v in range(1, self.nvars + 1):
+            r = self._reason[v]
+            if r is not None:
+                locked.add(id(r))
+        self._learned.sort(key=lambda c: c.activity)
+        keep: List[_Clause] = []
+        n_remove = len(self._learned) // 2
+        removed = 0
+        for clause in self._learned:
+            if removed < n_remove and id(clause) not in locked and len(clause.lits) > 2:
+                self._detach(clause)
+                removed += 1
+            else:
+                keep.append(clause)
+        self._learned = keep
+
+    # ------------------------------------------------------------------
+    # Watches / heap plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        v = lit if lit > 0 else -lit
+        return 2 * v + (0 if lit > 0 else 1)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._widx(clause.lits[0])].append(clause)
+        self._watches[self._widx(clause.lits[1])].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            lst = self._watches[self._widx(lit)]
+            try:
+                lst.remove(clause)
+            except ValueError:
+                pass
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v if lit > 0 else -v
+
+    # Lazy binary max-heap keyed by activity: entries are (-activity, var).
+    # Duplicate entries are allowed; pop skips assigned variables, so stale
+    # duplicates are harmless.
+    def _heap_insert(self, v: int) -> None:
+        import heapq
+
+        heapq.heappush(self._order_heap, (-self._activity[v], v))

@@ -1,0 +1,81 @@
+"""DPLL(T) theory interface.
+
+A theory solver participates in the *online* scheme of DPLL(T) (Figure 1 of
+the paper): every time the SAT core reaches a Boolean propagation fixpoint it
+feeds the newly assigned theory-relevant literals to the theory solver, which
+may
+
+* report the partial assignment theory-inconsistent by returning one or more
+  *conflict clauses* (clauses falsified under the current assignment), or
+* *propagate* values for unassigned literals, each justified by a *reason
+  clause* (a clause in which the propagated literal is the only non-false
+  literal).
+
+On backjumps the SAT core notifies the theory so it can restore its internal
+state (e.g. deactivate event-graph edges).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class TheoryResult:
+    """Outcome of feeding one assigned literal to a theory solver.
+
+    Attributes:
+        conflicts: conflict clauses, each a list of DIMACS literals that is
+            currently falsified.  Non-empty means the current assignment is
+            theory-inconsistent.
+        propagations: ``(lit, reason)`` pairs; ``lit`` is entailed by the
+            theory under the current assignment and ``reason`` is a clause
+            containing ``lit`` whose other literals are all currently false.
+    """
+
+    __slots__ = ("conflicts", "propagations")
+
+    def __init__(self) -> None:
+        self.conflicts: List[List[int]] = []
+        self.propagations: List[Tuple[int, List[int]]] = []
+
+    @property
+    def is_conflict(self) -> bool:
+        return bool(self.conflicts)
+
+    def add_conflict(self, clause: List[int]) -> None:
+        self.conflicts.append(clause)
+
+    def add_propagation(self, lit: int, reason: List[int]) -> None:
+        self.propagations.append((lit, reason))
+
+
+class Theory:
+    """Base class for theory solvers plugged into :class:`repro.sat.Solver`.
+
+    The default implementation is the trivial (empty) theory: nothing is
+    relevant, every assignment is consistent.
+    """
+
+    def relevant(self, var: int) -> bool:
+        """Return True if assignments to ``var`` must be reported."""
+        return False
+
+    def assign(self, lit: int, level: int) -> TheoryResult:
+        """Process the assignment of ``lit`` at decision ``level``.
+
+        Called once per newly assigned relevant literal, in trail order.
+        Must be *incremental*: the theory accumulates state across calls and
+        unwinds it in :meth:`backjump`.
+        """
+        return TheoryResult()
+
+    def backjump(self, level: int) -> None:
+        """Undo all effects of assignments made at levels > ``level``."""
+
+    def final_check(self) -> TheoryResult:
+        """Called when the Boolean assignment is total and consistent so far.
+
+        Theories that are exhaustive in :meth:`assign` (like the ordering
+        consistency solver) need not override this.
+        """
+        return TheoryResult()

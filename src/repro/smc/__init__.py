@@ -1,0 +1,31 @@
+"""Stateless model checking substrate (Section 6.4 comparators).
+
+The interpreter executes programs at shared-access granularity -- exactly
+the event granularity of the SMT encoding -- over a snapshottable state, so
+explorers can branch over scheduling decisions:
+
+* :mod:`repro.smc.compile` -- AST to a small register/stack bytecode;
+* :mod:`repro.smc.interpreter` -- snapshottable execution states, visible
+  operations, enabledness (locks, joins, atomic test-and-set);
+* :mod:`repro.smc.explore` -- interleaving exploration: naive enumeration
+  and sleep-set dynamic partial-order reduction, with reads-from
+  equivalence-class counting;
+* :mod:`repro.smc.rfsc` / :mod:`repro.smc.genmc` -- the Nidhugg/rfsc-style
+  and GenMC-style verifier presets built on the explorer.
+"""
+
+from repro.smc.compile import CompiledProgram, compile_program
+from repro.smc.interpreter import ExecState, Interpreter
+from repro.smc.explore import ExploreOutcome, Explorer
+from repro.smc.replay import ReplayError, replay_schedule
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "ExecState",
+    "Interpreter",
+    "Explorer",
+    "ExploreOutcome",
+    "replay_schedule",
+    "ReplayError",
+]

@@ -1,0 +1,212 @@
+"""Compile the mini language to a small stack bytecode for the interpreter.
+
+Each thread body becomes a flat instruction list.  Instructions are plain
+tuples ``(op, *args)``:
+
+===============  ==========================================================
+``("push", c)``    push a constant
+``("loadl", x)``   push the local ``x``
+``("storel", x)``  pop into the local ``x``
+``("loadg", g)``   *visible*: push the shared variable ``g``
+``("storeg", g)``  *visible*: pop into the shared variable ``g``
+``("un", op)``     unary operator on the top of stack
+``("bin", op)``    binary operator on the two top entries
+``("jmp", k)``     unconditional jump to index ``k``
+``("jz", k)``      pop; jump to ``k`` if zero
+``("assert",)``    pop; record a violation if zero
+``("assume",)``    pop; abort the whole execution path if zero
+``("iter", l)``    loop-head marker; aborts the path past the unwind bound
+``("lock", g)``    *visible*: blocking test-and-set of ``g``
+``("unlock", g)``  *visible*: store 0 to ``g``
+``("abegin", k)``  *visible*: atomic region up to (excluding) index ``k``
+``("aend",)``      end of atomic region
+``("nondet",)``    *visible*: push a value chosen by the explorer
+``("start", t)``   enable thread ``t`` (main only)
+``("join", t)``    *visible*: blocks until thread ``t`` finishes
+===============  ==========================================================
+
+Values wrap modulo ``2**width`` with two's-complement comparisons, exactly
+matching the bit-blasted encoding; comparisons/logical operators produce
+0/1 with strict (non-short-circuit) evaluation, again matching the SSA
+lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.sema import check_program
+
+__all__ = ["CompiledProgram", "CompiledThread", "compile_program"]
+
+Instr = Tuple
+
+
+@dataclass
+class CompiledThread:
+    name: str
+    code: List[Instr] = field(default_factory=list)
+
+
+@dataclass
+class CompiledProgram:
+    width: int
+    unwind: int
+    shared_inits: Dict[str, int] = field(default_factory=dict)
+    threads: Dict[str, CompiledThread] = field(default_factory=dict)
+    main: Optional[CompiledThread] = None
+    n_loops: int = 0
+
+    @property
+    def uses_nondet(self) -> bool:
+        bodies = list(self.threads.values()) + ([self.main] if self.main else [])
+        return any(
+            instr[0] == "nondet" for t in bodies for instr in t.code
+        )
+
+
+class _ThreadCompiler:
+    def __init__(self, program_compiler: "_ProgramCompiler") -> None:
+        self.pc = program_compiler
+        self.code: List[Instr] = []
+
+    def emit(self, *instr) -> int:
+        self.code.append(tuple(instr))
+        return len(self.code) - 1
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> None:
+        if isinstance(e, ast.IntLit):
+            self.emit("push", e.value)
+        elif isinstance(e, ast.VarRef):
+            if e.name in self.pc.shared:
+                self.emit("loadg", e.name)
+            else:
+                self.emit("loadl", e.name)
+        elif isinstance(e, ast.Nondet):
+            self.emit("nondet")
+        elif isinstance(e, ast.Unary):
+            self.expr(e.operand)
+            self.emit("un", e.op)
+        elif isinstance(e, ast.Binary):
+            self.expr(e.left)
+            self.expr(e.right)
+            self.emit("bin", e.op)
+        else:  # pragma: no cover - sema rejects other shapes
+            raise TypeError(f"cannot compile expression {e!r}")
+
+    # -- statements -------------------------------------------------------
+
+    def block(self, stmts: List[ast.Stmt]) -> None:
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.LocalDecl):
+            if s.init is not None:
+                self.expr(s.init)
+            else:
+                # Uninitialized local: fixed to 0 in the interpreter (the
+                # encoding leaves it free; cross-validation tests only use
+                # initialized locals).
+                self.emit("push", 0)
+            self.emit("storel", s.name)
+        elif isinstance(s, ast.Assign):
+            self.expr(s.value)
+            if s.name in self.pc.shared:
+                self.emit("storeg", s.name)
+            else:
+                self.emit("storel", s.name)
+        elif isinstance(s, ast.If):
+            self.expr(s.cond)
+            jz = self.emit("jz", -1)
+            self.block(s.then_body)
+            if s.else_body:
+                jmp = self.emit("jmp", -1)
+                self.code[jz] = ("jz", len(self.code))
+                self.block(s.else_body)
+                self.code[jmp] = ("jmp", len(self.code))
+            else:
+                self.code[jz] = ("jz", len(self.code))
+        elif isinstance(s, ast.While):
+            loop_id = self.pc.next_loop_id()
+            head = len(self.code)
+            self.emit("iter", loop_id)
+            self.expr(s.cond)
+            jz = self.emit("jz", -1)
+            self.block(s.body)
+            self.emit("jmp", head)
+            self.code[jz] = ("jz", len(self.code))
+            # Reset the bound counter on exit so a re-entered (nested)
+            # loop gets a fresh budget, matching per-occurrence unrolling.
+            self.emit("iterrst", loop_id)
+        elif isinstance(s, ast.Assert):
+            self.expr(s.cond)
+            self.emit("assert")
+        elif isinstance(s, ast.Assume):
+            self.expr(s.cond)
+            self.emit("assume")
+        elif isinstance(s, ast.Lock):
+            self.emit("lock", s.name)
+        elif isinstance(s, ast.Unlock):
+            self.emit("unlock", s.name)
+        elif isinstance(s, ast.Atomic):
+            begin = self.emit("abegin", -1)
+            self.block(s.body)
+            self.emit("aend")
+            self.code[begin] = ("abegin", len(self.code))
+        elif isinstance(s, ast.Start):
+            self.emit("start", s.thread)
+        elif isinstance(s, ast.Join):
+            self.emit("join", s.thread)
+        elif isinstance(s, (ast.Skip, ast.Fence)):
+            # Fences are no-ops under SC (the interpreter's model).
+            pass
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot compile statement {s!r}")
+
+
+class _ProgramCompiler:
+    def __init__(self, program: ast.Program, width: int, unwind: int) -> None:
+        self.program = program
+        self.width = width
+        self.unwind = unwind
+        self.shared = {g.name for g in program.globals}
+        self._loop_counter = 0
+
+    def next_loop_id(self) -> int:
+        self._loop_counter += 1
+        return self._loop_counter - 1
+
+    def compile(self) -> CompiledProgram:
+        out = CompiledProgram(
+            width=self.width,
+            unwind=self.unwind,
+            shared_inits={g.name: g.init for g in self.program.globals},
+        )
+        for tdef in self.program.threads:
+            out.threads[tdef.name] = self._compile_thread(tdef)
+        main = self.program.main
+        if main is None:
+            body: List[ast.Stmt] = [ast.Start(t.name) for t in self.program.threads]
+            body += [ast.Join(t.name) for t in self.program.threads]
+            main = ast.ThreadDef("main", body)
+        out.main = self._compile_thread(main)
+        out.n_loops = self._loop_counter
+        return out
+
+    def _compile_thread(self, tdef: ast.ThreadDef) -> CompiledThread:
+        tc = _ThreadCompiler(self)
+        tc.block(tdef.body)
+        return CompiledThread(tdef.name, tc.code)
+
+
+def compile_program(
+    program: ast.Program, width: int = 8, unwind: int = 8
+) -> CompiledProgram:
+    """Compile a (checked) program for the SMC interpreter."""
+    check_program(program)
+    return _ProgramCompiler(program, width, unwind).compile()

@@ -1,0 +1,509 @@
+"""Snapshottable interpreter executing at shared-access granularity.
+
+An :class:`ExecState` holds the shared memory and one :class:`ThreadState`
+per thread, each *parked* at its next visible operation (shared access,
+lock, join, atomic region, or nondet choice).  Local computation between
+visible operations runs eagerly, so scheduling decisions exist exactly at
+the event granularity of the SMT encoding.
+
+Semantics intentionally mirror the encoding:
+
+* a failed ``assume`` (or exceeding the loop unwind bound) aborts the whole
+  execution path -- it corresponds to an infeasible assignment;
+* a failed ``assert`` records a violation but the execution must still
+  complete feasibly to count as a counterexample (the error condition is
+  conjoined with all constraints in the formula);
+* ``lock`` and ``atomic`` blocks with a failing ``assume`` are *disabled*
+  (blocking) rather than aborting: the corresponding encoding assignments
+  simply order the events after the write that unblocks them;
+* a deadlocked state (unfinished threads, none enabled) is discarded --
+  the encoding has no satisfying assignment for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.smc.compile import CompiledProgram, CompiledThread
+
+__all__ = ["PathAbort", "ThreadState", "ExecState", "Interpreter", "VisibleOp"]
+
+#: Visible instruction opcodes (scheduling points).  Joins are handled
+#: separately: they block without being schedulable events.
+_VISIBLE = {"loadg", "storeg", "lock", "unlock", "abegin", "nondet"}
+
+
+class PathAbort(Exception):
+    """Internal signal: the executing thread became infeasible (failed
+    ``assume`` / exceeded unwind bound).  Caught inside the interpreter and
+    turned into a *stuck* thread: the execution continues for the other
+    threads (so partial-order reduction can still observe their events) but
+    can never complete, exactly like the encoding's infeasible assignments."""
+
+
+@dataclass
+class ThreadState:
+    pc: int = 0
+    stack: List[int] = field(default_factory=list)
+    locals: Dict[str, int] = field(default_factory=dict)
+    loops: Dict[int, int] = field(default_factory=dict)
+    started: bool = False
+    finished: bool = False
+    #: Set when an assume failed or the unwind bound was exceeded: the
+    #: thread is permanently disabled and the execution cannot complete.
+    stuck: bool = False
+    store_seq: int = 0
+    read_tags: List[Tuple] = field(default_factory=list)
+
+    def clone(self) -> "ThreadState":
+        t = ThreadState(
+            pc=self.pc,
+            stack=list(self.stack),
+            locals=dict(self.locals),
+            loops=dict(self.loops),
+            started=self.started,
+            finished=self.finished,
+            stuck=self.stuck,
+            store_seq=self.store_seq,
+            read_tags=list(self.read_tags),
+        )
+        return t
+
+
+@dataclass
+class ExecState:
+    mem: Dict[str, int] = field(default_factory=dict)
+    writer: Dict[str, Tuple] = field(default_factory=dict)
+    threads: Dict[str, ThreadState] = field(default_factory=dict)
+    violated: bool = False
+    steps: int = 0
+    #: Happens-before vector clocks (maintained by the interpreter so that
+    #: start/join synchronization is captured): per-thread clock, plus per
+    #: address the last-write clock and the merged reads-since-last-write
+    #: clock.  Inner vectors are treated as immutable (replaced wholesale),
+    #: so clones share them safely.
+    clocks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    addr_w: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    addr_r: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def clone(self) -> "ExecState":
+        return ExecState(
+            mem=dict(self.mem),
+            writer=dict(self.writer),
+            threads={k: v.clone() for k, v in self.threads.items()},
+            violated=self.violated,
+            steps=self.steps,
+            clocks=dict(self.clocks),
+            addr_w=dict(self.addr_w),
+            addr_r=dict(self.addr_r),
+        )
+
+    def key(self) -> Tuple:
+        """Canonical semantic-state key for explicit-state deduplication."""
+        return (
+            tuple(sorted(self.mem.items())),
+            tuple(
+                (
+                    name,
+                    t.pc,
+                    tuple(t.stack),
+                    tuple(sorted(t.locals.items())),
+                    tuple(sorted(t.loops.items())),
+                    t.started,
+                    t.finished,
+                    t.stuck,
+                )
+                for name, t in sorted(self.threads.items())
+            ),
+            self.violated,
+        )
+
+    @property
+    def infeasible(self) -> bool:
+        """Some thread is stuck: no extension of this execution is a valid
+        complete execution (failed assume / exceeded unwind bound)."""
+        return any(t.stuck for t in self.threads.values())
+
+    def rf_signature(self) -> Tuple:
+        """Reads-from equivalence signature: each read's source write."""
+        return tuple(
+            (name, tuple(t.read_tags))
+            for name, t in sorted(self.threads.items())
+        )
+
+
+@dataclass
+class VisibleOp:
+    """A schedulable transition: thread ``tid`` at visible op ``kind``."""
+
+    tid: str
+    kind: str  # loadg/storeg/lock/unlock/abegin/join/nondet
+    addr: Optional[str] = None  # shared variable touched (None: join/nondet)
+    is_write: bool = False
+    is_read: bool = False
+
+
+class Interpreter:
+    """Stateless engine over :class:`ExecState` snapshots."""
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self.prog = compiled
+        self.width = compiled.width
+        self.unwind = compiled.unwind
+        self._mask = (1 << compiled.width) - 1
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> ExecState:
+        state = ExecState(mem=dict(self.prog.shared_inits))
+        state.writer = {addr: ("init", addr) for addr in state.mem}
+        for name in self.prog.threads:
+            state.threads[name] = ThreadState()
+        state.threads["main"] = ThreadState(started=True)
+        self._advance(state, "main")
+        self._settle(state)
+        return state
+
+    def _settle(self, state: ExecState) -> None:
+        """Advance threads parked at joins whose target has now finished."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for tid, t in state.threads.items():
+                if not t.started or t.finished:
+                    continue
+                code = self._code(tid)
+                op = code[t.pc]
+                if op[0] == "join" and state.threads[op[1]].finished:
+                    self._advance(state, tid)
+                    progressed = True
+
+    # ------------------------------------------------------------------
+    # Scheduling interface
+    # ------------------------------------------------------------------
+
+    def front(self, state: ExecState, tid: str) -> Optional[VisibleOp]:
+        """The visible op ``tid`` is parked at, or None."""
+        t = state.threads[tid]
+        if not t.started or t.finished or t.stuck:
+            return None
+        code = self._code(tid)
+        op = code[t.pc]
+        kind = op[0]
+        if kind == "loadg":
+            return VisibleOp(tid, kind, op[1], is_read=True)
+        if kind == "storeg":
+            return VisibleOp(tid, kind, op[1], is_write=True)
+        if kind in ("lock", "unlock"):
+            return VisibleOp(tid, kind, op[1], is_write=True, is_read=True)
+        if kind == "abegin":
+            addr = self._atomic_addr(tid, t.pc, op[1])
+            return VisibleOp(tid, kind, addr, is_write=True, is_read=True)
+        if kind == "join":
+            # Parked at a join whose target is unfinished: not schedulable
+            # (joins are synchronization, not memory events; once the
+            # target finishes, _settle advances through them).
+            return None
+        if kind == "nondet":
+            return VisibleOp(tid, kind)
+        raise AssertionError(f"thread parked at invisible op {op!r}")
+
+    def enabled_ops(self, state: ExecState) -> List[VisibleOp]:
+        """All currently executable visible ops."""
+        out = []
+        for tid in state.threads:
+            op = self.front(state, tid)
+            if op is not None and self._is_enabled(state, op):
+                out.append(op)
+        return out
+
+    def is_complete(self, state: ExecState) -> bool:
+        """All started threads (incl. main) ran to completion.
+
+        A stuck thread never finishes, so infeasible executions are never
+        complete."""
+        return all(
+            t.finished or not t.started for t in state.threads.values()
+        ) and state.threads["main"].finished
+
+    def _is_enabled(self, state: ExecState, op: VisibleOp) -> bool:
+        if op.kind == "lock":
+            return state.mem[op.addr] == 0
+        if op.kind == "abegin":
+            return self._try_atomic(state, op.tid, commit=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # Transition execution
+    # ------------------------------------------------------------------
+
+    def step(self, state: ExecState, tid: str, nondet_value: int = 0) -> None:
+        """Execute the visible op of ``tid`` in-place, then advance."""
+        t = state.threads[tid]
+        code = self._code(tid)
+        op = code[t.pc]
+        kind = op[0]
+        state.steps += 1
+        self._update_clock(state, self.front(state, tid))
+        if kind == "loadg":
+            t.stack.append(state.mem[op[1]])
+            t.read_tags.append(state.writer[op[1]])
+            t.pc += 1
+        elif kind == "storeg":
+            value = t.stack.pop()
+            state.mem[op[1]] = value
+            state.writer[op[1]] = (tid, t.store_seq)
+            t.store_seq += 1
+            t.pc += 1
+        elif kind == "lock":
+            assert state.mem[op[1]] == 0, "lock() stepped while busy"
+            t.read_tags.append(state.writer[op[1]])
+            state.mem[op[1]] = 1
+            state.writer[op[1]] = (tid, t.store_seq)
+            t.store_seq += 1
+            t.pc += 1
+        elif kind == "unlock":
+            state.mem[op[1]] = 0
+            state.writer[op[1]] = (tid, t.store_seq)
+            t.store_seq += 1
+            t.pc += 1
+        elif kind == "abegin":
+            committed = self._try_atomic(state, tid, commit=True)
+            assert committed, "atomic region stepped while disabled"
+        elif kind == "nondet":
+            t.stack.append(nondet_value & self._mask)
+            t.pc += 1
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"step on invisible op {op!r}")
+        self._advance(state, tid)
+        self._settle(state)
+
+    # ------------------------------------------------------------------
+    # Invisible execution
+    # ------------------------------------------------------------------
+
+    def _code(self, tid: str) -> List[Tuple]:
+        if tid == "main":
+            return self.prog.main.code
+        return self.prog.threads[tid].code
+
+    @staticmethod
+    def _vmax(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+        out = dict(a)
+        for k, v in b.items():
+            if out.get(k, 0) < v:
+                out[k] = v
+        return out
+
+    def _update_clock(self, state: ExecState, op: "VisibleOp") -> None:
+        """Advance the happens-before clocks for the visible op ``op``.
+
+        Reads synchronize with the last write to their address; writes
+        (and read-writes: locks, atomic regions) synchronize with the last
+        write and all reads since it.  Read-read pairs stay concurrent.
+        """
+        n = state.steps
+        cv = dict(state.clocks.get(op.tid, {}))
+        if op.addr is not None:
+            if op.is_write:
+                cv = self._vmax(
+                    self._vmax(cv, state.addr_w.get(op.addr, {})),
+                    state.addr_r.get(op.addr, {}),
+                )
+            else:
+                cv = self._vmax(cv, state.addr_w.get(op.addr, {}))
+        cv[op.tid] = n
+        state.clocks[op.tid] = cv
+        if op.addr is not None:
+            if op.is_write:
+                state.addr_w[op.addr] = cv
+                state.addr_r[op.addr] = {}
+            else:
+                state.addr_r[op.addr] = self._vmax(
+                    state.addr_r.get(op.addr, {}), cv
+                )
+
+    def _advance(self, state: ExecState, tid: str) -> None:
+        """Run invisible instructions until a visible op or thread end.
+
+        A failed assume / exceeded unwind bound marks the thread stuck."""
+        try:
+            self._advance_inner(state, tid)
+        except PathAbort:
+            state.threads[tid].stuck = True
+
+    def _advance_inner(self, state: ExecState, tid: str) -> None:
+        t = state.threads[tid]
+        code = self._code(tid)
+        while True:
+            if t.pc >= len(code):
+                t.finished = True
+                return
+            op = code[t.pc]
+            kind = op[0]
+            if kind == "join":
+                if state.threads[op[1]].finished:
+                    # Join edge: the joiner inherits the target's clock.
+                    state.clocks[tid] = self._vmax(
+                        state.clocks.get(tid, {}), state.clocks.get(op[1], {})
+                    )
+                    t.pc += 1
+                    continue
+                return  # blocked at the join until the target finishes
+            if kind in _VISIBLE:
+                return
+            if kind == "push":
+                t.stack.append(op[1] & self._mask)
+            elif kind == "loadl":
+                t.stack.append(t.locals.get(op[1], 0))
+            elif kind == "storel":
+                t.locals[op[1]] = t.stack.pop()
+            elif kind == "un":
+                t.stack.append(self._unop(op[1], t.stack.pop()))
+            elif kind == "bin":
+                b = t.stack.pop()
+                a = t.stack.pop()
+                t.stack.append(self._binop(op[1], a, b))
+            elif kind == "jmp":
+                t.pc = op[1]
+                continue
+            elif kind == "jz":
+                if t.stack.pop() == 0:
+                    t.pc = op[1]
+                    continue
+            elif kind == "assert":
+                if t.stack.pop() == 0:
+                    state.violated = True
+            elif kind == "assume":
+                if t.stack.pop() == 0:
+                    raise PathAbort()
+            elif kind == "iter":
+                count = t.loops.get(op[1], 0) + 1
+                t.loops[op[1]] = count
+                if count > self.unwind + 1:
+                    raise PathAbort()
+            elif kind == "iterrst":
+                t.loops[op[1]] = 0
+            elif kind == "start":
+                target = state.threads[op[1]]
+                target.started = True
+                # Create edge: the child inherits the creator's clock.
+                state.clocks[op[1]] = self._vmax(
+                    state.clocks.get(op[1], {}), state.clocks.get(tid, {})
+                )
+                self._advance(state, op[1])
+            elif kind == "aend":
+                pass
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown instruction {op!r}")
+            t.pc += 1
+
+    def _atomic_addr(self, tid: str, begin_pc: int, end_pc: int) -> Optional[str]:
+        for instr in self._code(tid)[begin_pc + 1 : end_pc]:
+            if instr[0] in ("loadg", "storeg"):
+                return instr[1]
+        return None
+
+    def _try_atomic(self, state: ExecState, tid: str, commit: bool) -> bool:
+        """Execute an atomic region tentatively; commit only if feasible.
+
+        Returns False (and leaves ``state`` untouched) when an ``assume``
+        inside the region fails: the region is a blocking test-and-set.
+        """
+        t = state.threads[tid]
+        code = self._code(tid)
+        end = code[t.pc][1]
+        tt = t.clone()
+        mem = dict(state.mem)
+        writer = dict(state.writer)
+        tt.pc += 1  # past abegin
+        while tt.pc < end - 1:  # stop at aend
+            op = code[tt.pc]
+            kind = op[0]
+            if kind == "loadg":
+                tt.stack.append(mem[op[1]])
+                tt.read_tags.append(writer[op[1]])
+            elif kind == "storeg":
+                value = tt.stack.pop()
+                mem[op[1]] = value
+                writer[op[1]] = (tid, tt.store_seq)
+                tt.store_seq += 1
+            elif kind == "push":
+                tt.stack.append(op[1] & self._mask)
+            elif kind == "loadl":
+                tt.stack.append(tt.locals.get(op[1], 0))
+            elif kind == "storel":
+                tt.locals[op[1]] = tt.stack.pop()
+            elif kind == "un":
+                tt.stack.append(self._unop(op[1], tt.stack.pop()))
+            elif kind == "bin":
+                b = tt.stack.pop()
+                a = tt.stack.pop()
+                tt.stack.append(self._binop(op[1], a, b))
+            elif kind == "assume":
+                if tt.stack.pop() == 0:
+                    return False  # blocking: region disabled
+            else:  # pragma: no cover - sema restricts atomic bodies
+                raise AssertionError(f"instruction {op!r} inside atomic region")
+            tt.pc += 1
+        if not commit:
+            return True
+        tt.pc = end  # past aend
+        state.threads[tid] = tt
+        state.mem = mem
+        state.writer = writer
+        self._advance(state, tid)
+        return True
+
+    # ------------------------------------------------------------------
+    # Arithmetic (mirrors the bit-blasted semantics exactly)
+    # ------------------------------------------------------------------
+
+    def _signed(self, v: int) -> int:
+        if v & (1 << (self.width - 1)):
+            return v - (1 << self.width)
+        return v
+
+    def _unop(self, op: str, a: int) -> int:
+        if op == "-":
+            return (-a) & self._mask
+        if op == "~":
+            return (~a) & self._mask
+        if op == "!":
+            return 0 if a else 1
+        raise AssertionError(op)
+
+    def _binop(self, op: str, a: int, b: int) -> int:
+        m = self._mask
+        if op == "+":
+            return (a + b) & m
+        if op == "-":
+            return (a - b) & m
+        if op == "*":
+            return (a * b) & m
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "&&":
+            return 1 if (a and b) else 0
+        if op == "||":
+            return 1 if (a or b) else 0
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "<":
+            return 1 if self._signed(a) < self._signed(b) else 0
+        if op == "<=":
+            return 1 if self._signed(a) <= self._signed(b) else 0
+        if op == ">":
+            return 1 if self._signed(a) > self._signed(b) else 0
+        if op == ">=":
+            return 1 if self._signed(a) >= self._signed(b) else 0
+        raise AssertionError(op)

@@ -1,0 +1,21 @@
+"""Top-level verification API.
+
+:func:`verify` runs the full pipeline -- parse, unroll/SSA, encode,
+DPLL(T) solve, witness extraction -- with a :class:`VerifierConfig`
+selecting the engine and ablation flags (Zord, Zord⁻, Zord′, the Tarjan
+detector, or one of the baseline engines).
+"""
+
+from repro.verify.config import VerifierConfig
+from repro.verify.result import VerificationResult, Verdict
+from repro.verify.verifier import verify
+from repro.verify.witness import Trace, TraceStep
+
+__all__ = [
+    "verify",
+    "VerifierConfig",
+    "VerificationResult",
+    "Verdict",
+    "Trace",
+    "TraceStep",
+]

@@ -1,0 +1,114 @@
+"""Verifier configuration and the named tool presets used in the paper's
+evaluation (Section 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["VerifierConfig"]
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Configuration of the verification engine.
+
+    Attributes:
+        name: display name (filled by the presets).
+        engine: ``"smt"`` (partial-order BMC via DPLL(T)), ``"closure"``
+            (pure-SAT transitive-closure encoding, the Dartagnan-style
+            baseline), ``"explicit"`` (explicit-state search, the
+            CPA-Seq-style baseline), ``"lazyseq"`` (bounded round-robin
+            sequentialization, the Lazy-CSeq-style baseline), or one of the
+            stateless model checkers ``"smc-rfsc"`` / ``"smc-genmc"``.
+        theory: for the SMT engine: ``"ord"`` (the paper's T_ord solver) or
+            ``"idl"`` (clock-difference encoding, the CBMC-style baseline).
+        detector: cycle detection inside T_ord: ``"icd"`` or ``"tarjan"``.
+        unit_edge: unit-edge theory propagation (False = Zord′).
+        fr_encoding: encode rho_fr in the formula and disable from-read
+            propagation (True = Zord⁻; always True for theory="idl").
+        unwind: loop unrolling bound.
+        width: bit-width of program integers.
+        memory_model: ``"sc"`` (the paper's setting), ``"tso"`` or
+            ``"pso"`` (the weak-memory extension; SMT engines only).
+        rounds: round-robin rounds for the lazyseq engine.
+        max_conflict_clauses: cap per theory conflict.
+        time_limit_s: wall-clock budget; exceeded -> UNKNOWN.
+        max_conflicts: conflict budget for the SAT core; exceeded -> UNKNOWN.
+    """
+
+    name: str = "zord"
+    engine: str = "smt"
+    theory: str = "ord"
+    detector: str = "icd"
+    unit_edge: bool = True
+    fr_encoding: bool = False
+    unwind: int = 8
+    width: int = 8
+    memory_model: str = "sc"
+    #: Round-robin rounds for the lazyseq engine.  4 covers the bug depths
+    #: of the benchmark suites; like the original tool, SAFE means "no
+    #: violation within the round bound".
+    rounds: int = 4
+    max_conflict_clauses: int = 8
+    time_limit_s: Optional[float] = None
+    max_conflicts: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Presets (the tools compared in Section 6)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def zord(**kw) -> "VerifierConfig":
+        """The paper's tool: T_ord with ICD, unit-edge and FR propagation."""
+        return VerifierConfig(name="zord", **kw)
+
+    @staticmethod
+    def zord_minus(**kw) -> "VerifierConfig":
+        """Zord⁻: all FR constraints encoded upfront (Fig. 8 ablation)."""
+        return VerifierConfig(name="zord-", fr_encoding=True, **kw)
+
+    @staticmethod
+    def zord_prime(**kw) -> "VerifierConfig":
+        """Zord′: unit-edge propagation disabled (Fig. 9 ablation)."""
+        return VerifierConfig(name="zord'", unit_edge=False, **kw)
+
+    @staticmethod
+    def zord_tarjan(**kw) -> "VerifierConfig":
+        """Zord with fresh non-incremental cycle detection (Fig. 10)."""
+        return VerifierConfig(name="zord-tarjan", detector="tarjan", **kw)
+
+    @staticmethod
+    def cbmc(**kw) -> "VerifierConfig":
+        """CBMC-style baseline: clock-difference (IDL) ordering theory with
+        all FR constraints encoded and non-incremental consistency checks."""
+        return VerifierConfig(name="cbmc", theory="idl", fr_encoding=True, **kw)
+
+    @staticmethod
+    def dartagnan(**kw) -> "VerifierConfig":
+        """Dartagnan-style baseline: pure-SAT relational encoding with an
+        explicit transitive-closure axiomatization (no theory solver)."""
+        return VerifierConfig(name="dartagnan", engine="closure", **kw)
+
+    @staticmethod
+    def cpa_seq(**kw) -> "VerifierConfig":
+        """CPA-Seq-style baseline: explicit-state reachability."""
+        return VerifierConfig(name="cpa-seq", engine="explicit", **kw)
+
+    @staticmethod
+    def lazy_cseq(**kw) -> "VerifierConfig":
+        """Lazy-CSeq-style baseline: bounded round-robin sequentialization."""
+        return VerifierConfig(name="lazy-cseq", engine="lazyseq", **kw)
+
+    @staticmethod
+    def nidhugg_rfsc(**kw) -> "VerifierConfig":
+        """Nidhugg/rfsc-style stateless model checking (rf equivalence)."""
+        return VerifierConfig(name="nidhugg-rfsc", engine="smc-rfsc", **kw)
+
+    @staticmethod
+    def genmc(**kw) -> "VerifierConfig":
+        """GenMC-style stateless model checking (execution graphs)."""
+        return VerifierConfig(name="genmc", engine="smc-genmc", **kw)
+
+    def with_(self, **kw) -> "VerifierConfig":
+        return replace(self, **kw)

@@ -1,0 +1,46 @@
+"""Verification results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.verify.witness import Trace
+
+__all__ = ["Verdict", "VerificationResult"]
+
+
+class Verdict:
+    """Outcome constants: the property holds (within bounds), is violated,
+    or the budget was exhausted."""
+
+    SAFE = "safe"
+    UNSAFE = "unsafe"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    verdict: str
+    config_name: str
+    wall_time_s: float = 0.0
+    peak_memory_bytes: int = 0
+    witness: Optional[Trace] = None
+    #: SMC engines report the violating schedule instead of a value trace.
+    schedule: Optional[list] = None
+    #: Engine-specific counters (SAT stats, theory stats, traces explored).
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == Verdict.SAFE
+
+    @property
+    def is_unsafe(self) -> bool:
+        return self.verdict == Verdict.UNSAFE
+
+    def __str__(self) -> str:
+        out = f"[{self.config_name}] {self.verdict.upper()} in {self.wall_time_s:.3f}s"
+        if self.witness is not None:
+            out += f"\n{self.witness}"
+        return out

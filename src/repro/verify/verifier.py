@@ -1,0 +1,130 @@
+"""The top-level verifier: parse → unroll/SSA → engine → verdict."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Union
+
+from repro.frontend import build_symbolic_program
+from repro.lang import ast, parse
+from repro.sat import SolveResult
+from repro.verify.config import VerifierConfig
+from repro.verify.result import Verdict, VerificationResult
+from repro.verify.witness import extract_trace
+
+__all__ = ["verify"]
+
+
+def verify(
+    program: Union[str, ast.Program],
+    config: VerifierConfig = VerifierConfig(),
+    measure_memory: bool = False,
+) -> VerificationResult:
+    """Verify ``program`` under sequential consistency within the bounds.
+
+    Args:
+        program: source text or a parsed AST.
+        config: engine/ablation selection (see :class:`VerifierConfig`).
+        measure_memory: trace peak allocation (slower; used by the
+            benchmark harness for the paper's memory columns).
+
+    Returns:
+        A :class:`VerificationResult`; ``verdict`` is ``SAFE`` if no
+        assertion can be violated within the unrolling bound, ``UNSAFE``
+        (with a witness trace where the engine produces one) otherwise,
+        ``UNKNOWN`` on budget exhaustion.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    start = time.monotonic()
+    if measure_memory:
+        tracemalloc.start()
+    try:
+        result = _dispatch(program, config)
+    finally:
+        if measure_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        else:
+            peak = 0
+    result.peak_memory_bytes = peak
+    result.wall_time_s = time.monotonic() - start
+    return result
+
+
+def _dispatch(program: ast.Program, config: VerifierConfig) -> VerificationResult:
+    engine = config.engine
+    if config.memory_model != "sc" and engine != "smt":
+        raise ValueError(
+            f"memory model {config.memory_model!r} is only supported by the "
+            "SMT engines (the explicit/stateless engines interpret under SC)"
+        )
+    if engine == "smt":
+        return _run_smt(program, config)
+    if engine == "closure":
+        from repro.baselines.closure import verify_closure
+
+        return verify_closure(program, config)
+    if engine == "explicit":
+        from repro.baselines.explicit import verify_explicit
+
+        return verify_explicit(program, config)
+    if engine == "lazyseq":
+        from repro.baselines.lazyseq import verify_lazyseq
+
+        return verify_lazyseq(program, config)
+    if engine == "smc-rfsc":
+        from repro.smc.rfsc import verify_rfsc
+
+        return verify_rfsc(program, config)
+    if engine == "smc-genmc":
+        from repro.smc.genmc import verify_genmc
+
+        return verify_genmc(program, config)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _run_smt(program: ast.Program, config: VerifierConfig) -> VerificationResult:
+    sym = build_symbolic_program(program, unwind=config.unwind, width=config.width)
+    if config.theory == "ord":
+        from repro.encoding.encoder import encode_program
+
+        encoded = encode_program(
+            sym,
+            detector=config.detector,
+            unit_edge=config.unit_edge,
+            fr_encoding=config.fr_encoding,
+            max_conflict_clauses=config.max_conflict_clauses,
+            memory_model=config.memory_model,
+        )
+    elif config.theory == "idl":
+        from repro.baselines.idl import encode_program_idl
+
+        encoded = encode_program_idl(sym, memory_model=config.memory_model)
+    else:
+        raise ValueError(f"unknown theory {config.theory!r}")
+
+    if encoded.trivially_safe:
+        return VerificationResult(Verdict.SAFE, config.name)
+
+    answer = encoded.solver.solve(
+        max_conflicts=config.max_conflicts, time_limit_s=config.time_limit_s
+    )
+    stats = dict(encoded.solver.stats.as_dict())
+    theory_stats = getattr(encoded.theory, "stats", None)
+    if theory_stats is not None:
+        stats.update({f"theory_{k}": v for k, v in theory_stats.as_dict().items()})
+    stats["rf_vars"] = encoded.stats.rf_vars
+    stats["ws_vars"] = encoded.stats.ws_vars
+    stats["fr_vars"] = encoded.stats.fr_vars
+    stats["sat_vars"] = encoded.stats.sat_vars
+
+    if answer == SolveResult.UNKNOWN:
+        return VerificationResult(Verdict.UNKNOWN, config.name, stats=stats)
+    if answer == SolveResult.UNSAT:
+        return VerificationResult(Verdict.SAFE, config.name, stats=stats)
+    witness = extract_trace(encoded)
+    return VerificationResult(
+        Verdict.UNSAFE, config.name, witness=witness, stats=stats
+    )

@@ -1,0 +1,87 @@
+"""Counterexample witness extraction.
+
+After a SAT answer, the enabled events are linearized consistently with the
+active edges of the event graph (any topological order of the accepted
+partial order is a valid SC execution, by Axiom 3) and annotated with the
+model values of their SSA variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceStep", "Trace", "extract_trace"]
+
+
+@dataclass
+class TraceStep:
+    thread: str
+    kind: str  # R / W
+    addr: str
+    value: int
+    label: str = ""
+
+    def __str__(self) -> str:
+        op = "read" if self.kind == "R" else "write"
+        return f"{self.thread}: {op} {self.addr} = {self.value}"
+
+
+@dataclass
+class Trace:
+    """A linearized counterexample execution."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = ["counterexample trace:"]
+        lines += [f"  {i + 1:3d}. {s}" for i, s in enumerate(self.steps)]
+        return "\n".join(lines)
+
+    def values_of(self, addr: str) -> List[int]:
+        return [s.value for s in self.steps if s.addr == addr]
+
+
+def extract_trace(encoded) -> Trace:
+    """Build a witness from a satisfied :class:`EncodedProgram`."""
+    sym = encoded.symbolic
+    solver = encoded.solver
+    graph = encoded.theory.graph
+
+    order = _linearize(graph)
+    enabled = []
+    for ev in sym.memory_events():
+        if solver.model_lit(encoded.guard_lits[ev.eid]):
+            enabled.append(ev)
+    enabled.sort(key=lambda ev: order[ev.eid])
+
+    width = sym.width
+    steps = []
+    for ev in enabled:
+        raw = encoded.blaster.bv_value(ev.ssa_name)
+        if raw & (1 << (width - 1)):
+            raw -= 1 << width  # display as signed
+        steps.append(TraceStep(ev.thread, ev.kind, ev.addr, raw, ev.label))
+    return Trace(steps)
+
+
+def _linearize(graph) -> Dict[int, int]:
+    """Topological order of the active event graph (Kahn)."""
+    n = graph.n
+    indeg = [0] * n
+    for edges in graph.out:
+        for e in edges:
+            indeg[e.dst] += 1
+    queue = [i for i in range(n) if indeg[i] == 0]
+    pos: Dict[int, int] = {}
+    k = 0
+    while queue:
+        x = queue.pop()
+        pos[x] = k
+        k += 1
+        for e in graph.out[x]:
+            indeg[e.dst] -= 1
+            if indeg[e.dst] == 0:
+                queue.append(e.dst)
+    assert len(pos) == n, "accepted event graph must be acyclic"
+    return pos

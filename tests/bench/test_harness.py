@@ -1,0 +1,104 @@
+"""Harness tests: running configurations and rendering tables."""
+
+from repro.bench import Task, run_suite
+from repro.bench.harness import (
+    render_scatter,
+    render_summary_table,
+    render_table3,
+    run_task,
+)
+from repro.verify import VerifierConfig
+
+SAFE_SRC = """
+int x = 0;
+thread t { x = 1; }
+main { start t; join t; assert(x == 1); }
+"""
+UNSAFE_SRC = """
+int x = 0;
+thread t1 { x = 1; }
+thread t2 { x = 2; }
+main { start t1; start t2; join t1; join t2; assert(x == 1); }
+"""
+
+TASKS = [
+    Task("demo/safe", "demo", SAFE_SRC, True),
+    Task("demo/unsafe", "demo", UNSAFE_SRC, False),
+]
+
+
+class TestRunTask:
+    def test_correct_verdicts_marked(self):
+        r = run_task(TASKS[0], VerifierConfig.zord)
+        assert r.verdict == "safe" and r.correct is True
+        r = run_task(TASKS[1], VerifierConfig.zord)
+        assert r.verdict == "unsafe" and r.correct is True
+
+    def test_time_recorded(self):
+        r = run_task(TASKS[0], VerifierConfig.zord)
+        assert r.time_s > 0
+
+    def test_memory_measured_when_requested(self):
+        r = run_task(TASKS[0], VerifierConfig.zord, measure_memory=True)
+        assert r.memory_bytes > 0
+
+    def test_budget_exhaustion_gives_none_correct(self):
+        r = run_task(TASKS[1], VerifierConfig.zord, time_limit_s=0.0)
+        assert r.correct in (None, True)  # UNKNOWN or solved instantly
+
+
+class TestRunSuiteAndRender:
+    def setup_method(self):
+        self.results = run_suite(
+            TASKS,
+            {
+                "zord": VerifierConfig.zord,
+                "cbmc": VerifierConfig.cbmc,
+                "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
+                "genmc": VerifierConfig.genmc,
+            },
+            time_limit_s=30,
+        )
+
+    def test_all_configs_all_tasks(self):
+        assert set(self.results) == {"zord", "cbmc", "nidhugg-rfsc", "genmc"}
+        for rows in self.results.values():
+            assert len(rows) == len(TASKS)
+
+    def test_all_solved(self):
+        for rows in self.results.values():
+            assert all(r.solved for r in rows)
+
+    def test_summary_table_renders(self):
+        table = render_summary_table(self.results, reference="zord")
+        assert "zord" in table and "cbmc" in table
+        assert "#Solved" in table
+
+    def test_scatter_renders(self):
+        fig = render_scatter(self.results, "cbmc", "zord", "Fig demo")
+        assert "demo/safe" in fig
+        assert "totals" in fig
+
+    def test_table3_renders(self):
+        table = render_table3(
+            TASKS,
+            self.results,
+            tool_order=("nidhugg-rfsc", "genmc", "cbmc", "zord"),
+        )
+        assert "Traces" in table
+        assert "demo/safe" in table
+        lines = table.splitlines()
+        assert len(lines) == 1 + len(TASKS)
+
+
+class TestCsvExport:
+    def test_csv_shape(self):
+        from repro.bench.harness import results_to_csv, run_suite
+        from repro.verify import VerifierConfig
+
+        results = run_suite(TASKS, {"zord": VerifierConfig.zord})
+        csv = results_to_csv(results)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("config,task,")
+        assert len(lines) == 1 + len(TASKS)
+        assert lines[1].startswith("zord,demo/safe,demo,safe,true,")

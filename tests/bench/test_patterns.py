@@ -1,0 +1,52 @@
+"""Cross-engine validation of the synchronization-idiom generators."""
+
+import pytest
+
+from repro.bench import patterns
+from repro.verify import Verdict, VerifierConfig, verify
+
+CASES = [
+    ("ticket_lock_2", patterns.ticket_lock(2), True, 4),
+    ("barrier_2", patterns.barrier_sum(2), True, 4),
+    ("rw_locked", patterns.readers_writer(1, True), True, 4),
+    ("rw_racy", patterns.readers_writer(1, False), False, 4),
+    ("transfer_locked", patterns.bank_transfer(True), True, 4),
+    ("transfer_racy", patterns.bank_transfer(False), False, 4),
+    ("handoff_2", patterns.flag_handoff(2), True, 4),
+    ("work_split", patterns.work_split(2, 2), True, 4),
+    ("dcl_correct", patterns.double_checked_init(False), True, 4),
+    ("dcl_broken", patterns.double_checked_init(True), False, 4),
+    ("seqlock_correct", patterns.seqlock(False), True, 4),
+    ("seqlock_broken", patterns.seqlock(True), False, 4),
+]
+
+ENGINES = {
+    "zord": VerifierConfig.zord,
+    "cbmc": VerifierConfig.cbmc,
+    "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
+}
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("name,src,safe,unwind", CASES)
+def test_pattern_verdicts(engine, name, src, safe, unwind):
+    config = ENGINES[engine](unwind=unwind, time_limit_s=60)
+    result = verify(src, config)
+    expected = Verdict.SAFE if safe else Verdict.UNSAFE
+    assert result.verdict == expected, (engine, name)
+
+
+class TestPatternProperties:
+    def test_ticket_lock_scales_threads(self):
+        src = patterns.ticket_lock(3)
+        assert "t2" in src
+
+    def test_work_split_total(self):
+        # n=3, per=2: 1+2+...+6 = 21.
+        src = patterns.work_split(3, 2)
+        assert "== 21" in src
+
+    def test_barrier_neighbour_wraps(self):
+        src = patterns.barrier_sum(3)
+        # Thread 2's neighbour is thread 0's slot.
+        assert "got2 = slot0;" in src

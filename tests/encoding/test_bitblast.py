@@ -1,0 +1,189 @@
+"""Bit-blasting validated against the reference evaluator.
+
+The central property: for any term and any assignment to its variables,
+pinning the variables in CNF and solving must yield the value the reference
+evaluator computes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import BitBlaster, CnfBuilder
+from repro.encoding import formula as F
+from repro.sat import SolveResult, Solver
+
+
+def check_bool(term, env):
+    """Pin env, solve, compare model value of `term` with the evaluator."""
+    solver = Solver()
+    builder = CnfBuilder(solver)
+    blaster = BitBlaster(builder)
+    out = blaster.blast_bool(term)
+    _pin_env(builder, blaster, term, env)
+    assert solver.solve() == SolveResult.SAT
+    expected = F.evaluate(term, env)
+    assert solver.model_lit(out) == expected
+
+
+def check_bv(term, env):
+    solver = Solver()
+    builder = CnfBuilder(solver)
+    blaster = BitBlaster(builder)
+    bits = blaster.blast_bv(term)
+    _pin_env(builder, blaster, term, env)
+    assert solver.solve() == SolveResult.SAT
+    got = sum(1 << i for i, lit in enumerate(bits) if solver.model_lit(lit))
+    assert got == F.evaluate(term, env)
+
+
+def _pin_env(builder, blaster, term, env):
+    names = _vars_of(term)
+    for name, width in names.items():
+        value = env[name]
+        if width is None:
+            lit = blaster.blast_bool(F.bool_var(name))
+            builder.fix(lit if value else -lit)
+        else:
+            bits = blaster.blast_bv(F.bv_var(name, width))
+            for i, lit in enumerate(bits):
+                builder.fix(lit if (value >> i) & 1 else -lit)
+
+
+def _vars_of(term, acc=None):
+    if acc is None:
+        acc = {}
+    if term.op == "boolvar":
+        acc[term.name] = None
+    elif term.op == "bvvar":
+        acc[term.name] = term.width
+    for a in term.args:
+        _vars_of(a, acc)
+    return acc
+
+
+W = 6  # width used in property tests (keeps CNFs small)
+bv_value = st.integers(0, (1 << W) - 1)
+
+
+class TestArithmetic:
+    @settings(max_examples=40, deadline=None)
+    @given(a=bv_value, b=bv_value)
+    def test_add(self, a, b):
+        t = F.bv_add(F.bv_var("a", W), F.bv_var("b", W))
+        check_bv(t, {"a": a, "b": b})
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=bv_value, b=bv_value)
+    def test_sub(self, a, b):
+        t = F.bv_sub(F.bv_var("a", W), F.bv_var("b", W))
+        check_bv(t, {"a": a, "b": b})
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=bv_value, b=bv_value)
+    def test_mul(self, a, b):
+        t = F.bv_mul(F.bv_var("a", W), F.bv_var("b", W))
+        check_bv(t, {"a": a, "b": b})
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=bv_value)
+    def test_neg(self, a):
+        check_bv(F.bv_neg(F.bv_var("a", W)), {"a": a})
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=bv_value, k=st.integers(0, W))
+    def test_shifts(self, a, k):
+        check_bv(F.shl(F.bv_var("a", W), k), {"a": a})
+        check_bv(F.lshr(F.bv_var("a", W), k), {"a": a})
+
+
+class TestBitwise:
+    @settings(max_examples=25, deadline=None)
+    @given(a=bv_value, b=bv_value)
+    def test_and_or_xor_not(self, a, b):
+        va, vb = F.bv_var("a", W), F.bv_var("b", W)
+        for t in [F.bv_and(va, vb), F.bv_or(va, vb), F.bv_xor(va, vb), F.bv_not(va)]:
+            check_bv(t, {"a": a, "b": b})
+
+
+class TestComparisons:
+    @settings(max_examples=40, deadline=None)
+    @given(a=bv_value, b=bv_value)
+    def test_eq_ult_slt(self, a, b):
+        va, vb = F.bv_var("a", W), F.bv_var("b", W)
+        for t in [F.eq(va, vb), F.ult(va, vb), F.slt(va, vb), F.ule(va, vb), F.sle(va, vb)]:
+            check_bool(t, {"a": a, "b": b})
+
+
+class TestIte:
+    @settings(max_examples=25, deadline=None)
+    @given(c=st.booleans(), a=bv_value, b=bv_value)
+    def test_bv_ite(self, c, a, b):
+        t = F.bv_ite(F.bool_var("c"), F.bv_var("a", W), F.bv_var("b", W))
+        check_bv(t, {"c": c, "a": a, "b": b})
+
+    @settings(max_examples=25, deadline=None)
+    @given(c=st.booleans(), t=st.booleans(), e=st.booleans())
+    def test_bool_ite(self, c, t, e):
+        term = F.ite(F.bool_var("c"), F.bool_var("t"), F.bool_var("e"))
+        check_bool(term, {"c": c, "t": t, "e": e})
+
+
+# Random nested expression property test ------------------------------------
+
+def bv_terms(depth):
+    leaf = st.one_of(
+        st.sampled_from([F.bv_var("a", W), F.bv_var("b", W), F.bv_var("c", W)]),
+        st.integers(0, (1 << W) - 1).map(lambda v: F.bv_const(v, W)),
+    )
+    if depth == 0:
+        return leaf
+    sub = bv_terms(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda p: F.bv_add(*p)),
+        st.tuples(sub, sub).map(lambda p: F.bv_sub(*p)),
+        st.tuples(sub, sub).map(lambda p: F.bv_xor(*p)),
+        st.tuples(sub, sub, sub).map(lambda p: F.bv_ite(F.ult(p[0], p[1]), p[2], p[0])),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t=bv_terms(3),
+    a=bv_value,
+    b=bv_value,
+    c=bv_value,
+)
+def test_random_nested_terms(t, a, b, c):
+    if t.op == "bvconst":
+        return
+    check_bv(t, {"a": a, "b": b, "c": c})
+
+
+def test_bv_value_roundtrip():
+    solver = Solver()
+    builder = CnfBuilder(solver)
+    blaster = BitBlaster(builder)
+    a = F.bv_var("a", 8)
+    blaster.assert_term(F.eq(a, F.bv_const(42, 8)))
+    assert solver.solve() == SolveResult.SAT
+    assert blaster.bv_value("a") == 42
+
+
+def test_unsat_contradiction():
+    solver = Solver()
+    builder = CnfBuilder(solver)
+    blaster = BitBlaster(builder)
+    a = F.bv_var("a", 8)
+    blaster.assert_term(F.eq(a, F.bv_const(1, 8)))
+    blaster.assert_term(F.eq(a, F.bv_const(2, 8)))
+    assert solver.solve() == SolveResult.UNSAT
+
+
+def test_width_mismatch_redeclaration_rejected():
+    solver = Solver()
+    blaster = BitBlaster(CnfBuilder(solver))
+    blaster.blast_bv(F.bv_var("a", 8))
+    with pytest.raises(ValueError):
+        blaster.blast_bv(F.bv_var("a", 4))

@@ -1,0 +1,100 @@
+"""Truth-table tests for the Tseitin gate library."""
+
+import itertools
+
+import pytest
+
+from repro.encoding.cnf import CnfBuilder
+from repro.sat import SolveResult, Solver
+
+
+def check_gate(n_inputs, build, reference):
+    """For every input combination, pin inputs, solve, compare output."""
+    for bits in itertools.product([False, True], repeat=n_inputs):
+        solver = Solver()
+        builder = CnfBuilder(solver)
+        ins = [solver.new_var() for _ in range(n_inputs)]
+        out = build(builder, ins)
+        for lit, value in zip(ins, bits):
+            builder.fix(lit if value else -lit)
+        assert solver.solve() == SolveResult.SAT
+        got = solver.model_lit(out)
+        assert got == reference(*bits), (bits, got)
+
+
+class TestGates:
+    def test_and2(self):
+        check_gate(2, lambda b, i: b.and_gate(i), lambda x, y: x and y)
+
+    def test_and3(self):
+        check_gate(3, lambda b, i: b.and_gate(i), lambda x, y, z: x and y and z)
+
+    def test_or2(self):
+        check_gate(2, lambda b, i: b.or_gate(i), lambda x, y: x or y)
+
+    def test_xor(self):
+        check_gate(2, lambda b, i: b.xor_gate(*i), lambda x, y: x != y)
+
+    def test_iff(self):
+        check_gate(2, lambda b, i: b.iff_gate(*i), lambda x, y: x == y)
+
+    def test_ite(self):
+        check_gate(
+            3, lambda b, i: b.ite_gate(*i), lambda c, t, e: t if c else e
+        )
+
+    def test_full_adder_sum(self):
+        check_gate(
+            3,
+            lambda b, i: b.full_adder(*i)[0],
+            lambda x, y, c: (x + y + c) % 2 == 1,
+        )
+
+    def test_full_adder_carry(self):
+        check_gate(
+            3,
+            lambda b, i: b.full_adder(*i)[1],
+            lambda x, y, c: (x + y + c) >= 2,
+        )
+
+
+class TestConstantShortCircuits:
+    def setup_method(self):
+        self.solver = Solver()
+        self.b = CnfBuilder(self.solver)
+
+    def test_and_with_false_is_false(self):
+        v = self.solver.new_var()
+        assert self.b.and_gate([v, self.b.false_lit]) == self.b.false_lit
+
+    def test_and_with_true_drops_it(self):
+        v = self.solver.new_var()
+        assert self.b.and_gate([v, self.b.true_lit]) == v
+
+    def test_and_of_nothing_is_true(self):
+        assert self.b.and_gate([]) == self.b.true_lit
+
+    def test_and_with_complementary_lits_is_false(self):
+        v = self.solver.new_var()
+        assert self.b.and_gate([v, -v]) == self.b.false_lit
+
+    def test_xor_with_constants(self):
+        v = self.solver.new_var()
+        assert self.b.xor_gate(v, self.b.false_lit) == v
+        assert self.b.xor_gate(v, self.b.true_lit) == -v
+        assert self.b.xor_gate(v, v) == self.b.false_lit
+        assert self.b.xor_gate(v, -v) == self.b.true_lit
+
+    def test_ite_constant_condition(self):
+        t, e = self.solver.new_var(), self.solver.new_var()
+        assert self.b.ite_gate(self.b.true_lit, t, e) == t
+        assert self.b.ite_gate(self.b.false_lit, t, e) == e
+
+    def test_gate_caching_reuses_outputs(self):
+        a, b2 = self.solver.new_var(), self.solver.new_var()
+        g1 = self.b.and_gate([a, b2])
+        g2 = self.b.and_gate([b2, a])  # same set, different order
+        assert g1 == g2
+        x1 = self.b.xor_gate(a, b2)
+        x2 = self.b.xor_gate(b2, a)
+        assert x1 == x2

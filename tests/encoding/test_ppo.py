@@ -1,0 +1,102 @@
+"""Property tests for preserved-program-order computation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.ppo import _fence_like_events, _preserved, preserved_program_order
+from repro.frontend import build_symbolic_program
+from repro.lang import parse
+
+_STMTS = [
+    "x = 1;",
+    "y = 1;",
+    "int rA; rA = x;",
+    "int rB; rB = y;",
+    "fence;",
+    "atomic { x = x + 1; }",
+    "z = x;",
+]
+
+
+def _build(body_ids):
+    decls = "int x = 0; int y = 0; int z = 0;"
+    threads = []
+    for i, ids in enumerate(body_ids):
+        stmts = " ".join(
+            _STMTS[k].replace("rA", f"rA{i}_{j}").replace("rB", f"rB{i}_{j}")
+            for j, k in enumerate(ids)
+        )
+        threads.append(f"thread t{i} {{ {stmts} }}")
+    return build_symbolic_program(parse(decls + "\n" + "\n".join(threads)))
+
+
+def _closure(n, edges):
+    reach = [set() for _ in range(n)]
+    order = list(range(n))
+    adj = {i: [] for i in range(n)}
+    for a, b in edges:
+        adj[a].append(b)
+    # events ids are topologically ordered within a thread already.
+    for a in reversed(order):
+        for b in adj[a]:
+            reach[a].add(b)
+            reach[a] |= reach[b]
+    return reach
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    body_ids=st.lists(
+        st.lists(st.integers(0, len(_STMTS) - 1), min_size=1, max_size=4),
+        min_size=1,
+        max_size=2,
+    ),
+    model=st.sampled_from(["tso", "pso"]),
+)
+def test_ppo_reachability_is_closure_of_preserved_pairs(body_ids, model):
+    sym = _build(body_ids)
+    edges = preserved_program_order(sym, model)
+    fence_like = _fence_like_events(sym)
+    n = len(sym.events)
+    thread_of = {ev.eid: ev.thread for ev in sym.events}
+    intra = [(a, b) for a, b in edges if thread_of[a] == thread_of[b]]
+    reach = _closure(n, intra)
+    for thread in sym.threads:
+        events = thread.events
+        for i in range(len(events)):
+            for j in range(i + 1, len(events)):
+                e1, e2 = events[i], events[j]
+                preserved = _preserved(e1, e2, model, fence_like)
+                if preserved:
+                    assert e2.eid in reach[e1.eid], (
+                        f"preserved pair {e1} -> {e2} lost under {model}"
+                    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body_ids=st.lists(
+        st.lists(st.integers(0, len(_STMTS) - 1), min_size=1, max_size=4),
+        min_size=1,
+        max_size=2,
+    ),
+)
+def test_pso_ppo_subset_of_tso_subset_of_sc(body_ids):
+    """Weaker models preserve (transitively) no more order."""
+    sym = _build(body_ids)
+    n = len(sym.events)
+    closures = {}
+    for model in ("sc", "tso", "pso"):
+        edges = preserved_program_order(sym, model)
+        closures[model] = _closure(n, edges)
+    for i in range(n):
+        assert closures["pso"][i] <= closures["tso"][i] <= closures["sc"][i]
+
+
+def test_fence_like_includes_lock_accesses():
+    sym = build_symbolic_program(
+        parse("lock m; int x; thread t { lock(m); x = 1; unlock(m); }")
+    )
+    fence_like = _fence_like_events(sym)
+    lock_events = [ev.eid for ev in sym.memory_events() if ev.addr == "m"]
+    assert set(lock_events) <= fence_like

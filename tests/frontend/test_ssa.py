@@ -1,0 +1,148 @@
+"""Tests for loop unrolling and SSA lowering."""
+
+import pytest
+
+from repro.encoding import formula as F
+from repro.frontend import EventKind, build_symbolic_program
+from repro.lang import parse
+
+
+def lower(src, unwind=4, width=8):
+    return build_symbolic_program(parse(src), unwind=unwind, width=width)
+
+
+class TestEvents:
+    def test_paper_example_event_counts(self):
+        # Figure 2: x has 5 accesses (2 writes incl. init, 3 reads).
+        src = """
+        int x = 0, y = 0, m = 0, n = 0;
+        thread thr1 {
+            if (x == 1) { m = 1; } else { m = x; }
+            y = x + 1;
+        }
+        thread thr2 {
+            if (y == 1) { n = 1; } else { n = y; }
+            x = y + 1;
+        }
+        main {
+            start thr1; start thr2; join thr1; join thr2;
+            assert(!(m == 1 && n == 1));
+        }
+        """
+        prog = lower(src)
+        xs_w = prog.writes_of("x")
+        xs_r = prog.reads_of("x")
+        # init write + thr2's write; reads: thr1 cond, thr1 else, thr1 y=x+1.
+        assert len(xs_w) == 2
+        assert len(xs_r) == 3
+        # m: init write, two guarded writes, one read in main's assert.
+        assert len(prog.writes_of("m")) == 3
+        assert len(prog.reads_of("m")) == 1
+        assert len(prog.error_disjuncts) == 1
+
+    def test_init_writes_unconditional(self):
+        prog = lower("int x = 7; thread t { x = 1; } ")
+        init_writes = [e for e in prog.writes_of("x") if e.thread == "main"]
+        assert len(init_writes) == 1
+        assert init_writes[0].guard is F.TRUE
+
+    def test_read_in_branch_guarded(self):
+        prog = lower(
+            "int x, y; thread t { if (y == 0) { x = x + 1; } }"
+        )
+        guarded_reads = [e for e in prog.reads_of("x")]
+        assert len(guarded_reads) == 1
+        assert guarded_reads[0].guard is not F.TRUE
+
+    def test_local_accesses_produce_no_events(self):
+        prog = lower("thread t { int a; int b; a = 1; b = a + 2; }")
+        assert prog.memory_events() == []
+
+    def test_unstarted_thread_not_lowered(self):
+        src = "int x; thread t1 { x = 1; } thread t2 { x = 2; } main { start t1; join t1; }"
+        prog = lower(src)
+        threads = {t.name for t in prog.threads}
+        assert threads == {"main", "t1"}
+
+    def test_implicit_main_starts_all(self):
+        prog = lower("int x; thread a { x = 1; } thread b { x = 2; }")
+        threads = {t.name for t in prog.threads}
+        assert threads == {"main", "a", "b"}
+
+
+class TestProgramOrder:
+    def test_po_chain_within_thread(self):
+        prog = lower("int x; thread t { x = 1; x = 2; x = 3; }")
+        t_events = next(t for t in prog.threads if t.name == "t").events
+        eids = [e.eid for e in t_events]
+        chain = [(a, b) for a, b in prog.po_edges if a in eids and b in eids]
+        assert len(chain) == len(eids) - 1
+
+    def test_create_join_edges_present(self):
+        src = "int x; thread t { x = 1; } main { start t; join t; x = 9; }"
+        prog = lower(src)
+        t_events = next(t for t in prog.threads if t.name == "t").events
+        anchors = [e for e in prog.events if e.kind == EventKind.ANCHOR]
+        assert len(anchors) == 2
+        start_a, join_a = anchors
+        assert (start_a.eid, t_events[0].eid) in prog.po_edges
+        assert (t_events[-1].eid, join_a.eid) in prog.po_edges
+
+
+class TestLoops:
+    def test_unrolled_reads(self):
+        # Loop body reads x once per iteration; bound 3 -> cond evaluated
+        # 4 times (3 iterations + unwinding check), each reading y.
+        src = "int x, y; thread t { while (y == 0) { x = x + 1; } }"
+        prog = lower(src, unwind=3)
+        assert len(prog.reads_of("y")) == 4
+        assert len(prog.reads_of("x")) == 3
+        assert len(prog.writes_of("x")) == 1 + 3  # init + 3 unrolled writes
+
+    def test_unwind_zero_only_assumption(self):
+        src = "int y; thread t { while (y == 0) { skip; } }"
+        prog = lower(src, unwind=0)
+        assert len(prog.reads_of("y")) == 1
+
+
+class TestLocksAndAtomic:
+    def test_lock_desugars_to_tas(self):
+        prog = lower("lock m; thread t { lock(m); unlock(m); }")
+        assert len(prog.reads_of("m")) == 1
+        assert len(prog.writes_of("m")) == 3  # init, acquire, release
+        assert len(prog.rmw_groups) == 1
+        g = prog.rmw_groups[0]
+        assert prog.event(g.read_eid).is_read
+        assert prog.event(g.write_eid).is_write
+
+    def test_atomic_increment_group(self):
+        prog = lower("int x; thread t { atomic { x = x + 1; } }")
+        assert len(prog.rmw_groups) == 1
+
+    def test_atomic_without_write_no_group(self):
+        prog = lower("int x; thread t { int a; atomic { a = x; } }")
+        assert prog.rmw_groups == []
+
+
+class TestValueConstraints:
+    def test_nondet_creates_free_var(self):
+        prog = lower("int x; thread t { x = nondet(); }")
+        assert any(v.startswith("nondet") for v in prog.free_vars)
+
+    def test_uninitialized_local_is_free(self):
+        prog = lower("int x; thread t { int a; x = a; }")
+        assert any(".a#" in v for v in prog.free_vars)
+
+    def test_assert_creates_error_disjunct(self):
+        prog = lower("int x; thread t { assert(x == 0); }")
+        assert len(prog.error_disjuncts) == 1
+
+    def test_assume_creates_constraint(self):
+        with_assume = lower("int x; thread t { assume(x == 0); }")
+        without = lower("int x; thread t { skip; }")
+        assert len(with_assume.constraints) > len(without.constraints)
+
+    def test_stats(self):
+        prog = lower("int x; thread t { x = x + 1; }")
+        s = prog.stats()
+        assert s["reads"] == 1 and s["writes"] == 2

@@ -1,0 +1,53 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestTokens:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_vs_idents(self):
+        assert kinds("int x while foo") == [
+            ("kw", "int"), ("ident", "x"), ("kw", "while"), ("ident", "foo"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("0 42 1234") == [
+            ("int_lit", "0"), ("int_lit", "42"), ("int_lit", "1234"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert [t for _, t in kinds("a<=b==c&&d")] == ["a", "<=", "b", "==", "c", "&&", "d"]
+
+    def test_single_char_ops(self):
+        assert [t for _, t in kinds("(x+y)*z;")] == ["(", "x", "+", "y", ")", "*", "z", ";"]
+
+    def test_line_comment(self):
+        assert kinds("x // comment here\ny") == [("ident", "x"), ("ident", "y")]
+
+    def test_block_comment(self):
+        assert kinds("x /* multi\nline */ y") == [("ident", "x"), ("ident", "y")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("x /* oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x $ y")
+
+    def test_positions(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_underscored_identifiers(self):
+        assert kinds("_x x_1 __a") == [("ident", "_x"), ("ident", "x_1"), ("ident", "__a")]

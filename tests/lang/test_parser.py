@@ -1,0 +1,156 @@
+"""Parser tests for the mini concurrent language."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+
+PAPER_EXAMPLE = """
+int x = 0, y = 0, m = 0, n = 0;
+
+thread thr1 {
+    if (x == 1) { m = 1; } else { m = x; }
+    y = x + 1;
+}
+
+thread thr2 {
+    if (y == 1) { n = 1; } else { n = y; }
+    x = y + 1;
+}
+
+main {
+    start thr1;
+    start thr2;
+    join thr1;
+    join thr2;
+    assert(!(m == 1 && n == 1));
+}
+"""
+
+
+class TestTopLevel:
+    def test_paper_example_parses(self):
+        prog = parse(PAPER_EXAMPLE)
+        assert prog.global_names() == ["x", "y", "m", "n"]
+        assert [t.name for t in prog.threads] == ["thr1", "thr2"]
+        assert prog.main is not None
+        assert len(prog.main.body) == 5
+
+    def test_global_inits(self):
+        prog = parse("int a = 5, b, c = -3;")
+        assert [(g.name, g.init) for g in prog.globals] == [("a", 5), ("b", 0), ("c", -3)]
+
+    def test_lock_declaration(self):
+        prog = parse("lock m; int x;")
+        assert prog.globals[0].is_lock is True
+        assert prog.globals[1].is_lock is False
+
+    def test_duplicate_main_rejected(self):
+        with pytest.raises(ParseError):
+            parse("main { } main { }")
+
+
+class TestStatements:
+    def parse_thread_body(self, body):
+        prog = parse("int x; thread t { %s }" % body)
+        return prog.threads[0].body
+
+    def test_assign(self):
+        (s,) = self.parse_thread_body("x = 1 + 2;")
+        assert isinstance(s, ast.Assign)
+        assert isinstance(s.value, ast.Binary)
+
+    def test_local_decl(self):
+        s1, s2 = self.parse_thread_body("int a; int b = x;")
+        assert isinstance(s1, ast.LocalDecl) and s1.init is None
+        assert isinstance(s2, ast.LocalDecl) and isinstance(s2.init, ast.VarRef)
+
+    def test_if_else(self):
+        (s,) = self.parse_thread_body("if (x) { x = 1; } else { x = 2; }")
+        assert isinstance(s, ast.If)
+        assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+    def test_if_without_else(self):
+        (s,) = self.parse_thread_body("if (x) { x = 1; }")
+        assert isinstance(s, ast.If) and s.else_body == []
+
+    def test_else_if_chain(self):
+        (s,) = self.parse_thread_body(
+            "if (x == 1) { x = 1; } else if (x == 2) { x = 2; } else { x = 3; }"
+        )
+        assert isinstance(s.else_body[0], ast.If)
+
+    def test_while(self):
+        (s,) = self.parse_thread_body("while (x < 10) { x = x + 1; }")
+        assert isinstance(s, ast.While)
+
+    def test_assert_assume(self):
+        s1, s2 = self.parse_thread_body("assert(x == 0); assume(x != 1);")
+        assert isinstance(s1, ast.Assert)
+        assert isinstance(s2, ast.Assume)
+
+    def test_lock_unlock_stmt(self):
+        prog = parse("lock m; thread t { lock(m); unlock(m); }")
+        s1, s2 = prog.threads[0].body
+        assert isinstance(s1, ast.Lock) and s1.name == "m"
+        assert isinstance(s2, ast.Unlock)
+
+    def test_atomic(self):
+        (s,) = self.parse_thread_body("atomic { x = x + 1; }")
+        assert isinstance(s, ast.Atomic) and len(s.body) == 1
+
+    def test_skip(self):
+        (s,) = self.parse_thread_body("skip;")
+        assert isinstance(s, ast.Skip)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self.parse_thread_body("x = 1")
+
+
+class TestExpressions:
+    def expr(self, text):
+        prog = parse("int x, y, z; thread t { x = %s; }" % text)
+        return prog.threads[0].body[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x + y * z")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = self.expr("x < y && y < z")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == "<"
+
+    def test_precedence_and_over_or(self):
+        e = self.expr("x && y || z")
+        assert e.op == "||" and e.left.op == "&&"
+
+    def test_parentheses_override(self):
+        e = self.expr("(x + y) * z")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_left_associativity(self):
+        e = self.expr("x - y - z")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_unary_ops(self):
+        e = self.expr("-x + !y")
+        assert e.left.op == "-" and e.right.op == "!"
+
+    def test_nondet(self):
+        e = self.expr("nondet()")
+        assert isinstance(e, ast.Nondet)
+
+    def test_true_false_literals(self):
+        assert self.expr("true").value == 1
+        assert self.expr("false").value == 0
+
+    def test_bitwise_precedence(self):
+        # & binds tighter than ^ binds tighter than |
+        e = self.expr("x | y ^ z & x")
+        assert e.op == "|" and e.right.op == "^" and e.right.right.op == "&"
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            self.expr("x +")

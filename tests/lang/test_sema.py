@@ -1,0 +1,124 @@
+"""Semantic checker tests."""
+
+import pytest
+
+from repro.lang import check_program, parse
+from repro.lang.sema import SemanticError
+
+
+def check(src):
+    check_program(parse(src))
+
+
+class TestDeclarations:
+    def test_valid_program(self):
+        check("int x; thread t { x = 1; } main { start t; join t; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            check("int x; int x;")
+
+    def test_duplicate_thread(self):
+        with pytest.raises(SemanticError):
+            check("thread t { skip; } thread t { skip; }")
+
+    def test_thread_named_main(self):
+        # 'main' is a keyword, so this is rejected at parse time already.
+        from repro.lang.parser import ParseError
+
+        with pytest.raises((SemanticError, ParseError)):
+            check("thread main { skip; }")
+
+    def test_local_shadows_global(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { int x; }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(SemanticError):
+            check("thread t { int a; int a; }")
+
+    def test_undeclared_variable_read(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { x = y; }")
+
+    def test_undeclared_assign_target(self):
+        with pytest.raises(SemanticError):
+            check("thread t { y = 1; }")
+
+
+class TestLocks:
+    def test_lock_ok(self):
+        check("lock m; thread t { lock(m); unlock(m); }")
+
+    def test_lock_unknown_name(self):
+        with pytest.raises(SemanticError):
+            check("thread t { lock(m); }")
+
+    def test_lock_on_plain_int(self):
+        with pytest.raises(SemanticError):
+            check("int m; thread t { lock(m); }")
+
+    def test_lock_var_not_assignable(self):
+        with pytest.raises(SemanticError):
+            check("lock m; thread t { m = 1; }")
+
+    def test_lock_var_not_readable(self):
+        with pytest.raises(SemanticError):
+            check("lock m; int x; thread t { x = m; }")
+
+
+class TestStartJoin:
+    def test_start_join_outside_main(self):
+        with pytest.raises(SemanticError):
+            check("thread t { start t; }")
+
+    def test_start_unknown_thread(self):
+        with pytest.raises(SemanticError):
+            check("main { start nope; }")
+
+    def test_join_before_start(self):
+        with pytest.raises(SemanticError):
+            check("thread t { skip; } main { join t; }")
+
+    def test_double_start(self):
+        with pytest.raises(SemanticError):
+            check("thread t { skip; } main { start t; start t; }")
+
+    def test_conditional_start_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { skip; } main { if (x) { start t; } }")
+
+
+class TestAtomic:
+    def test_rmw_ok(self):
+        check("int x; thread t { atomic { x = x + 1; } }")
+
+    def test_tas_ok(self):
+        check("int x; thread t { atomic { assume(x == 0); x = 1; } }")
+
+    def test_nested_atomic_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { atomic { atomic { x = 1; } } }")
+
+    def test_branching_in_atomic_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { atomic { if (x) { x = 1; } } }")
+
+    def test_two_shared_vars_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x, y; thread t { atomic { x = y; } }")
+
+    def test_two_writes_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { atomic { x = 1; x = 2; } }")
+
+    def test_two_reads_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { atomic { x = x + x; } }")
+
+    def test_assert_in_atomic_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int x; thread t { atomic { assert(x == 0); } }")
+
+    def test_local_only_atomic_ok(self):
+        check("thread t { int a; atomic { a = 1; } }")

@@ -1,0 +1,91 @@
+"""Unparser tests: normalized output + parse/unparse round-trip."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, parse
+from repro.lang.unparse import unparse, unparse_expr
+from tests.verify.programs import ALL_PROGRAMS
+
+
+def _strip_positions(node):
+    """Structural comparison ignoring source positions."""
+    if isinstance(node, (ast.Program, ast.GlobalDecl, ast.ThreadDef)) or (
+        dataclasses.is_dataclass(node) and not isinstance(node, type)
+    ):
+        fields = {}
+        for f in dataclasses.fields(node):
+            if f.name == "pos":
+                continue
+            fields[f.name] = _strip_positions(getattr(node, f.name))
+        return (type(node).__name__, tuple(sorted(fields.items())))
+    if isinstance(node, list):
+        return tuple(_strip_positions(x) for x in node)
+    return node
+
+
+@pytest.mark.parametrize("name,source,_safe", ALL_PROGRAMS)
+def test_roundtrip_on_corpus(name, source, _safe):
+    p1 = parse(source)
+    p2 = parse(unparse(p1))
+    assert _strip_positions(p1) == _strip_positions(p2), name
+
+
+class TestExprPrinting:
+    def expr(self, text):
+        prog = parse(f"int x, y, z; thread t {{ x = {text}; }}")
+        return prog.threads[0].body[0].value
+
+    def test_minimal_parens_precedence(self):
+        assert unparse_expr(self.expr("x + y * z")) == "x + y * z"
+        assert unparse_expr(self.expr("(x + y) * z")) == "(x + y) * z"
+
+    def test_left_associativity_preserved(self):
+        assert unparse_expr(self.expr("x - y - z")) == "x - y - z"
+        assert unparse_expr(self.expr("x - (y - z)")) == "x - (y - z)"
+
+    def test_unary(self):
+        assert unparse_expr(self.expr("-x + !y")) == "-x + !y"
+
+    def test_logical_nesting(self):
+        assert (
+            unparse_expr(self.expr("x == 1 && (y == 2 || z == 3)"))
+            == "x == 1 && (y == 2 || z == 3)"
+        )
+
+    def test_nondet(self):
+        assert unparse_expr(self.expr("nondet() + 1")) == "nondet() + 1"
+
+
+# Random expression round-trip --------------------------------------------
+
+def exprs(depth):
+    leaf = st.one_of(
+        st.integers(0, 99).map(ast.IntLit),
+        st.sampled_from(["x", "y", "z"]).map(ast.VarRef),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    ops = st.sampled_from(
+        ["+", "-", "*", "&&", "||", "==", "!=", "<", "<=", "&", "|", "^"]
+    )
+    return st.one_of(
+        leaf,
+        st.tuples(ops, sub, sub).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["-", "!", "~"]), sub).map(
+            lambda t: ast.Unary(t[0], t[1])
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=exprs(4))
+def test_random_expr_roundtrip(e):
+    text = unparse_expr(e)
+    prog = parse(f"int x, y, z; thread t {{ x = {text}; }}")
+    reparsed = prog.threads[0].body[0].value
+    assert _strip_positions(e) == _strip_positions(reparsed), text

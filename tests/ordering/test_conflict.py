@@ -1,0 +1,128 @@
+"""Tests for shortest-width conflict clause generation (Section 5.3)."""
+
+import pytest
+
+from repro.ordering.conflict import generate_conflicts
+from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
+from repro.ordering.icd import IncrementalCycleDetector
+from repro.ordering.solver import OrderingTheory
+
+
+def build(n, po_edges, var_edges):
+    """Build a graph with PO skeleton and activated variable edges."""
+    g = EventGraph(n)
+    det = IncrementalCycleDetector(g)
+    for u, v in po_edges:
+        assert det.add_edge(Edge(u, v, EdgeKind.PO)).cycle is False
+    for var, u, v, kind in var_edges:
+        e = Edge(u, v, kind, (var,), var)
+        assert det.add_edge(e).cycle is False
+    po_reach = OrderingTheory._compute_po_reachability(n, po_edges)
+    return g, po_reach
+
+
+class TestSimpleCycles:
+    def test_two_edge_cycle(self):
+        # Active: 0 -rf(v1)-> 1.  New edge 1 -ws(v2)-> 0 closes the cycle.
+        g, po = build(2, [], [(1, 0, 1, EdgeKind.RF)])
+        new = Edge(1, 0, EdgeKind.WS, (2,), 2)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-1, -2]]
+
+    def test_cycle_through_po_costs_nothing(self):
+        # PO chain 0->1->2; active 2 -rf(v1)-> 3.  New 3 -ws(v2)-> 0.
+        g, po = build(4, [(0, 1), (1, 2)], [(1, 2, 3, EdgeKind.RF)])
+        new = Edge(3, 0, EdgeKind.WS, (2,), 2)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-1, -2]]
+
+    def test_pure_po_path_gives_unit_clause(self):
+        # PO 0->1; new edge 1 -rf(v9)-> 0: conflict involves only v9.
+        g, po = build(2, [(0, 1)], [])
+        new = Edge(1, 0, EdgeKind.RF, (9,), 9)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-9]]
+
+    def test_fr_edge_reason_has_two_literals(self):
+        # Derived FR edge carries the pair (rf, ws) as its reason.
+        g, po = build(2, [], [(4, 0, 1, EdgeKind.WS)])
+        new = Edge(1, 0, EdgeKind.FR, (5, 6))
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-4, -5, -6]]
+
+
+class TestShortestWidth:
+    def test_po_path_preferred_over_wider(self):
+        # Two paths 1 ⇝ 0: pure PO (width 0) and via var edge (width 1).
+        # Only the PO path's reason should be reported.
+        g, po = build(3, [(1, 2), (2, 0)], [(3, 1, 0, EdgeKind.WS)])
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-7]]
+
+    def test_po_chord_removes_dominated_edge(self):
+        # rf edge 0->1 parallel to PO 0->1 (the Figure 3b situation):
+        # the rf edge must be filtered, so the single shortest reason
+        # uses PO only.
+        g, po = build(
+            3, [(0, 1), (1, 2)], [(3, 0, 1, EdgeKind.RF)]
+        )
+        new = Edge(2, 0, EdgeKind.WS, (8,), 8)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-8]]
+
+    def test_all_shortest_cycles_reported(self):
+        # Two disjoint width-1 paths 1 ⇝ 0: report both.
+        g, po = build(
+            4,
+            [],
+            [(3, 1, 2, EdgeKind.WS), (4, 2, 0, EdgeKind.WS),
+             (5, 1, 3, EdgeKind.WS), (6, 3, 0, EdgeKind.WS)],
+        )
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new)
+        assert len(clauses) == 2
+        sets = {frozenset(c) for c in clauses}
+        assert frozenset([-3, -4, -7]) in sets
+        assert frozenset([-5, -6, -7]) in sets
+
+    def test_wider_cycles_suppressed(self):
+        # width-1 path and width-2 path: only width-1 reported.
+        g, po = build(
+            4,
+            [],
+            [(3, 1, 0, EdgeKind.WS),
+             (5, 1, 2, EdgeKind.WS), (6, 2, 0, EdgeKind.WS)],
+        )
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-3, -7]]
+
+    def test_max_clauses_cap(self):
+        # Many parallel width-1 paths; cap limits output.
+        var_edges = []
+        var = 10
+        n = 12
+        for mid in range(2, n):
+            var_edges.append((var, 1, mid, EdgeKind.WS))
+            var_edges.append((var + 1, mid, 0, EdgeKind.WS))
+            var += 2
+        g, po = build(n, [], var_edges)
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new, max_clauses=3)
+        assert len(clauses) == 3
+
+    def test_duplicate_reasons_deduplicated(self):
+        # Same literal appearing twice on a path collapses in the clause.
+        g, po = build(3, [], [(3, 1, 2, EdgeKind.WS), (3, 2, 0, EdgeKind.WS)])
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new)
+        assert clauses == [[-3, -7]]
+
+
+class TestErrors:
+    def test_no_cycle_raises(self):
+        g, po = build(2, [], [])
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        with pytest.raises(ValueError):
+            generate_conflicts(g, po, new)

@@ -1,0 +1,79 @@
+"""Structural tests for the AST-to-bytecode compiler."""
+
+import pytest
+
+from repro.lang import parse
+from repro.smc.compile import compile_program
+
+
+def compile_thread(body, decls="int x = 0; int y = 0;"):
+    prog = compile_program(parse(f"{decls} thread t {{ {body} }}"))
+    return prog.threads["t"].code
+
+
+class TestCodegen:
+    def test_shared_vs_local_loads(self):
+        code = compile_thread("int a; a = x; y = a;")
+        kinds = [i[0] for i in code]
+        assert "loadg" in kinds and "storel" in kinds and "storeg" in kinds
+
+    def test_if_else_jump_targets_in_range(self):
+        code = compile_thread("if (x == 1) { y = 1; } else { y = 2; }")
+        for instr in code:
+            if instr[0] in ("jmp", "jz"):
+                assert 0 <= instr[1] <= len(code)
+
+    def test_while_has_backedge_and_reset(self):
+        code = compile_thread("while (x < 3) { x = x + 1; }")
+        kinds = [i[0] for i in code]
+        assert "iter" in kinds and "iterrst" in kinds
+        jmps = [i for i in code if i[0] == "jmp"]
+        head = kinds.index("iter")
+        assert any(j[1] == head for j in jmps), "loop back-edge missing"
+
+    def test_atomic_brackets(self):
+        code = compile_thread("atomic { x = x + 1; }")
+        kinds = [i[0] for i in code]
+        begin = kinds.index("abegin")
+        end = kinds.index("aend")
+        assert begin < end
+        assert code[begin][1] == end + 1  # abegin arg: index after aend
+
+    def test_lock_unlock_instructions(self):
+        prog = compile_program(
+            parse("lock m; thread t { lock(m); unlock(m); }")
+        )
+        kinds = [i[0] for i in prog.threads["t"].code]
+        assert kinds == ["lock", "unlock"]
+
+    def test_main_start_join(self):
+        prog = compile_program(
+            parse("int x; thread t { x = 1; } main { start t; join t; }")
+        )
+        kinds = [i[0] for i in prog.main.code]
+        assert kinds == ["start", "join"]
+
+    def test_implicit_main_generated(self):
+        prog = compile_program(parse("int x; thread a { x = 1; } thread b { x = 2; }"))
+        kinds = [i[0] for i in prog.main.code]
+        assert kinds == ["start", "start", "join", "join"]
+
+    def test_uses_nondet_flag(self):
+        assert compile_program(
+            parse("int x; thread t { x = nondet(); }")
+        ).uses_nondet
+        assert not compile_program(
+            parse("int x; thread t { x = 1; }")
+        ).uses_nondet
+
+    def test_distinct_loop_ids(self):
+        code = compile_thread(
+            "while (x < 2) { x = x + 1; } while (y < 2) { y = y + 1; }"
+        )
+        loop_ids = {i[1] for i in code if i[0] == "iter"}
+        assert len(loop_ids) == 2
+
+    def test_fence_compiles_to_nothing(self):
+        code = compile_thread("fence; x = 1;")
+        kinds = [i[0] for i in code]
+        assert kinds[0] != "fence"  # no runtime footprint under SC

@@ -1,0 +1,183 @@
+"""Explorer tests: trace counts, DPOR reduction, verdicts."""
+
+import math
+
+import pytest
+
+from repro.lang import parse
+from repro.smc import Explorer, compile_program
+
+
+def explore(src, mode="dpor", **kw):
+    compiled = compile_program(parse(src), width=8, unwind=kw.pop("unwind", 8))
+    return Explorer(compiled, mode=mode, **kw).run()
+
+
+def two_writer_program(n, same_addr):
+    decls = "int x0 = 0;" if same_addr else " ".join(
+        f"int x{i} = 0;" for i in range(n)
+    )
+    threads = "\n".join(
+        f"thread t{i} {{ x{0 if same_addr else i} = {i + 1}; }}" for i in range(n)
+    )
+    return f"{decls}\n{threads}\n"
+
+
+class TestNaiveCounts:
+    def test_single_thread_one_trace(self):
+        out = explore("int x; thread t { x = 1; x = 2; }", mode="naive")
+        assert out.traces == 1
+
+    def test_two_independent_writers_two_interleavings(self):
+        out = explore(two_writer_program(2, same_addr=False), mode="naive")
+        assert out.traces == 2
+
+    def test_three_writers_six_interleavings(self):
+        out = explore(two_writer_program(3, same_addr=False), mode="naive")
+        assert out.traces == 6
+
+    def test_interleaving_of_two_steps_each(self):
+        # Two threads with 2 visible ops each: C(4,2) = 6 interleavings.
+        src = """
+        int x = 0; int y = 0;
+        thread t1 { x = 1; x = 2; }
+        thread t2 { y = 1; y = 2; }
+        """
+        out = explore(src, mode="naive")
+        assert out.traces == 6
+
+    def test_nondet_branches_counted(self):
+        out = explore("int x; thread t { x = nondet(); }", mode="naive",
+                      nondet_domain=(0, 1, 2))
+        assert out.traces == 3
+
+
+class TestDporReduction:
+    def test_independent_writers_reduced_to_one(self):
+        out = explore(two_writer_program(3, same_addr=False), mode="dpor")
+        assert out.traces == 1
+
+    def test_conflicting_writers_not_reduced(self):
+        out = explore(two_writer_program(3, same_addr=True), mode="dpor")
+        assert out.traces == 6  # all orders of 3 same-address writes
+
+    def test_mixed_dependence(self):
+        # t1 and t2 conflict on x; t3 is independent: 2 Mazurkiewicz traces.
+        src = """
+        int x = 0; int y = 0;
+        thread t1 { x = 1; }
+        thread t2 { x = 2; }
+        thread t3 { y = 1; }
+        """
+        out = explore(src, mode="dpor")
+        assert out.traces == 2
+
+    def test_dpor_agrees_with_naive_on_verdicts(self):
+        src = """
+        int x = 0;
+        thread t1 { x = 1; }
+        thread t2 { x = 2; }
+        main { start t1; start t2; join t1; join t2; assert(x == 1); }
+        """
+        naive = explore(src, mode="naive")
+        dpor = explore(src, mode="dpor")
+        assert naive.verdict == dpor.verdict == "unsafe"
+
+    def test_reader_writer_dependence(self):
+        # writer/reader on x: 2 rf classes = 2 Mazurkiewicz traces.
+        src = """
+        int x = 0; int r = 0;
+        thread w { x = 1; }
+        thread rd { r = x; }
+        """
+        out = explore(src, mode="dpor")
+        assert out.traces == 2
+        assert out.rf_classes == 2
+
+    def test_rf_classes_can_be_fewer_than_traces(self):
+        # Two writes of x, no reads: Mazurkiewicz 2, rf classes 1.
+        out = explore(two_writer_program(2, same_addr=True), mode="dpor")
+        assert out.traces == 2
+        assert out.rf_classes == 1
+
+
+class TestVerdicts:
+    def test_safe_program(self):
+        src = """
+        int x = 0;
+        thread t { x = 1; }
+        main { start t; join t; assert(x == 1); }
+        """
+        assert explore(src).verdict == "safe"
+
+    def test_unsafe_has_witness_schedule(self):
+        src = """
+        int x = 0;
+        thread t1 { x = 1; }
+        thread t2 { x = 2; }
+        main { start t1; start t2; join t1; join t2; assert(x == 1); }
+        """
+        out = explore(src)
+        assert out.verdict == "unsafe"
+        assert out.witness_schedule
+
+    def test_assume_prunes_violation(self):
+        # assert fires but the path then fails an assume -> not an error.
+        # (The verdict is "unknown" rather than "safe" because the bounded
+        # nondet domain cannot prove safety -- but crucially not "unsafe".)
+        src = """
+        int x = 0;
+        thread t { x = nondet(); assert(x == 0); assume(x == 0); }
+        """
+        out = explore(src, nondet_domain=(0, 1))
+        assert out.verdict == "unknown"
+        assert out.witness_schedule is None
+        assert out.blocked >= 1
+
+    def test_full_nondet_domain_proves_safety(self):
+        src = """
+        int x = 0;
+        thread t { x = nondet(); assert(x >= 0 || x < 0); }
+        """
+        out = explore(src, nondet_domain=tuple(range(256)))
+        assert out.verdict == "safe"
+
+    def test_deadlocked_violation_discarded(self):
+        # Whoever acquires m never releases it, so the other thread (and
+        # main's join) can never complete: every execution deadlocks and is
+        # discarded -- matching the SMT encoding, where the blocked lock
+        # read has no feasible source write.  Verdict: SAFE.
+        src = """
+        lock m;
+        thread t1 { lock(m); }
+        thread t2 { lock(m); assert(false); }
+        """
+        out = explore(src)
+        assert out.verdict == "safe"
+        assert out.traces == 0
+
+    def test_released_lock_violation_found(self):
+        src = """
+        lock m;
+        thread t1 { lock(m); unlock(m); }
+        thread t2 { lock(m); assert(false); unlock(m); }
+        """
+        out = explore(src)
+        assert out.verdict == "unsafe"
+
+    def test_transition_budget_unknown(self):
+        src = two_writer_program(4, same_addr=True)
+        out = explore(src, mode="naive", max_transitions=5)
+        assert out.verdict == "unknown"
+
+
+class TestAgainstSmtEngine:
+    @pytest.mark.parametrize(
+        "name,source,is_safe",
+        [p for p in __import__(
+            "tests.verify.programs", fromlist=["ALL_PROGRAMS"]
+        ).ALL_PROGRAMS if p[0] not in ("nondet_unsafe", "assume_safe")],
+    )
+    def test_corpus_agreement(self, name, source, is_safe):
+        out = explore(source, mode="dpor", unwind=4)
+        assert out.verdict == ("safe" if is_safe else "unsafe"), name

@@ -1,0 +1,247 @@
+"""Interpreter unit tests: semantics of the bytecode machine."""
+
+import pytest
+
+from repro.lang import parse
+from repro.smc import Interpreter, compile_program
+
+
+def make(src, width=8, unwind=8):
+    compiled = compile_program(parse(src), width=width, unwind=unwind)
+    return Interpreter(compiled)
+
+
+def run_sequential(interp, choices=None):
+    """Drive the only-enabled transitions to completion (deterministic
+    programs); returns the final state."""
+    state = interp.initial_state()
+    fuel = 10000
+    while not state.infeasible:
+        ops = interp.enabled_ops(state)
+        if not ops:
+            break
+        assert len({op.tid for op in ops}) >= 1
+        op = ops[0]
+        value = 0
+        if op.kind == "nondet" and choices:
+            value = choices.pop(0)
+        interp.step(state, op.tid, value)
+        fuel -= 1
+        assert fuel > 0, "runaway execution"
+    return state
+
+
+class TestSequential:
+    def test_arithmetic_and_assignment(self):
+        interp = make("int x; main { x = 2 + 3 * 4; }")
+        state = run_sequential(interp)
+        assert interp.is_complete(state)
+        assert state.mem["x"] == 14
+
+    def test_locals_invisible(self):
+        interp = make("int x; main { int a; a = 5; int b; b = a + 1; x = b; }")
+        state = run_sequential(interp)
+        # Only one visible op: the store to x (plus none for locals).
+        assert state.mem["x"] == 6
+
+    def test_if_else_branches(self):
+        interp = make("int x = 1, y; main { if (x == 1) { y = 10; } else { y = 20; } }")
+        assert run_sequential(interp).mem["y"] == 10
+        interp = make("int x = 2, y; main { if (x == 1) { y = 10; } else { y = 20; } }")
+        assert run_sequential(interp).mem["y"] == 20
+
+    def test_while_loop(self):
+        interp = make(
+            "int x; main { int i; i = 0; while (i < 5) { i = i + 1; } x = i; }"
+        )
+        assert run_sequential(interp).mem["x"] == 5
+
+    def test_loop_beyond_unwind_gets_stuck(self):
+        interp = make(
+            "int x; main { int i; i = 0; while (i < 5) { i = i + 1; } x = i; }",
+            unwind=3,
+        )
+        state = run_sequential(interp)
+        assert state.infeasible
+        assert state.threads["main"].stuck
+        assert not interp.is_complete(state)
+
+    def test_stuck_thread_does_not_block_others(self):
+        # The sibling thread keeps running after t gets stuck (the
+        # execution still can never complete).
+        src = """
+        int x = 0, y = 0;
+        thread t { assume(x == 1); }
+        thread u { y = 1; y = 2; }
+        main { start t; start u; join t; join u; }
+        """
+        interp = make(src)
+        state = interp.initial_state()
+        # Run t first: its assume(x == 1) fails -> stuck.
+        interp.step(state, "t")  # loadg x, then assume fails during advance
+        assert state.threads["t"].stuck
+        ops = {op.tid for op in interp.enabled_ops(state)}
+        assert ops == {"u"}
+        interp.step(state, "u")
+        interp.step(state, "u")
+        assert state.mem["y"] == 2
+        assert not interp.is_complete(state)
+
+    def test_nested_loop_budget_resets(self):
+        src = """
+        int x;
+        main {
+            int i; int j; int c; c = 0; i = 0;
+            while (i < 2) { j = 0; while (j < 3) { j = j + 1; c = c + 1; } i = i + 1; }
+            x = c;
+        }
+        """
+        interp = make(src, unwind=3)
+        state = run_sequential(interp)
+        assert not state.infeasible
+        assert state.mem["x"] == 6
+
+    def test_assert_violation_recorded(self):
+        interp = make("int x = 1; main { assert(x == 2); }")
+        state = run_sequential(interp)
+        assert interp.is_complete(state)
+        assert state.violated
+
+    def test_assume_failure_sticks_thread(self):
+        interp = make("int x = 1; main { assume(x == 2); assert(x == 3); }")
+        state = run_sequential(interp)
+        assert state.infeasible
+        assert not state.violated
+        assert not interp.is_complete(state)
+
+    def test_signed_comparison(self):
+        interp = make("int x = -1, y; main { if (x < 0) { y = 1; } }", width=8)
+        assert run_sequential(interp).mem["y"] == 1
+
+    def test_wraparound(self):
+        interp = make("int x = 127, y; main { y = x + 1; }", width=8)
+        assert run_sequential(interp).mem["y"] == 128  # raw unsigned cell
+
+    def test_nondet_choice_applied(self):
+        interp = make("int x; main { x = nondet(); }")
+        state = interp.initial_state()
+        ops = interp.enabled_ops(state)
+        assert ops[0].kind == "nondet"
+        interp.step(state, ops[0].tid, 7)
+        # Then the store is the next visible op.
+        ops = interp.enabled_ops(state)
+        interp.step(state, ops[0].tid)
+        assert state.mem["x"] == 7
+
+
+class TestConcurrency:
+    SRC = """
+    int x = 0;
+    thread t1 { x = 1; }
+    thread t2 { x = 2; }
+    main { start t1; start t2; join t1; join t2; }
+    """
+
+    def test_both_threads_enabled_after_start(self):
+        interp = make(self.SRC)
+        state = interp.initial_state()
+        ops = interp.enabled_ops(state)
+        assert {op.tid for op in ops} == {"t1", "t2"}
+
+    def test_join_blocks_until_finished(self):
+        interp = make(self.SRC)
+        state = interp.initial_state()
+        # Run t1 only: main settles through "join t1" and parks at
+        # "join t2" (joins are synchronization, never schedulable events).
+        interp.step(state, "t1")
+        assert "main" not in {op.tid for op in interp.enabled_ops(state)}
+        assert not interp.is_complete(state)
+        # Once t2 finishes, main settles through the remaining join and
+        # completes the execution.
+        interp.step(state, "t2")
+        assert interp.is_complete(state)
+
+    def test_unstarted_thread_disabled(self):
+        src = "int x; thread t1 { x = 1; } thread t2 { x = 2; } main { start t1; join t1; }"
+        interp = make(src)
+        state = interp.initial_state()
+        ops = interp.enabled_ops(state)
+        assert {op.tid for op in ops} == {"t1"}
+
+    def test_lock_blocks_second_acquirer(self):
+        src = """
+        lock m; int x;
+        thread t1 { lock(m); x = 1; unlock(m); }
+        thread t2 { lock(m); x = 2; unlock(m); }
+        main { start t1; start t2; join t1; join t2; }
+        """
+        interp = make(src)
+        state = interp.initial_state()
+        interp.step(state, "t1")  # t1 acquires m
+        ops = interp.enabled_ops(state)
+        assert "t2" not in {op.tid for op in ops}
+        # After t1's store and unlock, t2 becomes enabled again.
+        interp.step(state, "t1")  # x = 1
+        interp.step(state, "t1")  # unlock
+        ops = interp.enabled_ops(state)
+        assert "t2" in {op.tid for op in ops}
+
+    def test_atomic_tas_blocking(self):
+        src = """
+        int l = 1;
+        thread t { atomic { assume(l == 0); l = 1; } }
+        main { start t; join t; }
+        """
+        interp = make(src)
+        state = interp.initial_state()
+        # l starts at 1: the TAS is disabled, nothing is enabled -> deadlock.
+        assert interp.enabled_ops(state) == []
+        assert not interp.is_complete(state)
+
+    def test_atomic_executes_as_unit(self):
+        src = """
+        int c = 0;
+        thread t1 { atomic { c = c + 1; } }
+        thread t2 { atomic { c = c + 1; } }
+        main { start t1; start t2; join t1; join t2; }
+        """
+        interp = make(src)
+        state = interp.initial_state()
+        interp.step(state, "t1")
+        assert state.mem["c"] == 1
+        interp.step(state, "t2")
+        assert state.mem["c"] == 2
+
+    def test_rf_signature_distinguishes_sources(self):
+        src = """
+        int x = 0; int y = 0;
+        thread w { x = 1; }
+        thread r { y = x; }
+        main { start w; start r; join w; join r; }
+        """
+        interp = make(src)
+        # Order A: write then read (reads w's value).
+        s1 = interp.initial_state()
+        interp.step(s1, "w")
+        interp.step(s1, "r")  # loadg x
+        # Order B: read then write (reads init).
+        s2 = interp.initial_state()
+        interp.step(s2, "r")
+        interp.step(s2, "w")
+        assert s1.rf_signature() != s2.rf_signature()
+
+    def test_state_key_identifies_equal_states(self):
+        interp = make(self.SRC)
+        s1 = interp.initial_state()
+        s2 = interp.initial_state()
+        assert s1.key() == s2.key()
+        interp.step(s1, "t1")
+        assert s1.key() != s2.key()
+
+    def test_clone_independent(self):
+        interp = make(self.SRC)
+        s1 = interp.initial_state()
+        s2 = s1.clone()
+        interp.step(s1, "t1")
+        assert s2.mem["x"] == 0
+        assert s1.mem["x"] == 1

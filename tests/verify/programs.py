@@ -1,0 +1,181 @@
+"""Shared corpus of programs with known SC verdicts, used across the
+end-to-end tests of every engine."""
+
+PAPER_FIG2 = """
+int x = 0, y = 0, m = 0, n = 0;
+thread thr1 {
+    if (x == 1) { m = 1; } else { m = x; }
+    y = x + 1;
+}
+thread thr2 {
+    if (y == 1) { n = 1; } else { n = y; }
+    x = y + 1;
+}
+main {
+    start thr1; start thr2; join thr1; join thr2;
+    assert(!(m == 1 && n == 1));
+}
+"""
+
+STORE_BUFFERING = """
+int x = 0, y = 0, a = 0, b = 0;
+thread t1 { x = 1; a = y; }
+thread t2 { y = 1; b = x; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(!(a == 0 && b == 0));
+}
+"""
+
+MESSAGE_PASSING = """
+int x = 0, y = 0, a = 0, b = 0;
+thread t1 { x = 1; y = 1; }
+thread t2 { a = y; b = x; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(!(a == 1 && b == 0));
+}
+"""
+
+LOAD_BUFFERING = """
+int x = 0, y = 0, a = 0, b = 0;
+thread t1 { a = y; x = 1; }
+thread t2 { b = x; y = 1; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(!(a == 1 && b == 1));
+}
+"""
+
+COHERENCE_CO_RR = """
+int x = 0, a = 0, b = 0;
+thread t1 { x = 1; x = 2; }
+thread t2 { a = x; b = x; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(!(a == 2 && b == 1));
+}
+"""
+
+RACE_UNSAFE = """
+int x = 0;
+thread t1 { x = 1; }
+thread t2 { x = 2; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(x == 1);
+}
+"""
+
+LOST_UPDATE_UNSAFE = """
+int c = 0;
+thread t1 { int tmp; tmp = c; c = tmp + 1; }
+thread t2 { int tmp; tmp = c; c = tmp + 1; }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(c == 2);
+}
+"""
+
+LOCKED_COUNTER_SAFE = """
+int c = 0;
+lock m;
+thread t1 { int tmp; lock(m); tmp = c; c = tmp + 1; unlock(m); }
+thread t2 { int tmp; lock(m); tmp = c; c = tmp + 1; unlock(m); }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(c == 2);
+}
+"""
+
+ATOMIC_COUNTER_SAFE = """
+int c = 0;
+thread t1 { atomic { c = c + 1; } }
+thread t2 { atomic { c = c + 1; } }
+main {
+    start t1; start t2; join t1; join t2;
+    assert(c == 2);
+}
+"""
+
+PETERSON_SAFE = """
+int flag0 = 0, flag1 = 0, turn = 0, critical = 0, bad = 0;
+thread p0 {
+    flag0 = 1;
+    turn = 1;
+    int f; int t;
+    f = flag1; t = turn;
+    while (f == 1 && t == 1) { f = flag1; t = turn; }
+    critical = critical + 1;
+    if (critical != 1) { bad = 1; }
+    critical = critical - 1;
+    flag0 = 0;
+}
+thread p1 {
+    flag1 = 1;
+    turn = 0;
+    int f; int t;
+    f = flag0; t = turn;
+    while (f == 1 && t == 0) { f = flag0; t = turn; }
+    critical = critical + 1;
+    if (critical != 1) { bad = 1; }
+    critical = critical - 1;
+    flag1 = 0;
+}
+main {
+    start p0; start p1; join p0; join p1;
+    assert(bad == 0);
+}
+"""
+
+ASSUME_SAFE = """
+int x = 0;
+thread t { x = nondet(); assume(x == 3); }
+main { start t; join t; assert(x == 3); }
+"""
+
+NONDET_UNSAFE = """
+int x = 0;
+thread t { x = nondet(); }
+main { start t; join t; assert(x == 3); }
+"""
+
+LOOP_SUM_SAFE = """
+int x = 0;
+thread t {
+    int i;
+    i = 0;
+    while (i < 3) { int tmp; tmp = x; x = tmp + 1; i = i + 1; }
+}
+main { start t; join t; assert(x == 3); }
+"""
+
+SEQUENTIAL_OVERWRITE_SAFE = """
+int x = 0;
+thread t { x = 5; x = 7; }
+main { start t; join t; assert(x == 7); }
+"""
+
+MAIN_ONLY_SAFE = """
+int x = 0;
+main { x = 1; x = x + 1; assert(x == 2); }
+"""
+
+#: (name, source, is_safe) for every corpus program.
+ALL_PROGRAMS = [
+    ("paper_fig2", PAPER_FIG2, True),
+    ("store_buffering", STORE_BUFFERING, True),
+    ("message_passing", MESSAGE_PASSING, True),
+    ("load_buffering", LOAD_BUFFERING, True),
+    ("coherence_co_rr", COHERENCE_CO_RR, True),
+    ("race_unsafe", RACE_UNSAFE, False),
+    ("lost_update_unsafe", LOST_UPDATE_UNSAFE, False),
+    ("locked_counter_safe", LOCKED_COUNTER_SAFE, True),
+    ("atomic_counter_safe", ATOMIC_COUNTER_SAFE, True),
+    ("peterson_safe", PETERSON_SAFE, True),
+    ("assume_safe", ASSUME_SAFE, True),
+    ("nondet_unsafe", NONDET_UNSAFE, False),
+    ("loop_sum_safe", LOOP_SUM_SAFE, True),
+    ("sequential_overwrite_safe", SEQUENTIAL_OVERWRITE_SAFE, True),
+    ("main_only_safe", MAIN_ONLY_SAFE, True),
+]

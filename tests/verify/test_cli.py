@@ -1,0 +1,96 @@
+"""CLI tests (repro-verify)."""
+
+import pytest
+
+from repro.cli import main
+from tests.verify.programs import PAPER_FIG2, RACE_UNSAFE
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    def write(source):
+        path = tmp_path / "prog.c"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestCli:
+    def test_safe_program(self, program_file, capsys):
+        rc = main([program_file(PAPER_FIG2)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SAFE" in out
+
+    def test_unsafe_with_witness(self, program_file, capsys):
+        rc = main([program_file(RACE_UNSAFE), "--witness"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "UNSAFE" in out
+        assert "counterexample trace" in out
+
+    def test_stats_flag(self, program_file, capsys):
+        main([program_file(PAPER_FIG2), "--stats"])
+        out = capsys.readouterr().out
+        assert "rf_vars" in out
+
+    def test_engine_selection(self, program_file, capsys):
+        for engine in ("cbmc", "dartagnan", "cpa-seq", "nidhugg-rfsc"):
+            rc = main([program_file(PAPER_FIG2), "--engine", engine])
+            assert rc == 0
+            assert "SAFE" in capsys.readouterr().out
+
+    def test_unwind_and_width_flags(self, program_file, capsys):
+        src = "int x = 0; main { x = 127; x = x + 1; assert(x == 128); }"
+        rc = main([program_file(src), "--width", "16"])
+        assert rc == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main([program_file(PAPER_FIG2), "--engine", "nope"])
+
+
+class TestDumpFlags:
+    def test_dump_smt2(self, program_file, tmp_path, capsys):
+        out = str(tmp_path / "out.smt2")
+        rc = main([program_file(PAPER_FIG2), "--dump-smt2", out])
+        assert rc == 0
+        text = open(out).read()
+        assert "(set-logic QF_BV)" in text
+
+    def test_dump_dimacs(self, program_file, tmp_path, capsys):
+        out = str(tmp_path / "out.cnf")
+        rc = main([program_file(RACE_UNSAFE), "--dump-dimacs", out])
+        assert rc == 0
+        assert "p cnf " in open(out).read()
+
+    def test_weak_model_flag(self, program_file, capsys):
+        src = """
+        int x = 0, y = 0, a = 0, b = 0;
+        thread t1 { x = 1; a = y; }
+        thread t2 { y = 1; b = x; }
+        main { start t1; start t2; join t1; join t2;
+               assert(!(a == 0 && b == 0)); }
+        """
+        rc = main([program_file(src), "--memory-model", "tso"])
+        assert rc == 0
+        assert "UNSAFE" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_parse_error_graceful(self, program_file, capsys):
+        rc = main([program_file("int x = ;")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_semantic_error_graceful(self, program_file, capsys):
+        rc = main([program_file("thread t { y = 1; }")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_lex_error_graceful(self, program_file, capsys):
+        rc = main([program_file("int x $ 1;")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

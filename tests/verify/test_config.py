@@ -1,0 +1,60 @@
+"""VerifierConfig preset integrity."""
+
+import dataclasses
+
+import pytest
+
+from repro.verify import VerifierConfig, VerificationResult, Verdict
+
+
+class TestPresets:
+    def test_preset_names(self):
+        assert VerifierConfig.zord().name == "zord"
+        assert VerifierConfig.zord_minus().name == "zord-"
+        assert VerifierConfig.zord_prime().name == "zord'"
+        assert VerifierConfig.zord_tarjan().name == "zord-tarjan"
+        assert VerifierConfig.cbmc().name == "cbmc"
+
+    def test_zord_flags(self):
+        c = VerifierConfig.zord()
+        assert c.engine == "smt" and c.theory == "ord"
+        assert c.detector == "icd" and c.unit_edge and not c.fr_encoding
+
+    def test_zord_minus_encodes_fr(self):
+        assert VerifierConfig.zord_minus().fr_encoding is True
+
+    def test_zord_prime_disables_unit_edge(self):
+        assert VerifierConfig.zord_prime().unit_edge is False
+
+    def test_zord_tarjan_detector(self):
+        assert VerifierConfig.zord_tarjan().detector == "tarjan"
+
+    def test_cbmc_uses_idl_with_fr(self):
+        c = VerifierConfig.cbmc()
+        assert c.theory == "idl" and c.fr_encoding is True
+
+    def test_engines_of_non_smt_presets(self):
+        assert VerifierConfig.dartagnan().engine == "closure"
+        assert VerifierConfig.cpa_seq().engine == "explicit"
+        assert VerifierConfig.lazy_cseq().engine == "lazyseq"
+        assert VerifierConfig.nidhugg_rfsc().engine == "smc-rfsc"
+        assert VerifierConfig.genmc().engine == "smc-genmc"
+
+    def test_presets_accept_common_kwargs(self):
+        c = VerifierConfig.zord(unwind=3, width=16, time_limit_s=1.0)
+        assert (c.unwind, c.width, c.time_limit_s) == (3, 16, 1.0)
+
+    def test_with_overrides(self):
+        c = VerifierConfig.zord().with_(unwind=2)
+        assert c.unwind == 2 and c.name == "zord"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            VerifierConfig.zord().unwind = 3
+
+
+class TestResultStr:
+    def test_str_contains_verdict_and_time(self):
+        r = VerificationResult(Verdict.SAFE, "zord", wall_time_s=1.5)
+        s = str(r)
+        assert "SAFE" in s and "zord" in s and "1.500" in s

@@ -1,0 +1,71 @@
+"""Coverage for smaller paths: trace helpers, SMC budget exhaustion,
+wrong-verdict rendering."""
+
+from repro.bench import Task
+from repro.bench.harness import TaskResult, render_table3, run_task
+from repro.verify import Verdict, VerifierConfig, verify
+from repro.verify.witness import Trace, TraceStep
+
+
+class TestTraceHelpers:
+    def test_values_of_filters_by_address(self):
+        trace = Trace(
+            [
+                TraceStep("t1", "W", "x", 1),
+                TraceStep("t1", "R", "y", 0),
+                TraceStep("t2", "W", "x", 2),
+            ]
+        )
+        assert trace.values_of("x") == [1, 2]
+        assert trace.values_of("y") == [0]
+
+    def test_str_numbers_steps(self):
+        trace = Trace([TraceStep("t1", "W", "x", 1)])
+        text = str(trace)
+        assert "1." in text and "write x = 1" in text
+
+
+class TestSmcBudgets:
+    BIG = "\n".join(
+        ["int x = 0;"]
+        + [f"thread t{i} {{ int a{i}; a{i} = x; x = a{i} + 1; }}" for i in range(6)]
+    ) + "\nmain { "\
+        + " ".join(f"start t{i};" for i in range(6)) \
+        + " " + " ".join(f"join t{i};" for i in range(6)) \
+        + " assert(x >= 1); }"
+
+    def test_rfsc_time_budget_gives_unknown(self):
+        result = verify(self.BIG, VerifierConfig.nidhugg_rfsc(time_limit_s=0.05))
+        assert result.verdict in (Verdict.UNKNOWN, Verdict.SAFE)
+
+    def test_genmc_reports_stats_on_unknown(self):
+        result = verify(self.BIG, VerifierConfig.genmc(time_limit_s=0.05))
+        assert "transitions" in result.stats
+
+
+class TestTable3Rendering:
+    def test_wrong_verdict_marked(self):
+        task = Task("demo/x", "demo", "int x;", True)
+        wrong = TaskResult("demo/x", "demo", "toolA", "unsafe", False, 0.5)
+        right = TaskResult("demo/x", "demo", "toolB", "safe", True, 0.5)
+        unknown = TaskResult("demo/x", "demo", "toolC", "unknown", None, 10.0)
+        table = render_table3(
+            [task],
+            {"toolA": [wrong], "toolB": [right], "toolC": [unknown]},
+            tool_order=("toolA", "toolB", "toolC"),
+            traces_from="toolB",
+        )
+        assert "(!)" in table   # wrong verdict flagged
+        assert "TO" in table    # budget exhaustion flagged
+
+
+class TestRunTaskBudget:
+    def test_unknown_has_none_correct(self):
+        task = Task(
+            "demo/slow", "demo",
+            TestSmcBudgets.BIG, True,
+        )
+        result = run_task(
+            task, VerifierConfig.nidhugg_rfsc, time_limit_s=0.05
+        )
+        assert result.correct in (None, True)
