@@ -20,6 +20,11 @@ from repro.verify import VerifierConfig
 SVCOMP_TIME_LIMIT = 10.0
 #: Per-task budget for the Nidhugg grid (seconds).
 NIDHUGG_TIME_LIMIT = 30.0
+#: Worker processes for the engine grids (``REPRO_BENCH_JOBS=8`` runs the
+#: paper's engine-vs-engine figures in parallel via repro.portfolio).
+#: Serial (1) remains the default: per-task wall times are the figures'
+#: payload and are cleanest on an unloaded machine.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -48,7 +53,8 @@ def svcomp_results(svcomp_tasks):
         "lazy-cseq": VerifierConfig.lazy_cseq,
     }
     results = run_suite(
-        svcomp_tasks, configs, time_limit_s=SVCOMP_TIME_LIMIT, measure_memory=True
+        svcomp_tasks, configs, time_limit_s=SVCOMP_TIME_LIMIT,
+        measure_memory=True, jobs=BENCH_JOBS,
     )
     write_output("svcomp_grid.csv", results_to_csv(results).rstrip())
     return results
@@ -63,7 +69,9 @@ def ablation_results(svcomp_tasks):
         "zord'": VerifierConfig.zord_prime,
         "zord-tarjan": VerifierConfig.zord_tarjan,
     }
-    return run_suite(svcomp_tasks, configs, time_limit_s=SVCOMP_TIME_LIMIT)
+    return run_suite(
+        svcomp_tasks, configs, time_limit_s=SVCOMP_TIME_LIMIT, jobs=BENCH_JOBS
+    )
 
 
 @pytest.fixture(scope="session")
@@ -80,6 +88,8 @@ def nidhugg_results(nidhugg_tasks):
         "cbmc": VerifierConfig.cbmc,
         "zord": VerifierConfig.zord,
     }
-    results = run_suite(nidhugg_tasks, configs, time_limit_s=NIDHUGG_TIME_LIMIT)
+    results = run_suite(
+        nidhugg_tasks, configs, time_limit_s=NIDHUGG_TIME_LIMIT, jobs=BENCH_JOBS
+    )
     write_output("nidhugg_grid.csv", results_to_csv(results).rstrip())
     return results

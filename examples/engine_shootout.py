@@ -1,6 +1,10 @@
 """Mini Table 1: run every engine over a slice of the benchmark suite.
 
-Run:  python examples/engine_shootout.py [scale]
+Run:  python examples/engine_shootout.py [scale] [jobs]
+
+With jobs > 1 the engine grid is distributed over a process pool
+(repro.portfolio.verify_batch) -- same verdicts, a fraction of the wall
+time on multicore.
 """
 
 import sys
@@ -12,9 +16,10 @@ from repro.verify import VerifierConfig
 
 def main() -> None:
     scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     tasks = svcomp_suite(scale=scale)[:30]
-    print(f"running 6 engines on {len(tasks)} tasks "
-          "(5s per-task budget, this takes a minute)...")
+    print(f"running 6 engines on {len(tasks)} tasks with {jobs} worker(s) "
+          "(5s per-task budget)...")
     configs = {
         "zord": VerifierConfig.zord,
         "cbmc": VerifierConfig.cbmc,
@@ -23,7 +28,8 @@ def main() -> None:
         "lazy-cseq": VerifierConfig.lazy_cseq,
         "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
     }
-    results = run_suite(tasks, configs, time_limit_s=5.0, measure_memory=True)
+    results = run_suite(tasks, configs, time_limit_s=5.0, measure_memory=True,
+                        jobs=jobs)
     print()
     print(render_summary_table(results, reference="zord",
                                title="Mini summary (Table 1 layout)"))

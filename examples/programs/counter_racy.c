@@ -1,0 +1,7 @@
+int counter = 0;
+thread inc1 { int t; t = counter; counter = t + 1; }
+thread inc2 { int t; t = counter; counter = t + 1; }
+main {
+    start inc1; start inc2; join inc1; join inc2;
+    assert(counter == 2);
+}

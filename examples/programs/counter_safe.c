@@ -1,0 +1,8 @@
+int counter = 0;
+lock m;
+thread inc1 { int t; lock(m); t = counter; counter = t + 1; unlock(m); }
+thread inc2 { int t; lock(m); t = counter; counter = t + 1; unlock(m); }
+main {
+    start inc1; start inc2; join inc1; join inc2;
+    assert(counter == 2);
+}

@@ -31,15 +31,23 @@ from repro.verify import (
     VerifierConfig,
     verify,
 )
+from repro.portfolio import (
+    PortfolioResult,
+    verify_batch,
+    verify_portfolio,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "parse",
     "verify",
+    "verify_portfolio",
+    "verify_batch",
     "Verdict",
     "VerifierConfig",
     "VerificationResult",
+    "PortfolioResult",
     "Trace",
     "__version__",
 ]

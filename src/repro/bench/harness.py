@@ -18,6 +18,7 @@ from repro.verify import Verdict, VerifierConfig, verify
 
 __all__ = [
     "TaskResult",
+    "execute_task",
     "run_task",
     "run_suite",
     "render_summary_table",
@@ -51,6 +52,16 @@ def run_task(
 ) -> TaskResult:
     """Run one engine on one task with a wall-clock budget."""
     config = config_factory(unwind=task.unwind, time_limit_s=time_limit_s)
+    return execute_task(task, config, measure_memory)
+
+
+def execute_task(
+    task: Task,
+    config: VerifierConfig,
+    measure_memory: bool = False,
+) -> TaskResult:
+    """Run one fully-instantiated configuration on one task (the picklable
+    grid cell shared with :func:`repro.portfolio.verify_batch`)."""
     start = time.monotonic()
     try:
         result = verify(task.source, config, measure_memory=measure_memory)
@@ -76,11 +87,24 @@ def run_suite(
     config_factories: Dict[str, Callable[..., VerifierConfig]],
     time_limit_s: Optional[float] = 10.0,
     measure_memory: bool = False,
+    jobs: int = 1,
 ) -> Dict[str, List[TaskResult]]:
     """Run every configuration over every task.
 
+    With ``jobs > 1`` the (tasks × configs) grid is distributed over a
+    process pool via :func:`repro.portfolio.verify_batch`; verdicts are
+    identical to the serial run, per-cell wall times remain comparable
+    because every cell still runs single-threaded.
+
     Returns ``{config_name: [TaskResult per task, aligned with tasks]}``.
     """
+    if jobs > 1:
+        from repro.portfolio.batch import verify_batch
+
+        return verify_batch(
+            tasks, config_factories, jobs=jobs,
+            time_limit_s=time_limit_s, measure_memory=measure_memory,
+        )
     results: Dict[str, List[TaskResult]] = {}
     for name, factory in config_factories.items():
         results[name] = [

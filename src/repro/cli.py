@@ -1,25 +1,37 @@
-"""Command-line interface: ``repro-verify FILE [options]``."""
+"""Command-line interface: ``repro-verify FILE [options]``.
+
+Exit codes: 0 = SAFE, 10 = UNSAFE, 2 = UNKNOWN (budget exhausted),
+1 = input/usage error.  The engine choices are derived from the preset
+table in :mod:`repro.verify.config`, which is validated against the
+engine registry -- there is no second hand-maintained engine list here.
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from repro.verify import VerifierConfig, verify
+from repro.verify import VerifierConfig, Verdict, verify
+from repro.verify.config import PRESETS
 
-_PRESETS = {
-    "zord": VerifierConfig.zord,
-    "zord-": VerifierConfig.zord_minus,
-    "zord'": VerifierConfig.zord_prime,
-    "zord-tarjan": VerifierConfig.zord_tarjan,
-    "cbmc": VerifierConfig.cbmc,
-    "dartagnan": VerifierConfig.dartagnan,
-    "cpa-seq": VerifierConfig.cpa_seq,
-    "lazy-cseq": VerifierConfig.lazy_cseq,
-    "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
-    "genmc": VerifierConfig.genmc,
-}
+#: Verdict -> process exit code.  UNSAFE is distinct from SAFE so shell
+#: pipelines and CI can branch on the verdict.
+EXIT_SAFE = 0
+EXIT_ERROR = 1
+EXIT_UNKNOWN = 2
+EXIT_UNSAFE = 10
+
+_PRESETS = PRESETS  # single source of truth: the verify-layer preset table
+
+
+def _exit_code(verdict: str) -> int:
+    if verdict == Verdict.SAFE:
+        return EXIT_SAFE
+    if verdict == Verdict.UNSAFE:
+        return EXIT_UNSAFE
+    return EXIT_UNKNOWN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -34,6 +46,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="zord",
         choices=sorted(_PRESETS),
         help="verification engine preset (default: zord)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        metavar="NAME,NAME,...",
+        help="race a comma-separated portfolio of engine presets; the "
+        "first conclusive verdict wins (overrides --engine)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for --portfolio (default: one per engine, "
+        "capped at the CPU count; 1 = serial)",
     )
     parser.add_argument("--unwind", type=int, default=8, help="loop bound")
     parser.add_argument("--width", type=int, default=8, help="integer bit-width")
@@ -51,6 +77,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--stats", action="store_true", help="print statistics")
     parser.add_argument(
+        "--trace-jsonl",
+        metavar="FILE",
+        help="stream a JSONL telemetry event trace (portfolio runs write "
+        "one file per engine, suffixed with the preset name)",
+    )
+    parser.add_argument(
         "--dump-smt2",
         metavar="FILE",
         help="write the encoding as an SMT-LIB 2 script and exit",
@@ -62,8 +94,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    with open(args.file) as f:
-        source = f.read()
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
     from repro.lang.lexer import LexError
     from repro.lang.parser import ParseError
@@ -72,27 +108,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.dump_smt2 or args.dump_dimacs:
             return _dump(source, args)
+        if args.portfolio is not None:
+            return _verify_portfolio(source, args)
         return _verify(source, args)
     except (LexError, ParseError, SemanticError) as exc:
         print(f"{args.file}: error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
-def _verify(source: str, args) -> int:
-    config = _PRESETS[args.engine](
+def _config_kwargs(args) -> dict:
+    return dict(
         unwind=args.unwind,
         width=args.width,
         time_limit_s=args.timeout,
         memory_model=args.memory_model,
     )
-    result = verify(source, config)
-    print(f"verdict: {result.verdict.upper()}  ({result.wall_time_s:.3f}s)")
+
+
+def _print_result_details(result, args) -> None:
     if args.witness and result.witness is not None:
         print(result.witness)
     if args.stats:
         for key in sorted(result.stats):
             print(f"  {key}: {result.stats[key]}")
-    return 0 if result.verdict != "unknown" else 2
+
+
+def _verify(source: str, args) -> int:
+    config = _PRESETS[args.engine](
+        trace_jsonl=args.trace_jsonl, **_config_kwargs(args)
+    )
+    result = verify(source, config)
+    print(f"verdict: {result.verdict.upper()}  ({result.wall_time_s:.3f}s)")
+    _print_result_details(result, args)
+    return _exit_code(result.verdict)
+
+
+def _verify_portfolio(source: str, args) -> int:
+    from repro.portfolio import verify_portfolio
+
+    names = [n.strip() for n in args.portfolio.split(",") if n.strip()]
+    unknown = [n for n in names if n not in _PRESETS]
+    if unknown:
+        print(
+            f"error: unknown preset(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(_PRESETS))}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    if not names:
+        print("error: --portfolio needs at least one preset", file=sys.stderr)
+        return EXIT_ERROR
+    configs = []
+    for name in names:
+        trace = f"{args.trace_jsonl}.{name}" if args.trace_jsonl else None
+        configs.append(
+            _PRESETS[name](trace_jsonl=trace, **_config_kwargs(args))
+        )
+    jobs = args.jobs or min(len(configs), os.cpu_count() or 1)
+    outcome = verify_portfolio(source, configs, jobs=jobs)
+    print(
+        f"verdict: {outcome.verdict.upper()}  "
+        f"({outcome.wall_time_s:.3f}s, winner: {outcome.winner or '-'})"
+    )
+    for run in outcome.runs:
+        print(
+            f"  {run.config_name:<14} {run.status:<11} "
+            f"{(run.verdict or '-').upper():<8} {run.wall_time_s:.3f}s"
+        )
+    if outcome.result is not None:
+        _print_result_details(outcome.result, args)
+    return _exit_code(outcome.verdict)
 
 
 def _dump(source: str, args) -> int:

@@ -86,6 +86,10 @@ class IncrementalCycleDetector:
 
     name = "icd"
 
+    #: Optional hook ``on_reorder(n_back, n_fwd)`` invoked after every
+    #: pseudo-topological-order permutation (telemetry/stats).
+    on_reorder = None
+
     def __init__(self, graph: EventGraph) -> None:
         self.graph = graph
 
@@ -157,3 +161,5 @@ class IncrementalCycleDetector:
         slots = sorted(ord_[n] for n in b_sorted + f_sorted)
         for node, slot in zip(b_sorted + f_sorted, slots):
             ord_[node] = slot
+        if self.on_reorder is not None:
+            self.on_reorder(len(back_nodes), len(fwd_nodes))

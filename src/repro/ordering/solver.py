@@ -47,6 +47,7 @@ class TheoryStats:
     unit_propagations: int = 0
     fr_derived: int = 0
     edges_activated: int = 0
+    icd_reorders: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return self.__dict__.copy()
@@ -86,6 +87,10 @@ class OrderingTheory(Theory):
         self.fr_propagation = fr_propagation
         self.max_conflict_clauses = max_conflict_clauses
         self.stats = TheoryStats()
+        #: Optional telemetry sink (``repro.verify.telemetry.TraceWriter``).
+        self.telemetry = None
+        if hasattr(self.detector, "on_reorder"):
+            self.detector.on_reorder = self._note_reorder
         self._edge_of_var: Dict[int, Edge] = {}
         #: Active outgoing RF / WS edges per node, for FR derivation.
         self._out_rf: List[List[Edge]] = [[] for _ in range(n_events)]
@@ -101,6 +106,12 @@ class OrderingTheory(Theory):
         #: read-from candidates with it).
         self.po_reach = self._compute_po_reachability(n_events, po_edges)
         self._po_reach = self.po_reach
+
+    def _note_reorder(self, n_back: int, n_fwd: int) -> None:
+        """Detector callback: one pseudo-topological reordering happened."""
+        self.stats.icd_reorders += 1
+        if self.telemetry is not None:
+            self.telemetry.emit("icd_reorder", back=n_back, fwd=n_fwd)
 
     # ------------------------------------------------------------------
     # Construction-time registration

@@ -1,0 +1,21 @@
+"""Parallel portfolio verification.
+
+The paper's evaluation is a portfolio experiment: Zord, its ablations and
+five baseline engines run on the same tasks under a shared budget, and per
+task the engines diverge by orders of magnitude.  This package exploits
+that divergence on multicore hardware:
+
+* :func:`verify_portfolio` -- run several :class:`VerifierConfig`\\ s on
+  one program in worker processes; the first conclusive (SAFE/UNSAFE)
+  verdict wins and the losing engines are cancelled with SIGTERM.
+* :func:`verify_batch` -- run a (tasks × configs) grid in a process pool
+  for the benchmark harness; drop-in parallel variant of
+  :func:`repro.bench.harness.run_suite`.
+
+Both fall back to deterministic serial execution with ``jobs=1``.
+"""
+
+from repro.portfolio.runner import EngineRun, PortfolioResult, verify_portfolio
+from repro.portfolio.batch import verify_batch
+
+__all__ = ["EngineRun", "PortfolioResult", "verify_portfolio", "verify_batch"]

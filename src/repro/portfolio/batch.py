@@ -1,0 +1,110 @@
+"""Grid-parallel batch verification for the benchmark harness.
+
+:func:`verify_batch` runs a (tasks × configs) grid across a process pool
+and returns the same ``{config_name: [TaskResult ...]}`` shape as
+:func:`repro.bench.harness.run_suite`, with rows aligned to the task
+order.  Cell order within the pool is unordered; the grid assembly is
+deterministic.  Per-cell budgets are the engines' own cooperative
+``time_limit_s`` (exactly as in serial runs), so verdicts are identical to
+``run_suite`` modulo wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.bench.task import Task
+from repro.verify import VerifierConfig
+from repro.verify.config import PRESETS
+
+__all__ = ["verify_batch"]
+
+ConfigLike = Union[str, VerifierConfig, Callable[..., VerifierConfig]]
+
+
+def _config_for(spec: ConfigLike, task: Task, time_limit_s: Optional[float]) -> VerifierConfig:
+    """Instantiate one grid cell's config, mirroring ``run_task``."""
+    if isinstance(spec, str):
+        spec = PRESETS[spec]
+    if isinstance(spec, VerifierConfig):
+        return spec.with_(
+            unwind=task.unwind,
+            time_limit_s=spec.time_limit_s
+            if spec.time_limit_s is not None
+            else time_limit_s,
+        )
+    return spec(unwind=task.unwind, time_limit_s=time_limit_s)
+
+
+def _named_specs(
+    configs: Union[Mapping[str, ConfigLike], Sequence[ConfigLike]],
+) -> List:
+    """Normalize ``configs`` to an ordered (name, spec) list."""
+    if isinstance(configs, Mapping):
+        return list(configs.items())
+    named = []
+    for spec in configs:
+        if isinstance(spec, str):
+            named.append((spec, spec))
+        elif isinstance(spec, VerifierConfig):
+            named.append((spec.name, spec))
+        else:
+            named.append((spec().name, spec))
+    return named
+
+
+def _batch_cell(payload):
+    """Pool entry point: run one (task, config) cell."""
+    name, index, task, config, measure_memory = payload
+    from repro.bench.harness import execute_task
+
+    return name, index, execute_task(task, config, measure_memory)
+
+
+def verify_batch(
+    tasks: Sequence[Task],
+    configs: Union[Mapping[str, ConfigLike], Sequence[ConfigLike]],
+    jobs: Optional[int] = None,
+    time_limit_s: Optional[float] = 10.0,
+    measure_memory: bool = False,
+) -> Dict[str, List]:
+    """Run every configuration over every task, in parallel.
+
+    Args:
+        tasks: benchmark tasks (each carries its own unwind bound).
+        configs: ``{name: factory-or-config-or-preset}`` as accepted by
+            :func:`repro.bench.harness.run_suite`, or a plain sequence of
+            configs / preset names (named by ``config.name``).
+        jobs: pool size (default: cpu count); ``1`` runs serially.
+        time_limit_s: per-cell budget for configs without their own.
+        measure_memory: trace peak allocation per cell.
+
+    Returns:
+        ``{config_name: [TaskResult per task, aligned with tasks]}`` --
+        the exact shape :func:`run_suite` produces.
+    """
+    named = _named_specs(configs)
+    cells = []
+    for name, spec in named:
+        for index, task in enumerate(tasks):
+            cells.append(
+                (name, index, task, _config_for(spec, task, time_limit_s),
+                 measure_memory)
+            )
+    results: Dict[str, List] = {name: [None] * len(tasks) for name, _ in named}
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, max(1, len(cells)))
+    if jobs <= 1:
+        for payload in cells:
+            name, index, task_result = _batch_cell(payload)
+            results[name][index] = task_result
+        return results
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ctx.Pool(processes=jobs) as pool:
+        for name, index, task_result in pool.imap_unordered(_batch_cell, cells):
+            results[name][index] = task_result
+    return results

@@ -1,0 +1,319 @@
+"""The multiprocess portfolio runner: first conclusive verdict wins.
+
+Each configuration runs :func:`repro.verify.verify` in its own worker
+process (engines are CPU-bound pure Python, so processes -- not threads --
+are the only way to use more than one core).  As soon as one worker
+reports SAFE or UNSAFE, the remaining workers are cancelled with SIGTERM;
+ties between workers that finished in the same poll interval are broken
+deterministically in favour of the earliest configuration in the
+portfolio.  With ``jobs=1`` the portfolio degrades gracefully to serial
+execution in portfolio order, stopping at the first conclusive verdict --
+same winner rule, no processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.lang import ast
+from repro.verify import Verdict, VerificationResult, VerifierConfig, verify
+from repro.verify.config import PRESETS
+
+__all__ = ["EngineRun", "PortfolioResult", "verify_portfolio"]
+
+_CONCLUSIVE = (Verdict.SAFE, Verdict.UNSAFE)
+
+#: Seconds a terminated worker gets to exit before SIGKILL.
+_TERM_GRACE_S = 5.0
+
+
+@dataclass
+class EngineRun:
+    """Outcome of one portfolio member.
+
+    ``status`` is one of:
+
+    * ``"conclusive"`` -- returned SAFE or UNSAFE;
+    * ``"unknown"`` -- ran to completion but exhausted its budget;
+    * ``"cancelled"`` -- lost the race and was terminated (or never
+      started because a winner emerged first);
+    * ``"error"`` -- the engine raised or the worker died.
+    """
+
+    config_name: str
+    status: str
+    verdict: Optional[str] = None
+    wall_time_s: float = 0.0
+    result: Optional[VerificationResult] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class PortfolioResult:
+    """Aggregate outcome of :func:`verify_portfolio`.
+
+    ``verdict`` is the winner's verdict, or UNKNOWN when no member was
+    conclusive.  ``runs`` is aligned with the input configuration list.
+    """
+
+    verdict: str
+    winner: Optional[str]
+    result: Optional[VerificationResult]
+    runs: List[EngineRun] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == Verdict.SAFE
+
+    @property
+    def is_unsafe(self) -> bool:
+        return self.verdict == Verdict.UNSAFE
+
+    def __str__(self) -> str:
+        head = f"[portfolio] {self.verdict.upper()} in {self.wall_time_s:.3f}s"
+        if self.winner is not None:
+            head += f" (winner: {self.winner})"
+        lines = [head]
+        for run in self.runs:
+            verdict = run.verdict or "-"
+            lines.append(
+                f"  {run.config_name:<14} {run.status:<11} {verdict:<8}"
+                f" {run.wall_time_s:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+def _coerce_config(item: Union[str, VerifierConfig]) -> VerifierConfig:
+    if isinstance(item, VerifierConfig):
+        return item
+    if isinstance(item, str):
+        try:
+            return PRESETS[item]()
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {item!r}; available presets: "
+                f"{', '.join(sorted(PRESETS))}"
+            ) from None
+    raise TypeError(
+        f"portfolio entries must be VerifierConfig or preset names, "
+        f"got {type(item).__name__}"
+    )
+
+
+def _source_of(program: Union[str, ast.Program]) -> str:
+    """Normalize to source text (cheap to pickle, workers re-parse)."""
+    if isinstance(program, str):
+        return program
+    from repro.lang.unparse import unparse
+
+    return unparse(program)
+
+
+def _worker(source: str, config: VerifierConfig, index: int, out_queue) -> None:
+    """Process entry point: verify and report (index, kind, payload)."""
+    try:
+        result = verify(source, config)
+        out_queue.put((index, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        out_queue.put((index, "error", f"{type(exc).__name__}: {exc}"))
+
+
+def verify_portfolio(
+    program: Union[str, ast.Program],
+    configs: Sequence[Union[str, VerifierConfig]],
+    jobs: Optional[int] = None,
+    time_limit_s: Optional[float] = None,
+    wall_budget_s: Optional[float] = None,
+) -> PortfolioResult:
+    """Race a portfolio of engine configurations on one program.
+
+    Args:
+        program: source text or a parsed AST.
+        configs: :class:`VerifierConfig` instances or preset names
+            (``"zord"``, ``"cbmc"``, ...); earlier entries win ties.
+        jobs: worker processes (default: ``min(len(configs), cpu_count)``);
+            ``1`` falls back to serial execution in portfolio order.
+        time_limit_s: per-engine budget applied to every config that does
+            not already carry its own ``time_limit_s``.
+        wall_budget_s: optional overall wall-clock budget for the parallel
+            race; on expiry all workers are cancelled and the verdict is
+            UNKNOWN.
+
+    Returns:
+        A :class:`PortfolioResult`; ``result`` is the winning engine's full
+        :class:`VerificationResult` (witness included) when conclusive.
+    """
+    cfgs = [_coerce_config(c) for c in configs]
+    if not cfgs:
+        raise ValueError("verify_portfolio needs at least one configuration")
+    if time_limit_s is not None:
+        cfgs = [
+            c if c.time_limit_s is not None else c.with_(time_limit_s=time_limit_s)
+            for c in cfgs
+        ]
+    if jobs is None:
+        jobs = min(len(cfgs), os.cpu_count() or 1)
+    start = time.monotonic()
+    if jobs <= 1 or len(cfgs) == 1:
+        return _run_serial(program, cfgs, start)
+    return _run_parallel(program, cfgs, jobs, start, wall_budget_s)
+
+
+# ----------------------------------------------------------------------
+# Serial fallback (jobs=1)
+# ----------------------------------------------------------------------
+
+def _run_serial(program, cfgs: List[VerifierConfig], start: float) -> PortfolioResult:
+    runs = [EngineRun(c.name, "cancelled") for c in cfgs]
+    winner_idx: Optional[int] = None
+    for i, cfg in enumerate(cfgs):
+        t0 = time.monotonic()
+        try:
+            result = verify(program, cfg)
+        except Exception as exc:
+            runs[i] = EngineRun(
+                cfg.name, "error",
+                wall_time_s=time.monotonic() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            continue
+        status = "conclusive" if result.verdict in _CONCLUSIVE else "unknown"
+        runs[i] = EngineRun(
+            cfg.name, status, result.verdict, result.wall_time_s, result
+        )
+        if status == "conclusive":
+            winner_idx = i
+            break
+    return _finish(runs, winner_idx, start)
+
+
+# ----------------------------------------------------------------------
+# Parallel race
+# ----------------------------------------------------------------------
+
+def _run_parallel(
+    program,
+    cfgs: List[VerifierConfig],
+    jobs: int,
+    start: float,
+    wall_budget_s: Optional[float],
+) -> PortfolioResult:
+    source = _source_of(program)
+    # Fail fast in the parent on malformed input instead of collecting
+    # one identical parse error per worker.
+    from repro.lang import parse
+
+    parse(source)
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    out_q = ctx.Queue()
+    runs = [EngineRun(c.name, "cancelled") for c in cfgs]
+    procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+    launched_at: Dict[int, float] = {}
+    pending = list(range(len(cfgs)))
+    conclusive: List[int] = []
+    winner_idx: Optional[int] = None
+
+    def record(i: int, kind: str, payload) -> None:
+        elapsed = time.monotonic() - launched_at[i]
+        if kind == "error":
+            runs[i] = EngineRun(
+                cfgs[i].name, "error", wall_time_s=elapsed, error=payload
+            )
+        else:
+            status = (
+                "conclusive" if payload.verdict in _CONCLUSIVE else "unknown"
+            )
+            runs[i] = EngineRun(
+                cfgs[i].name, status, payload.verdict,
+                payload.wall_time_s, payload,
+            )
+
+    def reap(i: int, timeout: Optional[float] = _TERM_GRACE_S) -> None:
+        proc = procs.pop(i, None)
+        if proc is not None:
+            proc.join(timeout=timeout)
+
+    try:
+        while True:
+            while pending and len(procs) < jobs:
+                i = pending.pop(0)
+                proc = ctx.Process(
+                    target=_worker, args=(source, cfgs[i], i, out_q), daemon=True
+                )
+                launched_at[i] = time.monotonic()
+                proc.start()
+                procs[i] = proc
+                runs[i] = EngineRun(cfgs[i].name, "running")
+            if not procs:
+                break
+            try:
+                i, kind, payload = out_q.get(timeout=0.05)
+            except queue_mod.Empty:
+                # Reap workers that died without reporting (OOM-kill, ...).
+                for i in [k for k, p in procs.items() if not p.is_alive()]:
+                    reap(i, timeout=None)
+                    if runs[i].status == "running":
+                        runs[i] = EngineRun(
+                            cfgs[i].name, "error",
+                            wall_time_s=time.monotonic() - launched_at[i],
+                            error="worker exited without reporting",
+                        )
+                if (
+                    wall_budget_s is not None
+                    and time.monotonic() - start > wall_budget_s
+                ):
+                    break
+                continue
+            record(i, kind, payload)
+            reap(i)
+            if runs[i].status == "conclusive":
+                conclusive.append(i)
+                # Deterministic tie-break: drain everything that finished
+                # in the same interval, then prefer the earliest config.
+                while True:
+                    try:
+                        j, kind2, payload2 = out_q.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    record(j, kind2, payload2)
+                    reap(j)
+                    if runs[j].status == "conclusive":
+                        conclusive.append(j)
+                winner_idx = min(conclusive)
+                break
+    finally:
+        # Cancel the losers: SIGTERM, then SIGKILL stragglers.
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + _TERM_GRACE_S
+        for i, proc in list(procs.items()):
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+            if runs[i].status == "running":
+                runs[i] = EngineRun(
+                    cfgs[i].name, "cancelled",
+                    wall_time_s=time.monotonic() - launched_at[i],
+                )
+        out_q.close()
+    return _finish(runs, winner_idx, start)
+
+
+def _finish(
+    runs: List[EngineRun], winner_idx: Optional[int], start: float
+) -> PortfolioResult:
+    elapsed = time.monotonic() - start
+    if winner_idx is None:
+        return PortfolioResult(Verdict.UNKNOWN, None, None, runs, elapsed)
+    win = runs[winner_idx]
+    return PortfolioResult(win.verdict, win.config_name, win.result, runs, elapsed)

@@ -134,6 +134,10 @@ class Solver:
         self._seen: List[bool] = [False]
         self._pending_lemmas: List[List[int]] = []
         self.stats = SolverStats()
+        #: Optional telemetry sink (``repro.verify.telemetry.TraceWriter``):
+        #: receives solve_start/restart/theory_conflict/theory_propagation/
+        #: solve_end events.  Kept off the hot boolean-propagation path.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -210,6 +214,20 @@ class Solver:
         time_limit_s: Optional[float] = None,
     ) -> str:
         """Run CDCL search.  Returns a :class:`SolveResult` constant."""
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "solve_start", nvars=self.nvars, clauses=len(self._clauses)
+            )
+        result = self._solve(max_conflicts, time_limit_s)
+        if self.telemetry is not None:
+            self.telemetry.emit("solve_end", result=result, **self.stats.as_dict())
+        return result
+
+    def _solve(
+        self,
+        max_conflicts: Optional[int],
+        time_limit_s: Optional[float],
+    ) -> str:
         if self._unsat:
             return SolveResult.UNSAT
         start = time.monotonic()
@@ -227,6 +245,10 @@ class Solver:
                 return status
             restart_idx += 1
             self.stats.restarts += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "restart", index=restart_idx, conflicts=conflicts_total
+                )
             if len(self._learned) > max_learned:
                 self._reduce_db()
                 max_learned = int(max_learned * 1.3)
@@ -332,6 +354,12 @@ class Solver:
                 res = self.theory.assign(lit, self.decision_level)
                 if res.is_conflict:
                     self.stats.theory_conflicts += 1
+                    if self.telemetry is not None:
+                        self.telemetry.emit(
+                            "theory_conflict",
+                            level=self.decision_level,
+                            clauses=len(res.conflicts),
+                        )
                     clause = self._handle_theory_conflict_clauses(res.conflicts)
                     return clause
                 if res.propagations:
@@ -455,6 +483,13 @@ class Solver:
         """Conflict at final check.  Returns False if UNSAT at level 0."""
         self.stats.conflicts += 1
         self.stats.theory_conflicts += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "theory_conflict",
+                level=self.decision_level,
+                clauses=len(conflicts),
+                final_check=True,
+            )
         clause = self._handle_theory_conflict_clauses(conflicts)
         if not self._normalize_conflict_level(clause):
             return False
@@ -468,6 +503,8 @@ class Solver:
     def _apply_theory_propagations(self, props) -> Optional[_Clause]:
         """Enqueue theory-propagated literals.  Returns a conflict clause if
         a propagated literal is already false."""
+        if self.telemetry is not None and props:
+            self.telemetry.emit("theory_propagation", count=len(props))
         for lit, reason_lits in props:
             val = self._value(lit)
             if val == _TRUE:

@@ -4,12 +4,19 @@
 DPLL(T) solve, witness extraction -- with a :class:`VerifierConfig`
 selecting the engine and ablation flags (Zord, Zord⁻, Zord′, the Tarjan
 detector, or one of the baseline engines).
+
+Engines are resolved through :mod:`repro.verify.registry`; third parties
+extend the verifier by registering an engine factory there.  Structured
+telemetry (normalized stats plus optional JSONL event traces) lives in
+:mod:`repro.verify.telemetry`.
 """
 
-from repro.verify.config import VerifierConfig
+from repro.verify.config import PRESETS, VerifierConfig
 from repro.verify.result import VerificationResult, Verdict
+from repro.verify.telemetry import STAT_KEYS, TraceWriter, normalize_stats
 from repro.verify.verifier import verify
 from repro.verify.witness import Trace, TraceStep
+from repro.verify import registry
 
 __all__ = [
     "verify",
@@ -18,4 +25,9 @@ __all__ = [
     "Verdict",
     "Trace",
     "TraceStep",
+    "PRESETS",
+    "registry",
+    "STAT_KEYS",
+    "TraceWriter",
+    "normalize_stats",
 ]

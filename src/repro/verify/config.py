@@ -4,9 +4,9 @@ evaluation (Section 6)."""
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Dict, Optional
 
-__all__ = ["VerifierConfig"]
+__all__ = ["VerifierConfig", "PRESETS"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,13 @@ class VerifierConfig:
         max_conflict_clauses: cap per theory conflict.
         time_limit_s: wall-clock budget; exceeded -> UNKNOWN.
         max_conflicts: conflict budget for the SAT core; exceeded -> UNKNOWN.
+        trace_jsonl: when set, stream a JSONL telemetry event trace to this
+            path while the engine runs (see :mod:`repro.verify.telemetry`).
+
+    The engine/theory/detector/memory-model combination is validated at
+    construction against :mod:`repro.verify.registry`; unknown or
+    unsupported combinations raise :class:`ValueError` immediately with
+    the registered alternatives.
     """
 
     name: str = "zord"
@@ -53,10 +60,22 @@ class VerifierConfig:
     max_conflict_clauses: int = 8
     time_limit_s: Optional[float] = None
     max_conflicts: Optional[int] = None
+    trace_jsonl: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.verify import registry
+
+        registry.validate_config(self)
 
     # ------------------------------------------------------------------
     # Presets (the tools compared in Section 6)
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def presets() -> Dict[str, Callable[..., "VerifierConfig"]]:
+        """The preset table: display name -> factory.  The CLI derives its
+        ``--engine``/``--portfolio`` choices from this single source."""
+        return dict(PRESETS)
 
     @staticmethod
     def zord(**kw) -> "VerifierConfig":
@@ -112,3 +131,19 @@ class VerifierConfig:
 
     def with_(self, **kw) -> "VerifierConfig":
         return replace(self, **kw)
+
+
+#: The named tool presets of the Section 6 evaluation, keyed by display
+#: name.  Single source of truth for the CLI and the portfolio runner.
+PRESETS: Dict[str, Callable[..., VerifierConfig]] = {
+    "zord": VerifierConfig.zord,
+    "zord-": VerifierConfig.zord_minus,
+    "zord'": VerifierConfig.zord_prime,
+    "zord-tarjan": VerifierConfig.zord_tarjan,
+    "cbmc": VerifierConfig.cbmc,
+    "dartagnan": VerifierConfig.dartagnan,
+    "cpa-seq": VerifierConfig.cpa_seq,
+    "lazy-cseq": VerifierConfig.lazy_cseq,
+    "nidhugg-rfsc": VerifierConfig.nidhugg_rfsc,
+    "genmc": VerifierConfig.genmc,
+}

@@ -28,8 +28,12 @@ class VerificationResult:
     witness: Optional[Trace] = None
     #: SMC engines report the violating schedule instead of a value trace.
     schedule: Optional[list] = None
-    #: Engine-specific counters (SAT stats, theory stats, traces explored).
-    stats: Dict[str, int] = field(default_factory=dict)
+    #: Normalized counters (see :mod:`repro.verify.telemetry`): the
+    #: canonical STAT_KEYS are always present after :func:`verify`,
+    #: engine-specific extras (including per-phase wall times) ride along.
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: Path of the JSONL telemetry trace, when one was requested.
+    trace_path: Optional[str] = None
 
     @property
     def is_safe(self) -> bool:

@@ -1,0 +1,116 @@
+"""Structured solver telemetry: normalized result stats and an optional
+JSONL event trace.
+
+Every :class:`~repro.verify.result.VerificationResult` carries a ``stats``
+dict normalized by :func:`normalize_stats`: the canonical counters in
+:data:`STAT_KEYS` are always present (zero when an engine does not track
+them), and engine-specific extras are preserved.  Portfolio runs can
+therefore be compared column-by-column without per-engine special cases.
+
+Setting ``VerifierConfig(trace_jsonl=PATH)`` additionally streams a
+line-per-event JSONL trace while the engine runs.  Schema: every line is a
+JSON object
+
+``{"t": <seconds since trace start>, "event": <name>, ...fields}``
+
+with these events:
+
+============== ================================================= =========
+event          emitted by                                        fields
+============== ================================================= =========
+verify_start   :func:`repro.verify.verify`                       engine, config
+phase          the SMT engine, once per pipeline phase           name, wall_s
+solve_start    the SAT core, entering CDCL search                nvars, clauses
+restart        the SAT core, per Luby restart                    index, conflicts
+theory_conflict the DPLL(T) loop, per theory conflict            level, clauses
+theory_propagation the DPLL(T) loop, per propagation batch       count
+icd_reorder    the incremental cycle detector, per reordering    back, fwd
+solve_end      the SAT core, leaving CDCL search                 result + counters
+verify_end     :func:`repro.verify.verify`                       verdict, wall_time_s
+============== ================================================= =========
+
+Third-party engines receive the active :class:`TraceWriter` as the
+``telemetry`` argument of their runner and may emit their own events; the
+schema above is a guaranteed core, not a closed set.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Mapping, Optional
+
+__all__ = ["STAT_KEYS", "normalize_stats", "TraceWriter", "attach_telemetry"]
+
+#: Canonical counters present in every normalized ``stats`` dict.  SAT-core
+#: counters, encoding sizes, and the stateless engines' exploration
+#: counters; engines that do not track a counter report 0.
+STAT_KEYS = (
+    # CDCL core
+    "decisions",
+    "propagations",
+    "conflicts",
+    "restarts",
+    "learned",
+    "theory_conflicts",
+    "theory_propagations",
+    "max_trail",
+    # encoding sizes
+    "rf_vars",
+    "ws_vars",
+    "fr_vars",
+    "sat_vars",
+    # stateless exploration
+    "traces",
+    "transitions",
+)
+
+
+def normalize_stats(raw: Optional[Mapping]) -> Dict[str, float]:
+    """Return ``raw`` with every :data:`STAT_KEYS` counter present
+    (defaulting to 0) and all engine-specific extras preserved."""
+    out: Dict[str, float] = {key: 0 for key in STAT_KEYS}
+    if raw:
+        out.update(raw)
+    return out
+
+
+class TraceWriter:
+    """Appends JSONL telemetry events to a file.
+
+    Cheap enough for per-conflict granularity; the hot propagation loops
+    only report aggregates.  Usable as a context manager."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "w")
+        self._t0 = time.monotonic()
+
+    def emit(self, event: str, **fields) -> None:
+        record = {"t": round(time.monotonic() - self._t0, 6), "event": event}
+        record.update(fields)
+        self._file.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_telemetry(encoded, writer: Optional[TraceWriter]) -> None:
+    """Wire a :class:`TraceWriter` into an encoded program's SAT core and
+    theory solver (both expose an optional ``telemetry`` attribute)."""
+    if writer is None:
+        return
+    solver = getattr(encoded, "solver", None)
+    if solver is not None:
+        solver.telemetry = writer
+    theory = getattr(encoded, "theory", None)
+    if theory is not None and hasattr(theory, "telemetry"):
+        theory.telemetry = writer

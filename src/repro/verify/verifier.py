@@ -1,31 +1,42 @@
-"""The top-level verifier: parse → unroll/SSA → engine → verdict."""
+"""The top-level verifier: parse → unroll/SSA → registry-resolved engine →
+verdict.
+
+Engine selection goes through :mod:`repro.verify.registry`: ``config.engine``
+names a registered engine whose runner is resolved lazily; the SMT engine
+resolves its ordering theory (``"ord"`` / ``"idl"``) through the theory
+registry the same way.  There is no string-dispatch chain here -- new
+engines plug in via :func:`repro.verify.registry.register_engine`.
+"""
 
 from __future__ import annotations
 
 import time
 import tracemalloc
-from typing import Union
+from typing import Optional, Union
 
 from repro.frontend import build_symbolic_program
 from repro.lang import ast, parse
 from repro.sat import SolveResult
+from repro.verify import registry
 from repro.verify.config import VerifierConfig
 from repro.verify.result import Verdict, VerificationResult
+from repro.verify.telemetry import TraceWriter, attach_telemetry, normalize_stats
 from repro.verify.witness import extract_trace
 
-__all__ = ["verify"]
+__all__ = ["verify", "run_smt_engine"]
 
 
 def verify(
     program: Union[str, ast.Program],
-    config: VerifierConfig = VerifierConfig(),
+    config: Optional[VerifierConfig] = None,
     measure_memory: bool = False,
 ) -> VerificationResult:
-    """Verify ``program`` under sequential consistency within the bounds.
+    """Verify ``program`` within the bounds under the configured engine.
 
     Args:
         program: source text or a parsed AST.
-        config: engine/ablation selection (see :class:`VerifierConfig`).
+        config: engine/ablation selection (see :class:`VerifierConfig`);
+            defaults to the Zord preset.
         measure_memory: trace peak allocation (slower; used by the
             benchmark harness for the paper's memory columns).
 
@@ -33,84 +44,74 @@ def verify(
         A :class:`VerificationResult`; ``verdict`` is ``SAFE`` if no
         assertion can be violated within the unrolling bound, ``UNSAFE``
         (with a witness trace where the engine produces one) otherwise,
-        ``UNKNOWN`` on budget exhaustion.
+        ``UNKNOWN`` on budget exhaustion.  ``stats`` is normalized: the
+        canonical counters of :data:`repro.verify.telemetry.STAT_KEYS`
+        are always present.
     """
+    if config is None:
+        config = VerifierConfig()
     if isinstance(program, str):
         program = parse(program)
+    runner = registry.resolve_engine(config.engine)
+    writer = TraceWriter(config.trace_jsonl) if config.trace_jsonl else None
     start = time.monotonic()
+    if writer is not None:
+        writer.emit("verify_start", engine=config.engine, config=config.name)
     if measure_memory:
         tracemalloc.start()
+    result: Optional[VerificationResult] = None
     try:
-        result = _dispatch(program, config)
+        result = runner(program, config, telemetry=writer)
     finally:
         if measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
         else:
             peak = 0
+        if writer is not None and result is None:  # engine raised
+            writer.close()
     result.peak_memory_bytes = peak
     result.wall_time_s = time.monotonic() - start
+    result.stats = normalize_stats(result.stats)
+    result.trace_path = config.trace_jsonl
+    if writer is not None:
+        writer.emit(
+            "verify_end",
+            verdict=result.verdict,
+            wall_time_s=round(result.wall_time_s, 6),
+        )
+        writer.close()
     return result
 
 
-def _dispatch(program: ast.Program, config: VerifierConfig) -> VerificationResult:
-    engine = config.engine
-    if config.memory_model != "sc" and engine != "smt":
-        raise ValueError(
-            f"memory model {config.memory_model!r} is only supported by the "
-            "SMT engines (the explicit/stateless engines interpret under SC)"
-        )
-    if engine == "smt":
-        return _run_smt(program, config)
-    if engine == "closure":
-        from repro.baselines.closure import verify_closure
-
-        return verify_closure(program, config)
-    if engine == "explicit":
-        from repro.baselines.explicit import verify_explicit
-
-        return verify_explicit(program, config)
-    if engine == "lazyseq":
-        from repro.baselines.lazyseq import verify_lazyseq
-
-        return verify_lazyseq(program, config)
-    if engine == "smc-rfsc":
-        from repro.smc.rfsc import verify_rfsc
-
-        return verify_rfsc(program, config)
-    if engine == "smc-genmc":
-        from repro.smc.genmc import verify_genmc
-
-        return verify_genmc(program, config)
-    raise ValueError(f"unknown engine {engine!r}")
-
-
-def _run_smt(program: ast.Program, config: VerifierConfig) -> VerificationResult:
+def run_smt_engine(
+    program: ast.Program,
+    config: VerifierConfig,
+    telemetry: Optional[TraceWriter] = None,
+) -> VerificationResult:
+    """The DPLL(T) BMC engine: SSA, theory-registry encode, CDCL solve,
+    witness extraction.  Registered under engine name ``"smt"``."""
+    t0 = time.monotonic()
     sym = build_symbolic_program(program, unwind=config.unwind, width=config.width)
-    if config.theory == "ord":
-        from repro.encoding.encoder import encode_program
+    t_frontend = time.monotonic() - t0
 
-        encoded = encode_program(
-            sym,
-            detector=config.detector,
-            unit_edge=config.unit_edge,
-            fr_encoding=config.fr_encoding,
-            max_conflict_clauses=config.max_conflict_clauses,
-            memory_model=config.memory_model,
-        )
-    elif config.theory == "idl":
-        from repro.baselines.idl import encode_program_idl
-
-        encoded = encode_program_idl(sym, memory_model=config.memory_model)
-    else:
-        raise ValueError(f"unknown theory {config.theory!r}")
+    encode = registry.resolve_theory(config.theory)
+    t1 = time.monotonic()
+    encoded = encode(sym, config)
+    t_encode = time.monotonic() - t1
+    if telemetry is not None:
+        telemetry.emit("phase", name="frontend", wall_s=round(t_frontend, 6))
+        telemetry.emit("phase", name="encode", wall_s=round(t_encode, 6))
+        attach_telemetry(encoded, telemetry)
 
     if encoded.trivially_safe:
         return VerificationResult(Verdict.SAFE, config.name)
 
+    t2 = time.monotonic()
     answer = encoded.solver.solve(
         max_conflicts=config.max_conflicts, time_limit_s=config.time_limit_s
     )
+    t_solve = time.monotonic() - t2
     stats = dict(encoded.solver.stats.as_dict())
     theory_stats = getattr(encoded.theory, "stats", None)
     if theory_stats is not None:
@@ -119,12 +120,18 @@ def _run_smt(program: ast.Program, config: VerifierConfig) -> VerificationResult
     stats["ws_vars"] = encoded.stats.ws_vars
     stats["fr_vars"] = encoded.stats.fr_vars
     stats["sat_vars"] = encoded.stats.sat_vars
+    stats["time_frontend_s"] = round(t_frontend, 6)
+    stats["time_encode_s"] = round(t_encode, 6)
+    stats["time_solve_s"] = round(t_solve, 6)
 
     if answer == SolveResult.UNKNOWN:
         return VerificationResult(Verdict.UNKNOWN, config.name, stats=stats)
     if answer == SolveResult.UNSAT:
         return VerificationResult(Verdict.SAFE, config.name, stats=stats)
+    t3 = time.monotonic()
     witness = extract_trace(encoded)
+    if telemetry is not None:
+        telemetry.emit("phase", name="witness", wall_s=round(time.monotonic() - t3, 6))
     return VerificationResult(
         Verdict.UNSAFE, config.name, witness=witness, stats=stats
     )

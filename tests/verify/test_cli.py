@@ -26,7 +26,7 @@ class TestCli:
     def test_unsafe_with_witness(self, program_file, capsys):
         rc = main([program_file(RACE_UNSAFE), "--witness"])
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 10  # UNSAFE is a distinct nonzero exit code
         assert "UNSAFE" in out
         assert "counterexample trace" in out
 
@@ -50,6 +50,52 @@ class TestCli:
     def test_unknown_engine_rejected(self, program_file):
         with pytest.raises(SystemExit):
             main([program_file(PAPER_FIG2), "--engine", "nope"])
+
+    def test_trace_jsonl_flag(self, program_file, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        rc = main([program_file(PAPER_FIG2), "--trace-jsonl", trace])
+        assert rc == 0
+        assert "verify_start" in open(trace).read()
+
+
+class TestExitCodes:
+    def test_safe_is_zero(self, program_file):
+        assert main([program_file(PAPER_FIG2)]) == 0
+
+    def test_unsafe_is_ten(self, program_file):
+        assert main([program_file(RACE_UNSAFE)]) == 10
+
+    def test_unknown_is_two(self, program_file):
+        # A sub-microsecond budget forces budget exhaustion in the solver.
+        rc = main([program_file(PAPER_FIG2), "--timeout", "0.0000001"])
+        assert rc == 2
+
+    def test_input_error_is_one(self, program_file):
+        assert main([program_file("int x = ;")]) == 1
+
+
+class TestPortfolioCli:
+    def test_portfolio_safe(self, program_file, capsys):
+        rc = main([
+            program_file(PAPER_FIG2), "--portfolio", "zord,cbmc", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SAFE" in out and "winner" in out
+
+    def test_portfolio_unsafe_exit_code(self, program_file, capsys):
+        rc = main([
+            program_file(RACE_UNSAFE), "--portfolio", "zord,cbmc",
+            "--jobs", "1", "--witness",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 10
+        assert "counterexample trace" in out
+
+    def test_portfolio_unknown_preset_rejected(self, program_file, capsys):
+        rc = main([program_file(PAPER_FIG2), "--portfolio", "zord,nope"])
+        assert rc == 1
+        assert "unknown preset" in capsys.readouterr().err
 
 
 class TestDumpFlags:
@@ -75,7 +121,7 @@ class TestDumpFlags:
                assert(!(a == 0 && b == 0)); }
         """
         rc = main([program_file(src), "--memory-model", "tso"])
-        assert rc == 0
+        assert rc == 10
         assert "UNSAFE" in capsys.readouterr().out
 
 

@@ -1,0 +1,122 @@
+"""Engine/theory registry: registration, lookup, config validation."""
+
+import pytest
+
+from repro.verify import Verdict, VerifierConfig, verify, registry
+from repro.verify.config import PRESETS
+from repro.verify.result import VerificationResult
+
+
+def _always_safe_loader():
+    def run(program, config, telemetry=None):
+        return VerificationResult(Verdict.SAFE, config.name)
+
+    return run
+
+
+class TestConfigValidation:
+    def test_unknown_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError) as excinfo:
+            VerifierConfig(engine="nope")
+        # The error names the registered alternatives.
+        assert "unknown engine" in str(excinfo.value)
+        assert "smt" in str(excinfo.value)
+
+    def test_unknown_theory_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="theory"):
+            VerifierConfig(theory="bogus")
+
+    def test_unknown_detector_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="detector"):
+            VerifierConfig(detector="floyd")
+
+    def test_weak_memory_rejected_for_non_smt_engines(self):
+        for preset in (VerifierConfig.cpa_seq, VerifierConfig.lazy_cseq,
+                       VerifierConfig.dartagnan, VerifierConfig.nidhugg_rfsc):
+            with pytest.raises(ValueError, match="memory model"):
+                preset(memory_model="tso")
+
+    def test_valid_combinations_construct(self):
+        VerifierConfig(theory="idl")
+        VerifierConfig(detector="tarjan")
+        VerifierConfig.zord(memory_model="pso")
+        VerifierConfig.genmc()
+
+    def test_with_revalidates(self):
+        config = VerifierConfig.zord()
+        with pytest.raises(ValueError):
+            config.with_(engine="nope")
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert set(registry.engine_names()) >= {
+            "smt", "closure", "explicit", "lazyseq", "smc-rfsc", "smc-genmc",
+        }
+
+    def test_builtin_theories_registered(self):
+        assert set(registry.theory_names()) >= {"ord", "idl"}
+
+    def test_duplicate_engine_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_engine("smt", _always_safe_loader)
+
+    def test_duplicate_theory_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_theory("ord", _always_safe_loader)
+
+    def test_unknown_engine_lookup_lists_registered(self):
+        with pytest.raises(ValueError, match="registered engines"):
+            registry.get_engine("nope")
+
+    def test_unknown_theory_lookup_lists_registered(self):
+        with pytest.raises(ValueError, match="registered theories"):
+            registry.get_theory("nope")
+
+    def test_custom_engine_roundtrip(self):
+        registry.register_engine(
+            "always-safe", _always_safe_loader, description="test stub"
+        )
+        try:
+            config = VerifierConfig(name="always-safe", engine="always-safe")
+            result = verify("int x = 0; main { assert(x == 0); }", config)
+            assert result.is_safe
+            assert result.config_name == "always-safe"
+        finally:
+            registry.unregister_engine("always-safe")
+        with pytest.raises(ValueError):
+            VerifierConfig(engine="always-safe")
+
+    def test_replace_requires_flag(self):
+        registry.register_engine("tmp-engine", _always_safe_loader)
+        try:
+            with pytest.raises(ValueError):
+                registry.register_engine("tmp-engine", _always_safe_loader)
+            registry.register_engine(
+                "tmp-engine", _always_safe_loader, replace=True
+            )
+        finally:
+            registry.unregister_engine("tmp-engine")
+
+    def test_engine_spec_metadata(self):
+        spec = registry.get_engine("smt")
+        assert spec.theories == ("ord", "idl")
+        assert spec.detectors == ("icd", "tarjan")
+        assert set(spec.memory_models) == {"sc", "tso", "pso"}
+
+
+class TestPresetTable:
+    def test_presets_resolve_through_registry(self):
+        # Every preset's engine/theory combination must be registered --
+        # the CLI derives its choices from this table.
+        for name, factory in PRESETS.items():
+            config = factory()
+            assert config.engine in registry.engine_names(), name
+
+    def test_presets_classmethod_matches_table(self):
+        assert VerifierConfig.presets() == PRESETS
+
+    def test_cli_derives_choices_from_table(self):
+        from repro import cli
+
+        assert cli._PRESETS is PRESETS

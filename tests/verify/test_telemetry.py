@@ -1,0 +1,80 @@
+"""Structured telemetry: normalized stats and the JSONL event trace."""
+
+import json
+
+from repro.verify import STAT_KEYS, VerifierConfig, normalize_stats, verify
+from tests.verify.programs import PAPER_FIG2, RACE_UNSAFE
+
+
+class TestNormalizedStats:
+    def test_canonical_keys_always_present(self):
+        for config in (VerifierConfig.zord(), VerifierConfig.cpa_seq(),
+                       VerifierConfig.genmc()):
+            result = verify(RACE_UNSAFE, config)
+            missing = [k for k in STAT_KEYS if k not in result.stats]
+            assert not missing, (config.name, missing)
+
+    def test_normalize_fills_missing_and_keeps_extras(self):
+        out = normalize_stats({"decisions": 3, "custom": 7})
+        assert out["decisions"] == 3
+        assert out["custom"] == 7
+        assert out["conflicts"] == 0
+        assert set(STAT_KEYS) <= set(out)
+
+    def test_normalize_accepts_none(self):
+        out = normalize_stats(None)
+        assert all(out[k] == 0 for k in STAT_KEYS)
+
+    def test_smt_phase_times_reported(self):
+        result = verify(RACE_UNSAFE, VerifierConfig.zord())
+        for key in ("time_frontend_s", "time_encode_s", "time_solve_s"):
+            assert key in result.stats
+            assert result.stats[key] >= 0
+
+
+class TestJsonlTrace:
+    def _events(self, path):
+        with open(path) as f:
+            records = [json.loads(line) for line in f]
+        assert all("t" in r and "event" in r for r in records)
+        return records
+
+    def test_trace_written_and_well_formed(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        result = verify(RACE_UNSAFE, VerifierConfig.zord(trace_jsonl=trace))
+        assert result.trace_path == trace
+        records = self._events(trace)
+        events = [r["event"] for r in records]
+        assert events[0] == "verify_start"
+        assert events[-1] == "verify_end"
+        assert "solve_start" in events and "solve_end" in events
+        assert "phase" in events
+
+    def test_trace_timestamps_monotonic(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        verify(PAPER_FIG2, VerifierConfig.zord(trace_jsonl=trace))
+        times = [r["t"] for r in self._events(trace)]
+        assert times == sorted(times)
+
+    def test_solve_end_carries_counters(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        verify(RACE_UNSAFE, VerifierConfig.zord(trace_jsonl=trace))
+        (solve_end,) = [
+            r for r in self._events(trace) if r["event"] == "solve_end"
+        ]
+        assert "conflicts" in solve_end and "decisions" in solve_end
+        assert solve_end["result"] in ("sat", "unsat", "unknown")
+
+    def test_verdict_recorded_in_verify_end(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        result = verify(RACE_UNSAFE, VerifierConfig.zord(trace_jsonl=trace))
+        (end,) = [r for r in self._events(trace) if r["event"] == "verify_end"]
+        assert end["verdict"] == result.verdict
+
+    def test_no_trace_without_config(self):
+        result = verify(PAPER_FIG2, VerifierConfig.zord())
+        assert result.trace_path is None
+
+    def test_icd_reorders_counted(self):
+        result = verify(RACE_UNSAFE, VerifierConfig.zord())
+        assert "theory_icd_reorders" in result.stats
