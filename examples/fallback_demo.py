@@ -1,0 +1,68 @@
+"""Fallback-chain demo: a crashing engine degrades to a working verdict.
+
+A production verifier cannot afford to turn one engine's bug into a lost
+answer.  This demo injects a crash into the SMT engine's encoding phase
+(via the fault harness, ``REPRO_FAULTS``-style) and configures
+``fallbacks=("zord-tarjan", "dartagnan")``: the primary attempt crashes,
+the Tarjan-detector retry crashes the same way (same pipeline), and the
+pure-SAT closure baseline -- which never visits the ``encode`` checkpoint
+-- delivers the verdict.  Every attempt is recorded on the result.
+
+Run:  python examples/fallback_demo.py
+"""
+
+from repro.robustness.faults import clear_faults, install_faults
+from repro.verify import VerifierConfig, verify
+
+PROGRAM = """
+int x = 0, y = 0, m = 0, n = 0;
+thread thr1 {
+    if (x == 1) { m = 1; } else { m = x; }
+    y = x + 1;
+}
+thread thr2 {
+    if (y == 1) { n = 1; } else { n = y; }
+    x = y + 1;
+}
+main {
+    start thr1; start thr2; join thr1; join thr2;
+    assert(!(m == 1 && n == 1));
+}
+"""
+
+
+def main() -> None:
+    config = VerifierConfig(
+        time_limit_s=60.0,
+        fallbacks=("zord-tarjan", "dartagnan"),
+    )
+
+    print("=== healthy run (no fault): primary engine answers ===")
+    result = verify(PROGRAM, config)
+    print(f"verdict: {result.verdict.upper()}")
+    for attempt in result.attempts:
+        print(
+            f"  attempt {attempt['config_name']:<12} ({attempt['engine']}): "
+            f"{attempt['status']}"
+        )
+    print()
+
+    print("=== injected smt crash: chain degrades to the closure engine ===")
+    install_faults("crash@encode")
+    try:
+        result = verify(PROGRAM, config)
+    finally:
+        clear_faults()
+    print(f"verdict: {result.verdict.upper()}")
+    for attempt in result.attempts:
+        reason = f"  [{attempt['reason']}]" if attempt["reason"] else ""
+        print(
+            f"  attempt {attempt['config_name']:<12} ({attempt['engine']}): "
+            f"{attempt['status']}{reason}"
+        )
+    assert result.verdict == "safe", "the fallback chain must recover"
+    print("\nrecovered: an engine crash cost one retry, not the answer")
+
+
+if __name__ == "__main__":
+    main()

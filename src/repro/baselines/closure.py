@@ -25,6 +25,7 @@ from repro.encoding.cnf import CnfBuilder
 from repro.frontend import build_symbolic_program
 from repro.lang import ast
 from repro.ordering.solver import OrderingTheory
+from repro.robustness import checkpoint, effective_time_limit
 from repro.sat import SolveResult, Solver
 from repro.verify.result import Verdict, VerificationResult
 from repro.verify.witness import Trace, TraceStep
@@ -38,6 +39,7 @@ MAX_TRANSITIVITY_CLAUSES = 400_000
 
 
 def verify_closure(program: ast.Program, config) -> VerificationResult:
+    checkpoint("engine")
     sym = build_symbolic_program(program, unwind=config.unwind, width=config.width)
     if not sym.error_disjuncts:
         return VerificationResult(Verdict.SAFE, config.name)
@@ -103,6 +105,10 @@ def verify_closure(program: ast.Program, config) -> VerificationResult:
                     continue
                 builder.add_clause([-hij, -hjk, hik])
                 n_trans += 1
+                if n_trans & 0xFFF == 0:
+                    # The cubic closure axioms are the dominant cost; keep
+                    # the construction under the deadline/memory budget.
+                    checkpoint("engine")
 
     # --- RF / WS / FR over hb ------------------------------------------
     def value_var(ev):
@@ -175,7 +181,8 @@ def verify_closure(program: ast.Program, config) -> VerificationResult:
                         builder.add_clause([-rf, -ws_a, -ws_b])
 
     answer = solver.solve(
-        max_conflicts=config.max_conflicts, time_limit_s=config.time_limit_s
+        max_conflicts=config.max_conflicts,
+        time_limit_s=effective_time_limit(config.time_limit_s),
     )
     stats = dict(solver.stats.as_dict())
     stats.update(

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Optional, Set, Tuple
 
 from repro.lang import ast
+from repro.robustness import checkpoint, effective_time_limit
 from repro.smc.compile import compile_program
 from repro.smc.interpreter import Interpreter
 from repro.verify.result import Verdict, VerificationResult
@@ -27,8 +28,10 @@ _NONDET_DOMAIN = (0, 1, 2, 3)
 
 
 def verify_explicit(program: ast.Program, config) -> VerificationResult:
+    checkpoint("engine")
     compiled = compile_program(program, width=config.width, unwind=config.unwind)
     interp = Interpreter(compiled)
+    time_limit_s = effective_time_limit(config.time_limit_s)
     start = time.monotonic()
 
     init = interp.initial_state()
@@ -36,15 +39,25 @@ def verify_explicit(program: ast.Program, config) -> VerificationResult:
     queue = deque([init])
     explored = 0
     exhausted = True
+    limit_hit = None
 
     while queue:
-        if config.time_limit_s is not None and (
-            time.monotonic() - start > config.time_limit_s
+        if time_limit_s is not None and (
+            time.monotonic() - start > time_limit_s
         ):
             exhausted = False
+            limit_hit = "time"
+            break
+        if config.max_conflicts is not None and explored >= config.max_conflicts:
+            # The state-count cap is the explicit engine's analogue of the
+            # SMT engine's conflict cap.
+            exhausted = False
+            limit_hit = "states"
             break
         state = queue.popleft()
         explored += 1
+        if explored & 0xFF == 0:
+            checkpoint("engine", conflicts=256)
         if state.infeasible:
             continue  # failed assume / unwind bound: not a real execution
         ops = interp.enabled_ops(state)
@@ -73,6 +86,7 @@ def verify_explicit(program: ast.Program, config) -> VerificationResult:
         verdict = Verdict.UNKNOWN
     else:
         verdict = Verdict.SAFE
-    return VerificationResult(
-        verdict, config.name, stats={"states": len(visited), "explored": explored}
-    )
+    stats = {"states": len(visited), "explored": explored}
+    if limit_hit is not None:
+        stats["limit_hit"] = limit_hit
+    return VerificationResult(verdict, config.name, stats=stats)

@@ -17,6 +17,7 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.lang import ast
+from repro.robustness import checkpoint, effective_time_limit
 from repro.smc.compile import compile_program
 from repro.smc.interpreter import ExecState, Interpreter
 from repro.verify.result import Verdict, VerificationResult
@@ -37,23 +38,37 @@ class _Node:
 
 
 def verify_lazyseq(program: ast.Program, config) -> VerificationResult:
+    checkpoint("engine")
     compiled = compile_program(program, width=config.width, unwind=config.unwind)
     interp = Interpreter(compiled)
     order = ["main"] + sorted(compiled.threads)
     max_pos = config.rounds * len(order)
+    time_limit_s = effective_time_limit(config.time_limit_s)
     start = time.monotonic()
 
     stack = [_Node(interp.initial_state(), 0)]
     traces = 0
     discarded = 0
+    transitions = 0
     exhausted = True
+    limit_hit = None
 
     while stack:
-        if config.time_limit_s is not None and (
-            time.monotonic() - start > config.time_limit_s
+        if time_limit_s is not None and (
+            time.monotonic() - start > time_limit_s
         ):
             exhausted = False
+            limit_hit = "time"
             break
+        if config.max_conflicts is not None and transitions >= config.max_conflicts:
+            # The transition cap is the sequentialized engine's analogue of
+            # the SMT engine's conflict cap.
+            exhausted = False
+            limit_hit = "transitions"
+            break
+        transitions += 1
+        if transitions & 0xFF == 0:
+            checkpoint("engine", conflicts=256)
         node = stack[-1]
         if node.pending is None:
             state = node.state
@@ -107,6 +122,7 @@ def verify_lazyseq(program: ast.Program, config) -> VerificationResult:
         verdict = Verdict.UNKNOWN
     else:
         verdict = Verdict.SAFE
-    return VerificationResult(
-        verdict, config.name, stats={"traces": traces, "discarded": discarded}
-    )
+    stats = {"traces": traces, "discarded": discarded, "transitions": transitions}
+    if limit_hit is not None:
+        stats["limit_hit"] = limit_hit
+    return VerificationResult(verdict, config.name, stats=stats)

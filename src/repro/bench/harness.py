@@ -71,7 +71,8 @@ def execute_task(
     except RecursionError:  # pragma: no cover - defensive
         verdict, memory, stats = Verdict.UNKNOWN, 0, {}
     elapsed = time.monotonic() - start
-    if verdict == Verdict.UNKNOWN:
+    if verdict in (Verdict.UNKNOWN, Verdict.ERROR):
+        # Neither exhaustion nor a contained crash is a wrong answer.
         correct: Optional[bool] = None
     else:
         expected = Verdict.SAFE if task.expected_safe else Verdict.UNSAFE

@@ -1,7 +1,8 @@
 """Command-line interface: ``repro-verify FILE [options]``.
 
 Exit codes: 0 = SAFE, 10 = UNSAFE, 2 = UNKNOWN (budget exhausted),
-1 = input/usage error.  The engine choices are derived from the preset
+1 = input/usage error or contained engine crash (ERROR verdict).
+The engine choices are derived from the preset
 table in :mod:`repro.verify.config`, which is validated against the
 engine registry -- there is no second hand-maintained engine list here.
 """
@@ -31,6 +32,8 @@ def _exit_code(verdict: str) -> int:
         return EXIT_SAFE
     if verdict == Verdict.UNSAFE:
         return EXIT_UNSAFE
+    if verdict == Verdict.ERROR:
+        return EXIT_ERROR
     return EXIT_UNKNOWN
 
 
@@ -71,6 +74,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--timeout", type=float, default=None, help="time budget in seconds"
+    )
+    parser.add_argument(
+        "--max-conflicts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="conflict/exploration budget (engine-specific analogue for "
+        "non-SMT engines); exhaustion yields UNKNOWN",
+    )
+    parser.add_argument(
+        "--memory-limit-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="resident-memory growth budget; exceeding it yields UNKNOWN",
+    )
+    parser.add_argument(
+        "--fallback",
+        action="append",
+        default=None,
+        metavar="PRESET",
+        choices=sorted(_PRESETS),
+        help="preset to fall back to when the primary engine is "
+        "inconclusive or crashes (repeatable; tried in order, sharing "
+        "one time budget)",
     )
     parser.add_argument(
         "--witness", action="store_true", help="print a counterexample trace"
@@ -121,11 +149,20 @@ def _config_kwargs(args) -> dict:
         unwind=args.unwind,
         width=args.width,
         time_limit_s=args.timeout,
+        max_conflicts=args.max_conflicts,
+        memory_limit_mb=args.memory_limit_mb,
         memory_model=args.memory_model,
     )
 
 
 def _print_result_details(result, args) -> None:
+    if result.diagnostic:
+        print(f"  diagnostic: {result.diagnostic}")
+    for attempt in result.attempts:
+        print(
+            f"  attempt {attempt['config_name']} ({attempt['engine']}): "
+            f"{attempt['status']} in {attempt['wall_time_s']:.3f}s"
+        )
     if args.witness and result.witness is not None:
         print(result.witness)
     if args.stats:
@@ -135,7 +172,9 @@ def _print_result_details(result, args) -> None:
 
 def _verify(source: str, args) -> int:
     config = _PRESETS[args.engine](
-        trace_jsonl=args.trace_jsonl, **_config_kwargs(args)
+        trace_jsonl=args.trace_jsonl,
+        fallbacks=tuple(args.fallback or ()),
+        **_config_kwargs(args),
     )
     result = verify(source, config)
     print(f"verdict: {result.verdict.upper()}  ({result.wall_time_s:.3f}s)")

@@ -25,6 +25,7 @@ from repro.encoding.cnf import CnfBuilder
 from repro.encoding import formula as F
 from repro.frontend.program import Event, SymbolicProgram
 from repro.ordering import OrderingTheory
+from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.sat import Solver
 
 __all__ = ["EncodedProgram", "encode_program", "EncodingStats"]
@@ -83,6 +84,7 @@ def encode_program(
             models the event-graph skeleton carries only the preserved
             program order (see :mod:`repro.encoding.ppo`).
     """
+    _robustness_checkpoint("encode")
     if theory is None:
         from repro.encoding.ppo import preserved_program_order
 
@@ -140,6 +142,9 @@ def encode_program(
         return False
 
     for addr in sym.addresses:
+        # The RF candidate set is reads x writes and WS is quadratic in
+        # writes, so encoding itself can exhaust a budget on wide programs.
+        _robustness_checkpoint("encode")
         reads = sym.reads_of(addr)
         writes = sym.writes_of(addr)
 
@@ -164,6 +169,8 @@ def encode_program(
                 builder.imply(var, eq_lit)
                 rf_lits.append(var)
                 enc.stats.rf_vars += 1
+                if enc.stats.rf_vars & 0x3FF == 0:
+                    _robustness_checkpoint("encode")
             # RF-Some: an enabled read takes its value from somewhere.
             builder.imply_or(g_r, rf_lits)
 
@@ -187,6 +194,8 @@ def encode_program(
                 # WS-Some: both enabled -> one order or the other.
                 builder.add_clause([-g1, -g2, v12, v21])
                 enc.stats.ws_vars += 2
+                if enc.stats.ws_vars & 0x3FF == 0:
+                    _robustness_checkpoint("encode")
 
         # Static from-read lemmas: if a write w' lies in preserved program
         # order before the read, then rf(w, r) and ws(w, w') together

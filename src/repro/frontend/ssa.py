@@ -23,6 +23,7 @@ from repro.encoding import formula as F
 from repro.encoding.formula import Term
 from repro.lang import ast
 from repro.lang.sema import check_program
+from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.frontend.program import (
     Event,
     EventKind,
@@ -129,6 +130,9 @@ class _Lowerer:
 
     def _emit_access(self, kind: str, addr: str) -> Tuple[Event, Term]:
         """Create an event + SSA variable for an access to ``addr``."""
+        # Each shared access is one event-graph node; unrolling multiplies
+        # them, so this is where the ``max_events`` budget is charged.
+        _robustness_checkpoint("frontend", events=1)
         ssa_name = self._fresh(addr)
         var = F.bv_var(ssa_name, self.width)
         eid = len(self.out.events)

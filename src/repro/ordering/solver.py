@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.sat.theory import Theory, TheoryResult
 from repro.ordering.conflict import generate_conflicts
 from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
@@ -97,7 +98,12 @@ class OrderingTheory(Theory):
         self._out_ws: List[List[Edge]] = [[] for _ in range(n_events)]
         #: Activation trail: (edge, level) pairs, LIFO.
         self._trail: List[Tuple[Edge, int]] = []
-        for a, b in po_edges:
+        for i, (a, b) in enumerate(po_edges):
+            # The Tarjan baseline does a full-graph search per insertion,
+            # so building a large PO skeleton can dominate the run; keep it
+            # under the deadline/memory budget.
+            if i & 0xFF == 0:
+                _robustness_checkpoint("encode")
             edge = Edge(a, b, EdgeKind.PO)
             result = self.detector.add_edge(edge)
             if result.cycle:
@@ -186,6 +192,8 @@ class OrderingTheory(Theory):
         """Insert ``edge``; on cycle, fill ``result.conflicts`` and return
         False (leaving the graph unchanged)."""
         self.stats.consistency_checks += 1
+        if self.stats.consistency_checks & 0xFF == 0:
+            _robustness_checkpoint("theory")
         added = self.detector.add_edge(edge)
         if added.cycle:
             self.stats.cycles += 1

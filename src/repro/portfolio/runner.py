@@ -9,6 +9,16 @@ deterministically in favour of the earliest configuration in the
 portfolio.  With ``jobs=1`` the portfolio degrades gracefully to serial
 execution in portfolio order, stopping at the first conclusive verdict --
 same winner rule, no processes.
+
+The parallel race is hardened against misbehaving workers:
+
+* every worker posts **heartbeats**; a worker that stays alive but stops
+  heartbeating for ``hang_timeout_s`` is declared hung and killed
+  (``status="error"``) instead of stalling the race;
+* a worker that **dies without reporting** (OOM-killed, segfaulted
+  extension, :data:`os.kill`) is reaped as ``status="error"``;
+* cancellation escalates: SIGTERM, then SIGKILL after ``term_grace_s``
+  for workers that ignore the termination request.
 """
 
 from __future__ import annotations
@@ -16,11 +26,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.lang import ast
+from repro.robustness.faults import fault_point
 from repro.verify import Verdict, VerificationResult, VerifierConfig, verify
 from repro.verify.config import PRESETS
 
@@ -30,6 +42,9 @@ _CONCLUSIVE = (Verdict.SAFE, Verdict.UNSAFE)
 
 #: Seconds a terminated worker gets to exit before SIGKILL.
 _TERM_GRACE_S = 5.0
+
+#: Interval between worker heartbeats.
+_HEARTBEAT_S = 0.2
 
 
 @dataclass
@@ -115,12 +130,38 @@ def _source_of(program: Union[str, ast.Program]) -> str:
     return unparse(program)
 
 
-def _worker(source: str, config: VerifierConfig, index: int, out_queue) -> None:
-    """Process entry point: verify and report (index, kind, payload)."""
+def _worker(
+    source: str,
+    config: VerifierConfig,
+    index: int,
+    out_queue,
+    heartbeat_s: float = _HEARTBEAT_S,
+) -> None:
+    """Process entry point: verify and report (index, kind, payload).
+
+    ``kind`` is ``"ok"`` (payload: the result), ``"error"`` (payload: a
+    message) or ``"hb"`` (heartbeat, payload: None).  Heartbeats come from
+    a daemon thread so the parent can distinguish a slow worker from a
+    hung one.
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_s):
+            try:
+                out_queue.put((index, "hb", None))
+            except Exception:  # queue torn down: parent is gone
+                return
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
     try:
+        fault_point("portfolio_worker")
         result = verify(source, config)
+        stop.set()
         out_queue.put((index, "ok", result))
     except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        stop.set()
         out_queue.put((index, "error", f"{type(exc).__name__}: {exc}"))
 
 
@@ -130,6 +171,9 @@ def verify_portfolio(
     jobs: Optional[int] = None,
     time_limit_s: Optional[float] = None,
     wall_budget_s: Optional[float] = None,
+    hang_timeout_s: Optional[float] = 30.0,
+    term_grace_s: float = _TERM_GRACE_S,
+    heartbeat_s: float = _HEARTBEAT_S,
 ) -> PortfolioResult:
     """Race a portfolio of engine configurations on one program.
 
@@ -144,6 +188,10 @@ def verify_portfolio(
         wall_budget_s: optional overall wall-clock budget for the parallel
             race; on expiry all workers are cancelled and the verdict is
             UNKNOWN.
+        hang_timeout_s: a live worker that posts no heartbeat for this
+            long is declared hung and killed (``None`` disables).
+        term_grace_s: seconds a SIGTERM'd worker gets before SIGKILL.
+        heartbeat_s: worker heartbeat interval.
 
     Returns:
         A :class:`PortfolioResult`; ``result`` is the winning engine's full
@@ -162,7 +210,10 @@ def verify_portfolio(
     start = time.monotonic()
     if jobs <= 1 or len(cfgs) == 1:
         return _run_serial(program, cfgs, start)
-    return _run_parallel(program, cfgs, jobs, start, wall_budget_s)
+    return _run_parallel(
+        program, cfgs, jobs, start, wall_budget_s,
+        hang_timeout_s, term_grace_s, heartbeat_s,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -183,14 +234,29 @@ def _run_serial(program, cfgs: List[VerifierConfig], start: float) -> PortfolioR
                 error=f"{type(exc).__name__}: {exc}",
             )
             continue
-        status = "conclusive" if result.verdict in _CONCLUSIVE else "unknown"
-        runs[i] = EngineRun(
-            cfg.name, status, result.verdict, result.wall_time_s, result
-        )
-        if status == "conclusive":
+        runs[i] = _run_from_result(cfg.name, result)
+        if runs[i].status == "conclusive":
             winner_idx = i
             break
     return _finish(runs, winner_idx, start)
+
+
+def _run_from_result(name: str, result: VerificationResult) -> EngineRun:
+    """Classify a completed verification into an :class:`EngineRun`.
+
+    A contained engine crash (``verdict == "error"``) counts as a worker
+    error, not an unknown: the diagnostic is surfaced in ``error``.
+    """
+    if result.verdict in _CONCLUSIVE:
+        status = "conclusive"
+    elif result.verdict == Verdict.ERROR:
+        status = "error"
+    else:
+        status = "unknown"
+    return EngineRun(
+        name, status, result.verdict, result.wall_time_s, result,
+        error=result.diagnostic if status == "error" else None,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +269,9 @@ def _run_parallel(
     jobs: int,
     start: float,
     wall_budget_s: Optional[float],
+    hang_timeout_s: Optional[float],
+    term_grace_s: float,
+    heartbeat_s: float,
 ) -> PortfolioResult:
     source = _source_of(program)
     # Fail fast in the parent on malformed input instead of collecting
@@ -217,38 +286,55 @@ def _run_parallel(
     runs = [EngineRun(c.name, "cancelled") for c in cfgs]
     procs: Dict[int, multiprocessing.process.BaseProcess] = {}
     launched_at: Dict[int, float] = {}
+    last_beat: Dict[int, float] = {}
     pending = list(range(len(cfgs)))
     conclusive: List[int] = []
     winner_idx: Optional[int] = None
 
     def record(i: int, kind: str, payload) -> None:
+        if runs[i].status != "running":
+            return  # late message from a worker already reaped/killed
         elapsed = time.monotonic() - launched_at[i]
         if kind == "error":
             runs[i] = EngineRun(
                 cfgs[i].name, "error", wall_time_s=elapsed, error=payload
             )
         else:
-            status = (
-                "conclusive" if payload.verdict in _CONCLUSIVE else "unknown"
-            )
-            runs[i] = EngineRun(
-                cfgs[i].name, status, payload.verdict,
-                payload.wall_time_s, payload,
-            )
+            runs[i] = _run_from_result(cfgs[i].name, payload)
 
-    def reap(i: int, timeout: Optional[float] = _TERM_GRACE_S) -> None:
+    def reap(i: int, timeout: Optional[float] = None) -> None:
         proc = procs.pop(i, None)
         if proc is not None:
-            proc.join(timeout=timeout)
+            proc.join(timeout=term_grace_s if timeout is None else timeout)
+
+    def kill_escalating(i: int, error: str) -> None:
+        """SIGTERM ``i``, SIGKILL it after the grace period, record
+        ``error``."""
+        proc = procs.pop(i)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=term_grace_s)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)
+        if runs[i].status == "running":
+            runs[i] = EngineRun(
+                cfgs[i].name, "error",
+                wall_time_s=time.monotonic() - launched_at[i],
+                error=error,
+            )
 
     try:
         while True:
+            now = time.monotonic()
             while pending and len(procs) < jobs:
                 i = pending.pop(0)
                 proc = ctx.Process(
-                    target=_worker, args=(source, cfgs[i], i, out_q), daemon=True
+                    target=_worker,
+                    args=(source, cfgs[i], i, out_q, heartbeat_s),
+                    daemon=True,
                 )
-                launched_at[i] = time.monotonic()
+                launched_at[i] = last_beat[i] = time.monotonic()
                 proc.start()
                 procs[i] = proc
                 runs[i] = EngineRun(cfgs[i].name, "running")
@@ -257,20 +343,35 @@ def _run_parallel(
             try:
                 i, kind, payload = out_q.get(timeout=0.05)
             except queue_mod.Empty:
+                now = time.monotonic()
                 # Reap workers that died without reporting (OOM-kill, ...).
                 for i in [k for k, p in procs.items() if not p.is_alive()]:
-                    reap(i, timeout=None)
+                    reap(i)
                     if runs[i].status == "running":
                         runs[i] = EngineRun(
                             cfgs[i].name, "error",
-                            wall_time_s=time.monotonic() - launched_at[i],
-                            error="worker exited without reporting",
+                            wall_time_s=now - launched_at[i],
+                            error="worker exited without reporting a result",
                         )
-                if (
-                    wall_budget_s is not None
-                    and time.monotonic() - start > wall_budget_s
-                ):
+                # Kill workers that are alive but silent: a worker that
+                # stops heartbeating is hung (deadlock, SIGSTOP, runaway
+                # C loop) and must not stall the race forever.
+                if hang_timeout_s is not None:
+                    hung = [
+                        k for k in procs
+                        if now - last_beat[k] > hang_timeout_s
+                    ]
+                    for i in hung:
+                        kill_escalating(
+                            i,
+                            "worker hung: no heartbeat for "
+                            f"{now - last_beat[i]:.1f}s",
+                        )
+                if wall_budget_s is not None and now - start > wall_budget_s:
                     break
+                continue
+            if kind == "hb":
+                last_beat[i] = time.monotonic()
                 continue
             record(i, kind, payload)
             reap(i)
@@ -283,6 +384,8 @@ def _run_parallel(
                         j, kind2, payload2 = out_q.get_nowait()
                     except queue_mod.Empty:
                         break
+                    if kind2 == "hb":
+                        continue
                     record(j, kind2, payload2)
                     reap(j)
                     if runs[j].status == "conclusive":
@@ -294,7 +397,7 @@ def _run_parallel(
         for proc in procs.values():
             if proc.is_alive():
                 proc.terminate()
-        deadline = time.monotonic() + _TERM_GRACE_S
+        deadline = time.monotonic() + term_grace_s
         for i, proc in list(procs.items()):
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():

@@ -1,0 +1,100 @@
+"""Crash containment: engine exceptions become structured results.
+
+DPLL(T) on ordering consistency has exponential worst cases, and the
+baseline engines have their own failure modes (cubic closure encodings,
+state explosion, deep graphs).  A production verifier therefore treats
+budget exhaustion and engine crashes as *normal outcomes*:
+:func:`run_guarded` executes an engine runner and guarantees a
+:class:`~repro.verify.result.VerificationResult` comes back --
+
+* :class:`~repro.robustness.budget.BudgetExceeded` becomes a structured
+  ``UNKNOWN`` carrying the phase, the limit that tripped, and any partial
+  statistics the raising layer attached;
+* ``MemoryError`` (allocation failure) becomes ``UNKNOWN`` with the
+  memory limit recorded -- running out of memory is budget exhaustion,
+  not a bug;
+* any other exception (including ``RecursionError``) becomes an
+  ``ERROR``-status result with a compact captured diagnostic -- never a
+  raw traceback to the user;
+* ``KeyboardInterrupt`` / ``SystemExit`` always propagate.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional
+
+from repro.robustness.budget import Budget, BudgetExceeded
+
+# NOTE: repro.verify.result is imported inside the functions below --
+# repro.verify.verifier imports this module at load time, so a top-level
+# import here would create an order-dependent cycle.
+
+__all__ = ["describe_exception", "run_guarded"]
+
+#: Cap on diagnostic length (a diagnostic is a summary, not a dump).
+_MAX_DIAGNOSTIC_CHARS = 600
+
+
+def describe_exception(exc: BaseException) -> str:
+    """A compact single-paragraph diagnostic: exception type, message, and
+    the innermost in-repo source location."""
+    parts = [f"{type(exc).__name__}: {exc}"]
+    tb = exc.__traceback__
+    frames = traceback.extract_tb(tb) if tb is not None else []
+    if frames:
+        last = frames[-1]
+        parts.append(f"(at {last.filename}:{last.lineno} in {last.name})")
+    text = " ".join(parts)
+    if len(text) > _MAX_DIAGNOSTIC_CHARS:
+        text = text[: _MAX_DIAGNOSTIC_CHARS - 3] + "..."
+    return text
+
+
+def _budget_result(config_name: str, exc: BudgetExceeded, budget: Optional[Budget]):
+    from repro.verify.result import Verdict, VerificationResult
+
+    stats = dict(exc.partial_stats)
+    stats["budget_limit"] = exc.limit
+    stats["budget_phase"] = exc.phase
+    stats["budget_used"] = exc.used
+    stats["budget_cap"] = exc.cap
+    if budget is not None:
+        stats.update(budget.snapshot())
+    result = VerificationResult(Verdict.UNKNOWN, config_name, stats=stats)
+    result.diagnostic = str(exc)
+    return result
+
+
+def run_guarded(
+    runner,
+    program,
+    config,
+    telemetry=None,
+    budget: Optional[Budget] = None,
+):
+    """Run ``runner(program, config, telemetry=...)`` with crash
+    containment; always returns a :class:`VerificationResult`."""
+    from repro.verify.result import Verdict, VerificationResult
+
+    try:
+        return runner(program, config, telemetry=telemetry)
+    except BudgetExceeded as exc:
+        return _budget_result(config.name, exc, budget)
+    except MemoryError as exc:
+        synthetic = BudgetExceeded("memory", "engine", 0.0, 0.0)
+        result = _budget_result(config.name, synthetic, budget)
+        result.diagnostic = describe_exception(exc)
+        return result
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 - the whole point is containment
+        result = VerificationResult(
+            Verdict.ERROR,
+            config.name,
+            stats={"error_type": type(exc).__name__},
+        )
+        result.diagnostic = describe_exception(exc)
+        if budget is not None:
+            result.stats.update(budget.snapshot())
+        return result

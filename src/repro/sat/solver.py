@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.robustness import checkpoint as _robustness_checkpoint
+from repro.robustness.budget import BudgetExceeded, get_active as _active_budget
 from repro.sat.theory import Theory
 
 #: Truth values used in the assignment array.
@@ -218,7 +220,17 @@ class Solver:
             self.telemetry.emit(
                 "solve_start", nvars=self.nvars, clauses=len(self._clauses)
             )
-        result = self._solve(max_conflicts, time_limit_s)
+        try:
+            result = self._solve(max_conflicts, time_limit_s)
+        except BudgetExceeded as exc:
+            # Attach the partial counters so the budget-exhausted UNKNOWN
+            # still reports how far the search got.
+            exc.partial_stats.update(self.stats.as_dict())
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "solve_end", result="budget_exceeded", **self.stats.as_dict()
+                )
+            raise
         if self.telemetry is not None:
             self.telemetry.emit("solve_end", result=result, **self.stats.as_dict())
         return result
@@ -236,6 +248,10 @@ class Solver:
         conflicts_total = 0
         max_learned = max(1000, len(self._clauses) // 2)
         while True:
+            # Robustness checkpoint once per restart period: fires injected
+            # faults and checks the run budget's deadline / memory cap
+            # (per-conflict charging happens inside _search).
+            _robustness_checkpoint("solve")
             budget = restart_base * luby(restart_idx)
             status, used = self._search(
                 budget, start, time_limit_s, max_conflicts, conflicts_total, max_learned
@@ -287,11 +303,16 @@ class Solver:
     ):
         """One restart period.  Returns (status-or-None, conflicts used)."""
         conflicts = 0
+        run_budget = _active_budget()
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts += 1
                 self.stats.conflicts += 1
+                if run_budget is not None:
+                    run_budget.charge_conflicts(1, "solve")
+                    if conflicts & 0xFF == 0:
+                        run_budget.check("solve")
                 if not self._normalize_conflict_level(conflict):
                     return SolveResult.UNSAT, conflicts
                 learnt, back_level = self._analyze(conflict)

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.robustness import checkpoint
 from repro.smc.compile import CompiledProgram
 from repro.smc.interpreter import ExecState, Interpreter, VisibleOp
 
@@ -133,8 +134,12 @@ class Explorer:
         init = self.interp.initial_state()
         stack: List[_Frame] = [_Frame(init, {})]
         exhausted = True
+        iterations = 0
 
         while stack:
+            iterations += 1
+            if iterations & 0xFF == 0:
+                checkpoint("explore")
             if self._over_budget(out, start):
                 exhausted = False
                 break

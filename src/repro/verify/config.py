@@ -4,7 +4,7 @@ evaluation (Section 6)."""
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 __all__ = ["VerifierConfig", "PRESETS"]
 
@@ -33,8 +33,20 @@ class VerifierConfig:
             ``"pso"`` (the weak-memory extension; SMT engines only).
         rounds: round-robin rounds for the lazyseq engine.
         max_conflict_clauses: cap per theory conflict.
-        time_limit_s: wall-clock budget; exceeded -> UNKNOWN.
-        max_conflicts: conflict budget for the SAT core; exceeded -> UNKNOWN.
+        time_limit_s: wall-clock budget; exceeded -> UNKNOWN.  Honored by
+            every engine (the deadline covers frontend, encoding, theory
+            and solve phases, not just the SAT core).
+        max_conflicts: conflict budget for the SAT core (reused as the
+            exploration budget by the explicit/sequentialized/stateless
+            engines); exceeded -> UNKNOWN.
+        memory_limit_mb: cap on resident-set growth during the run;
+            exceeded -> UNKNOWN (see :mod:`repro.robustness.budget`).
+        max_events: cap on the event-graph size the frontend may produce;
+            exceeded -> UNKNOWN before the encoder commits to a
+            quadratic/cubic encoding.
+        fallbacks: preset names retried, in order, when an attempt crashes
+            or exhausts its budget (see :mod:`repro.robustness.fallback`).
+            All attempts share one wall-clock deadline.
         trace_jsonl: when set, stream a JSONL telemetry event trace to this
             path while the engine runs (see :mod:`repro.verify.telemetry`).
 
@@ -60,11 +72,16 @@ class VerifierConfig:
     max_conflict_clauses: int = 8
     time_limit_s: Optional[float] = None
     max_conflicts: Optional[int] = None
+    memory_limit_mb: Optional[float] = None
+    max_events: Optional[int] = None
+    fallbacks: Tuple[str, ...] = ()
     trace_jsonl: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.verify import registry
 
+        if not isinstance(self.fallbacks, tuple):
+            object.__setattr__(self, "fallbacks", tuple(self.fallbacks))
         registry.validate_config(self)
 
     # ------------------------------------------------------------------

@@ -261,3 +261,13 @@ def validate_config(config) -> None:
             f"{', '.join(spec.memory_models)}; the explicit/stateless "
             "engines interpret under SC)"
         )
+    fallbacks = getattr(config, "fallbacks", ()) or ()
+    if fallbacks:
+        from repro.verify.config import PRESETS
+
+        unknown = [name for name in fallbacks if name not in PRESETS]
+        if unknown:
+            raise ValueError(
+                f"unknown fallback preset(s) {', '.join(map(repr, unknown))}; "
+                f"available presets: {', '.join(sorted(PRESETS))}"
+            )

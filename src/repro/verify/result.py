@@ -12,11 +12,14 @@ __all__ = ["Verdict", "VerificationResult"]
 
 class Verdict:
     """Outcome constants: the property holds (within bounds), is violated,
-    or the budget was exhausted."""
+    the budget was exhausted, or the engine crashed (contained)."""
 
     SAFE = "safe"
     UNSAFE = "unsafe"
     UNKNOWN = "unknown"
+    #: The engine raised; the crash guard captured a diagnostic instead of
+    #: surfacing a traceback (see :mod:`repro.robustness.guard`).
+    ERROR = "error"
 
 
 @dataclass
@@ -34,6 +37,12 @@ class VerificationResult:
     stats: Dict[str, float] = field(default_factory=dict)
     #: Path of the JSONL telemetry trace, when one was requested.
     trace_path: Optional[str] = None
+    #: Compact captured diagnostic for ERROR verdicts and budget-exhausted
+    #: UNKNOWNs (never a raw traceback).
+    diagnostic: Optional[str] = None
+    #: Per-attempt records when a fallback chain ran (list of dicts, see
+    #: :class:`repro.robustness.fallback.Attempt`); empty for single runs.
+    attempts: list = field(default_factory=list)
 
     @property
     def is_safe(self) -> bool:
@@ -43,8 +52,14 @@ class VerificationResult:
     def is_unsafe(self) -> bool:
         return self.verdict == Verdict.UNSAFE
 
+    @property
+    def is_error(self) -> bool:
+        return self.verdict == Verdict.ERROR
+
     def __str__(self) -> str:
         out = f"[{self.config_name}] {self.verdict.upper()} in {self.wall_time_s:.3f}s"
+        if self.diagnostic is not None:
+            out += f"\n  {self.diagnostic}"
         if self.witness is not None:
             out += f"\n{self.witness}"
         return out

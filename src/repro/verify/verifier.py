@@ -1,11 +1,20 @@
 """The top-level verifier: parse → unroll/SSA → registry-resolved engine →
-verdict.
+verdict, under resource governance.
 
 Engine selection goes through :mod:`repro.verify.registry`: ``config.engine``
 names a registered engine whose runner is resolved lazily; the SMT engine
 resolves its ordering theory (``"ord"`` / ``"idl"``) through the theory
-registry the same way.  There is no string-dispatch chain here -- new
-engines plug in via :func:`repro.verify.registry.register_engine`.
+registry the same way.
+
+Every run is resource-governed (:mod:`repro.robustness`): a
+:class:`~repro.robustness.budget.Budget` is created once per
+:func:`verify` call and cooperatively checked in every pipeline layer;
+engine execution is wrapped in the crash guard, so budget exhaustion
+comes back as a structured ``UNKNOWN`` (phase + limit + partial stats)
+and an engine crash as an ``ERROR`` result with a captured diagnostic --
+never an uncaught exception.  ``config.fallbacks`` chains additional
+presets that are retried, within the same deadline, when an attempt is
+not conclusive.
 """
 
 from __future__ import annotations
@@ -16,6 +25,10 @@ from typing import Optional, Union
 
 from repro.frontend import build_symbolic_program
 from repro.lang import ast, parse
+from repro.robustness import active_budget, checkpoint, effective_time_limit
+from repro.robustness.budget import Budget
+from repro.robustness.fallback import Attempt, resolve_chain
+from repro.robustness.guard import run_guarded
 from repro.sat import SolveResult
 from repro.verify import registry
 from repro.verify.config import VerifierConfig
@@ -24,6 +37,8 @@ from repro.verify.telemetry import TraceWriter, attach_telemetry, normalize_stat
 from repro.verify.witness import extract_trace
 
 __all__ = ["verify", "run_smt_engine"]
+
+_CONCLUSIVE = (Verdict.SAFE, Verdict.UNSAFE)
 
 
 def verify(
@@ -34,7 +49,8 @@ def verify(
     """Verify ``program`` within the bounds under the configured engine.
 
     Args:
-        program: source text or a parsed AST.
+        program: source text or a parsed AST.  Parse/semantic errors raise
+            (they are input errors, not engine failures).
         config: engine/ablation selection (see :class:`VerifierConfig`);
             defaults to the Zord preset.
         measure_memory: trace peak allocation (slower; used by the
@@ -44,14 +60,65 @@ def verify(
         A :class:`VerificationResult`; ``verdict`` is ``SAFE`` if no
         assertion can be violated within the unrolling bound, ``UNSAFE``
         (with a witness trace where the engine produces one) otherwise,
-        ``UNKNOWN`` on budget exhaustion.  ``stats`` is normalized: the
-        canonical counters of :data:`repro.verify.telemetry.STAT_KEYS`
-        are always present.
+        ``UNKNOWN`` on budget exhaustion (``stats`` then carries
+        ``budget_limit`` / ``budget_phase``), or ``ERROR`` when the
+        engine crashed (``diagnostic`` carries the captured summary).
+        ``stats`` is normalized: the canonical counters of
+        :data:`repro.verify.telemetry.STAT_KEYS` are always present.
+        When ``config.fallbacks`` is set, ``attempts`` records every
+        attempt of the chain.
     """
     if config is None:
         config = VerifierConfig()
     if isinstance(program, str):
         program = parse(program)
+    # Semantic errors are input errors, not engine failures: check before
+    # entering the crash-contained attempt chain so they raise.
+    from repro.lang.sema import check_program
+
+    check_program(program)
+    budget = Budget.from_config(config)
+    chain = resolve_chain(config)
+    attempts = []
+    result: Optional[VerificationResult] = None
+    with active_budget(budget):
+        for i, (cfg, skipped) in enumerate(chain):
+            if cfg is None:
+                attempts.append(skipped)
+                continue
+            if i > 0 and config.trace_jsonl:
+                cfg = cfg.with_(
+                    trace_jsonl=f"{config.trace_jsonl}.fallback{i}-{cfg.name}"
+                )
+            result = _verify_attempt(program, cfg, measure_memory, budget)
+            if result.verdict in _CONCLUSIVE:
+                status = "conclusive"
+            elif result.verdict == Verdict.ERROR:
+                status = "error"
+            else:
+                status = "unknown"
+            attempts.append(
+                Attempt(
+                    cfg.name, cfg.engine, status, result.verdict,
+                    result.wall_time_s, reason=result.diagnostic,
+                )
+            )
+            if status == "conclusive":
+                break
+    assert result is not None  # the primary config is always runnable
+    if len(chain) > 1:
+        result.attempts = [a.as_dict() for a in attempts]
+        result.stats["fallback_attempts"] = len(attempts)
+    return result
+
+
+def _verify_attempt(
+    program: ast.Program,
+    config: VerifierConfig,
+    measure_memory: bool,
+    budget: Budget,
+) -> VerificationResult:
+    """One guarded engine execution (a single link of the fallback chain)."""
     runner = registry.resolve_engine(config.engine)
     writer = TraceWriter(config.trace_jsonl) if config.trace_jsonl else None
     start = time.monotonic()
@@ -59,17 +126,16 @@ def verify(
         writer.emit("verify_start", engine=config.engine, config=config.name)
     if measure_memory:
         tracemalloc.start()
-    result: Optional[VerificationResult] = None
     try:
-        result = runner(program, config, telemetry=writer)
+        result = run_guarded(
+            runner, program, config, telemetry=writer, budget=budget
+        )
     finally:
         if measure_memory:
             _, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
         else:
             peak = 0
-        if writer is not None and result is None:  # engine raised
-            writer.close()
     result.peak_memory_bytes = peak
     result.wall_time_s = time.monotonic() - start
     result.stats = normalize_stats(result.stats)
@@ -92,11 +158,14 @@ def run_smt_engine(
     """The DPLL(T) BMC engine: SSA, theory-registry encode, CDCL solve,
     witness extraction.  Registered under engine name ``"smt"``."""
     t0 = time.monotonic()
+    checkpoint("frontend")
     sym = build_symbolic_program(program, unwind=config.unwind, width=config.width)
+    checkpoint("frontend")
     t_frontend = time.monotonic() - t0
 
     encode = registry.resolve_theory(config.theory)
     t1 = time.monotonic()
+    checkpoint("encode")
     encoded = encode(sym, config)
     t_encode = time.monotonic() - t1
     if telemetry is not None:
@@ -109,7 +178,8 @@ def run_smt_engine(
 
     t2 = time.monotonic()
     answer = encoded.solver.solve(
-        max_conflicts=config.max_conflicts, time_limit_s=config.time_limit_s
+        max_conflicts=config.max_conflicts,
+        time_limit_s=effective_time_limit(config.time_limit_s),
     )
     t_solve = time.monotonic() - t2
     stats = dict(encoded.solver.stats.as_dict())

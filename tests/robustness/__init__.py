@@ -1,0 +1,1 @@
+"""Robustness tests: budgets, crash containment, fallbacks, fault injection."""

@@ -1,0 +1,147 @@
+"""Budget unit tests + the per-engine budget-exhaustion contract:
+every preset must degrade to a structured UNKNOWN (never an exception,
+never a wrong verdict) under a tiny time or conflict budget."""
+
+import time
+
+import pytest
+
+from repro.robustness.budget import (
+    Budget,
+    BudgetExceeded,
+    active_budget,
+    effective_time_limit,
+    get_active,
+)
+from repro.verify import Verdict, verify
+from repro.verify.config import PRESETS
+from repro.verify.telemetry import STAT_KEYS
+from tests.verify.programs import PAPER_FIG2
+
+
+class TestBudgetUnit:
+    def test_unlimited_budget_never_raises(self):
+        b = Budget()
+        b.check("x")
+        b.charge_conflicts(10**9, "x")
+        b.charge_events(10**9, "x")
+
+    def test_time_limit(self):
+        b = Budget(time_limit_s=0.0)
+        time.sleep(0.001)
+        with pytest.raises(BudgetExceeded) as ei:
+            b.check("solve")
+        assert ei.value.limit == "time"
+        assert ei.value.phase == "solve"
+
+    def test_conflicts_cumulative(self):
+        b = Budget(max_conflicts=10)
+        b.charge_conflicts(6, "solve")
+        b.charge_conflicts(4, "solve")  # == cap: still fine
+        with pytest.raises(BudgetExceeded) as ei:
+            b.charge_conflicts(1, "solve")
+        assert ei.value.limit == "conflicts"
+        assert ei.value.used == 11
+
+    def test_events_cumulative(self):
+        b = Budget(max_events=3)
+        b.charge_events(3, "frontend")
+        with pytest.raises(BudgetExceeded) as ei:
+            b.charge_events(1, "frontend")
+        assert ei.value.limit == "events"
+
+    def test_memory_cap_is_growth_not_absolute(self):
+        # The cap measures growth since creation, so a fresh budget with a
+        # generous cap must not trip on the interpreter's existing RSS.
+        b = Budget(memory_limit_mb=10_000.0)
+        b.check("x")
+
+    def test_memory_cap_trips_on_allocation(self):
+        b = Budget(memory_limit_mb=1.0)
+        if b.memory_used_mb() is None:
+            pytest.skip("no RSS source on this platform")
+        ballast = bytearray(64 * 1024 * 1024)
+        with pytest.raises(BudgetExceeded) as ei:
+            b.check("engine")
+        assert ei.value.limit == "memory"
+        del ballast
+
+    def test_partial_stats_carried(self):
+        exc = BudgetExceeded("time", "solve", 1.0, 0.5, {"conflicts": 7})
+        assert exc.partial_stats["conflicts"] == 7
+
+    def test_snapshot_keys(self):
+        b = Budget(max_conflicts=5)
+        b.charge_conflicts(2, "x")
+        snap = b.snapshot()
+        assert snap["budget_conflicts"] == 2
+        assert snap["budget_elapsed_s"] >= 0.0
+
+    def test_active_budget_nesting(self):
+        outer, inner = Budget(), Budget()
+        assert get_active() is None
+        with active_budget(outer):
+            assert get_active() is outer
+            with active_budget(inner):
+                assert get_active() is inner
+            assert get_active() is outer
+        assert get_active() is None
+
+    def test_effective_time_limit_takes_min(self):
+        b = Budget(time_limit_s=100.0)
+        with active_budget(b):
+            assert effective_time_limit(5.0) == 5.0
+            assert effective_time_limit(None) == pytest.approx(100.0, abs=1.0)
+            assert effective_time_limit(1000.0) <= 100.0
+        assert effective_time_limit(5.0) == 5.0  # no active budget
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+class TestEveryEngineHonorsBudgets:
+    """Satellite contract: UNKNOWN + populated stats under tiny budgets."""
+
+    def test_tiny_time_limit(self, preset):
+        result = verify(PAPER_FIG2, PRESETS[preset](time_limit_s=1e-9))
+        assert result.verdict == Verdict.UNKNOWN
+        assert set(STAT_KEYS) <= set(result.stats)
+        # SMT-pipeline presets surface which limit tripped where.
+        if "budget_limit" in result.stats and result.stats["budget_limit"]:
+            assert result.stats["budget_limit"] == "time"
+            assert result.stats["budget_phase"]
+
+    def test_tiny_conflict_budget(self, preset):
+        result = verify(PAPER_FIG2, PRESETS[preset](max_conflicts=1))
+        assert result.verdict == Verdict.UNKNOWN
+        assert set(STAT_KEYS) <= set(result.stats)
+
+    def test_tiny_event_budget(self, preset):
+        config = PRESETS[preset](max_events=2)
+        result = verify(PAPER_FIG2, config)
+        if config.engine in ("smt", "closure"):
+            # Event-graph engines charge the cap in the frontend.
+            assert result.verdict == Verdict.UNKNOWN
+            assert result.stats["budget_limit"] == "events"
+        else:
+            # Interpreter engines build no event graph; the cap is inert
+            # but must never produce a crash or a wrong verdict.
+            assert result.verdict in (Verdict.SAFE, Verdict.UNKNOWN)
+
+
+def test_memory_budget_smt():
+    """A memspike fault supplies deterministic RSS growth: relying on the
+    verifier's own allocations is flaky once the allocator is warm."""
+    from repro.robustness.faults import clear_faults, install_faults
+
+    install_faults("memspike@frontend:48")
+    try:
+        result = verify(PAPER_FIG2, PRESETS["zord"](memory_limit_mb=16))
+    finally:
+        clear_faults()
+    assert result.verdict == Verdict.UNKNOWN
+    assert result.stats["budget_limit"] == "memory"
+
+
+def test_budget_unknown_carries_partial_solver_stats():
+    result = verify(PAPER_FIG2, PRESETS["zord"](max_conflicts=1))
+    # The SAT core returns UNKNOWN at its own cap with its stats intact.
+    assert result.stats["conflicts"] >= 1

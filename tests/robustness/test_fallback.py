@@ -1,0 +1,137 @@
+"""Fallback-chain tests: crash -> next preset, budget exhaustion -> next
+preset, attempts recorded, one shared deadline."""
+
+import pytest
+
+from repro.robustness.faults import clear_faults, install_faults
+from repro.robustness.fallback import resolve_chain
+from repro.verify import Verdict, VerifierConfig, verify
+from repro.verify.config import PRESETS
+from tests.verify.programs import PAPER_FIG2, RACE_UNSAFE
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+class TestResolveChain:
+    def test_no_fallbacks_is_singleton(self):
+        chain = resolve_chain(VerifierConfig())
+        assert len(chain) == 1
+        assert chain[0][0].name == "zord"
+
+    def test_fallbacks_expand_in_order(self):
+        config = VerifierConfig(fallbacks=("zord-tarjan", "dartagnan"))
+        chain = resolve_chain(config)
+        assert [c.name for c, _ in chain] == ["zord", "zord-tarjan", "dartagnan"]
+
+    def test_fallbacks_inherit_bounds(self):
+        config = VerifierConfig(
+            unwind=3, width=4, time_limit_s=7.0, fallbacks=("dartagnan",)
+        )
+        fb = resolve_chain(config)[1][0]
+        assert (fb.unwind, fb.width, fb.time_limit_s) == (3, 4, 7.0)
+
+    def test_incompatible_fallback_is_skipped_not_fatal(self):
+        # A TSO primary cannot fall back to the SC-only explicit engine.
+        config = VerifierConfig(memory_model="tso", fallbacks=("cpa-seq",))
+        chain = resolve_chain(config)
+        cfg, skipped = chain[1]
+        assert cfg is None
+        assert skipped.status == "skipped"
+        assert "memory model" in skipped.reason
+
+    def test_unknown_fallback_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fallback preset"):
+            VerifierConfig(fallbacks=("not-a-preset",))
+
+
+class TestVerifyWithFallbacks:
+    def test_crash_recovers_through_chain(self):
+        """The acceptance demo: injected smt crash -> closure verdict.
+        The 'encode' checkpoint is visited by the smt pipeline only, so
+        the closure fallback runs clean."""
+        install_faults("crash@encode")
+        result = verify(
+            PAPER_FIG2,
+            VerifierConfig(fallbacks=("dartagnan",)),
+        )
+        assert result.verdict == Verdict.SAFE
+        assert result.stats["fallback_attempts"] == 2
+        statuses = [a["status"] for a in result.attempts]
+        assert statuses == ["error", "conclusive"]
+        assert result.attempts[0]["config_name"] == "zord"
+        assert result.attempts[1]["config_name"] == "dartagnan"
+        assert "injected fault" in result.attempts[0]["reason"]
+
+    def test_crash_recovers_unsafe_verdict_too(self):
+        install_faults("crash@encode")
+        result = verify(
+            RACE_UNSAFE, VerifierConfig(fallbacks=("dartagnan",))
+        )
+        assert result.verdict == Verdict.UNSAFE
+        assert result.witness is not None
+
+    def test_detector_fallback(self):
+        """smt crash -> retry with the tarjan detector (same engine)."""
+        # 'encode' is visited under both detectors, so the two smt
+        # attempts crash and the interpreter engine wins.
+        install_faults("crash@encode")
+        result = verify(
+            PAPER_FIG2,
+            VerifierConfig(fallbacks=("zord-tarjan", "cpa-seq")),
+        )
+        assert result.verdict == Verdict.SAFE
+        statuses = [a["status"] for a in result.attempts]
+        assert statuses == ["error", "error", "conclusive"]
+
+    def test_no_fallback_when_primary_conclusive(self):
+        result = verify(
+            PAPER_FIG2, VerifierConfig(fallbacks=("dartagnan",))
+        )
+        assert result.verdict == Verdict.SAFE
+        assert [a["status"] for a in result.attempts] == ["conclusive"]
+        assert result.stats["fallback_attempts"] == 1
+
+    def test_all_attempts_fail_returns_last(self):
+        install_faults("crash@frontend")  # both engines build the frontend
+        result = verify(
+            PAPER_FIG2, VerifierConfig(fallbacks=("dartagnan",))
+        )
+        assert result.verdict == Verdict.ERROR
+        assert [a["status"] for a in result.attempts] == ["error", "error"]
+
+    def test_skipped_fallback_recorded(self):
+        # TSO primary: the SC-only explicit engine is skipped, the cbmc
+        # preset (smt engine, TSO-capable) is attempted.
+        result = verify(
+            PAPER_FIG2,
+            VerifierConfig(
+                memory_model="tso", max_conflicts=1,
+                fallbacks=("cpa-seq", "cbmc"),
+            ),
+        )
+        statuses = {a["config_name"]: a["status"] for a in result.attempts}
+        assert statuses["cpa-seq"] == "skipped"
+        assert statuses["cbmc"] == "unknown"
+        assert result.verdict == Verdict.UNKNOWN
+
+    def test_chain_shares_one_deadline(self):
+        """A fallback must not restart the wall clock: with the deadline
+        already blown, every later attempt is budget-UNKNOWN."""
+        install_faults("delay@encode:0.3")
+        result = verify(
+            PAPER_FIG2,
+            VerifierConfig(time_limit_s=0.2, fallbacks=("dartagnan",)),
+        )
+        assert result.verdict == Verdict.UNKNOWN
+        assert result.stats["budget_limit"] == "time"
+        assert [a["status"] for a in result.attempts] == ["unknown", "unknown"]
+
+
+def test_fallback_presets_validated():
+    for preset in ("zord", "dartagnan"):
+        assert preset in PRESETS
