@@ -1,0 +1,115 @@
+"""Extension: static-analysis encoding pruning (repro.analysis).
+
+Measures, over the fig5/fig6 program families (the SV-COMP-style suite),
+what the :mod:`repro.analysis` prune plan removes from the encoding --
+RF/WS variable counts via the new ``analysis_pairs_*`` STAT_KEYS -- and
+that verdicts are bit-for-bit identical with pruning on and off (the
+soundness claim the off-switch exists to check).
+
+The headline assertion: the lock-heavy families (``C-DAC``,
+``ldv-races``, ``divine`` -- programs that serialize through locks) lose
+at least 20% of their RF/WS ordering variables at prune level 2.
+"""
+
+from conftest import write_output
+
+from repro.analysis import build_prune_plan
+from repro.bench import run_suite
+from repro.bench.svcomp import svcomp_suite
+from repro.encoding.encoder import encode_program
+from repro.frontend import build_symbolic_program
+from repro.lang import parse
+from repro.verify import VerifierConfig
+
+LOCK_HEAVY = ("C-DAC", "ldv-races", "divine")
+
+
+def _encoding_sizes(task):
+    """(rf+ws unpruned, rf+ws pruned, pairs pruned) for one task."""
+    def sizes(plan):
+        sym = build_symbolic_program(
+            parse(task.source), unwind=task.unwind, width=8
+        )
+        enc = encode_program(
+            sym,
+            prune_plan=build_prune_plan(sym, 2) if plan else None,
+        )
+        return enc.stats
+
+    base = sizes(False)
+    pruned = sizes(True)
+    return (
+        base.rf_vars + base.ws_vars,
+        pruned.rf_vars + pruned.ws_vars,
+        pruned.analysis_pairs_pruned,
+    )
+
+
+def test_analysis_pruning(svcomp_tasks):
+    # --- encoding-size deltas, per category --------------------------
+    per_cat = {}
+    for task in svcomp_tasks:
+        base, pruned, vetoed = _encoding_sizes(task)
+        cat = per_cat.setdefault(task.category, [0, 0, 0])
+        cat[0] += base
+        cat[1] += pruned
+        cat[2] += vetoed
+
+    lines = [
+        f"{'category':<10} {'rf+ws off':>10} {'rf+ws on':>10} "
+        f"{'pruned':>8} {'saved':>7}"
+    ]
+    for cat in sorted(per_cat):
+        base, pruned, vetoed = per_cat[cat]
+        saved = 100.0 * (base - pruned) / base if base else 0.0
+        lines.append(
+            f"{cat:<10} {base:>10} {pruned:>10} {vetoed:>8} {saved:>6.1f}%"
+        )
+    write_output("ext_analysis_pruning_sizes.txt", "\n".join(lines))
+
+    # Lock-heavy families must drop >= 20% of their RF/WS variables.
+    for cat in LOCK_HEAVY:
+        base, pruned, _ = per_cat[cat]
+        assert pruned <= 0.8 * base, (
+            f"{cat}: expected >=20% RF/WS reduction, got "
+            f"{base} -> {pruned}"
+        )
+
+    # --- verdict equivalence + wall-time delta on the suite ----------
+    results = run_suite(
+        svcomp_tasks,
+        {
+            "zord-prune": lambda **kw: VerifierConfig.zord(
+                prune_level=2, **kw
+            ).with_(name="zord-prune"),
+            "zord-noprune": lambda **kw: VerifierConfig.zord(
+                prune_level=0, **kw
+            ).with_(name="zord-noprune"),
+        },
+        time_limit_s=10.0,
+    )
+    mismatches = [
+        (a.task, a.verdict, b.verdict)
+        for a, b in zip(results["zord-prune"], results["zord-noprune"])
+        if a.verdict != b.verdict
+        and "unknown" not in (a.verdict, b.verdict)
+    ]
+    assert not mismatches, f"prune changed verdicts: {mismatches}"
+
+    both = [
+        (a, b)
+        for a, b in zip(results["zord-prune"], results["zord-noprune"])
+        if a.solved and b.solved
+    ]
+    t_on = sum(a.time_s for a, _ in both)
+    t_off = sum(b.time_s for _, b in both)
+    vetoed = sum(
+        a.stats.get("analysis_pairs_pruned", 0) for a, _ in both
+    )
+    write_output(
+        "ext_analysis_pruning_time.txt",
+        f"tasks solved by both: {len(both)}\n"
+        f"wall time  prune-on: {t_on:.2f}s  prune-off: {t_off:.2f}s\n"
+        f"ordering variables vetoed: {vetoed}",
+    )
+    assert all(a.verdict == b.verdict for a, b in both)

@@ -1,0 +1,54 @@
+"""Static concurrency analysis: MHP + locksets + race detection + pruning.
+
+This layer sits between the frontend (:mod:`repro.frontend`) and the
+encoder (:mod:`repro.encoding`).  It serves two purposes:
+
+* a standalone **race report** mode (``repro analyze <file>``) built on
+  may-happen-in-parallel and Eraser-style lockset analyses;
+* an **encoding pruner** that skips RF/WS ordering variables which are
+  false in every model, shrinking ``Φ_ord`` before the solver runs (see
+  :mod:`repro.analysis.prune` for the soundness argument and
+  ``docs/ANALYSIS.md`` for the full write-up).
+"""
+
+from repro.analysis.lockset import (
+    ATOMIC_PSEUDO_LOCK,
+    LocksetInfo,
+    compute_locksets,
+    guard_implies,
+)
+from repro.analysis.mhp import (
+    may_happen_in_parallel,
+    ordered,
+    po_reachability,
+    program_reachability,
+)
+from repro.analysis.prune import MAX_PRUNE_LEVEL, PrunePlan, build_prune_plan
+from repro.analysis.races import (
+    AnalysisReport,
+    PairVerdict,
+    RaceWarning,
+    analyze_program,
+    analyze_symbolic,
+    render_report,
+)
+
+__all__ = [
+    "ATOMIC_PSEUDO_LOCK",
+    "AnalysisReport",
+    "LocksetInfo",
+    "MAX_PRUNE_LEVEL",
+    "PairVerdict",
+    "PrunePlan",
+    "RaceWarning",
+    "analyze_program",
+    "analyze_symbolic",
+    "build_prune_plan",
+    "compute_locksets",
+    "guard_implies",
+    "may_happen_in_parallel",
+    "ordered",
+    "po_reachability",
+    "program_reachability",
+    "render_report",
+]

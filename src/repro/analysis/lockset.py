@@ -1,0 +1,145 @@
+"""Eraser-style lockset analysis over the SSA'd event lists.
+
+For every memory event the analysis computes the set of locks *definitely*
+held when the event executes.  The frontend desugars ``lock(m)`` into an
+atomic test-and-set (a READ/WRITE :class:`~repro.frontend.program.RmwGroup`
+on a ``lock_addrs`` address) and ``unlock(m)`` into a plain store, so
+acquires and releases are recognized structurally:
+
+* an **acquire** is the read event of an RMW group whose address is a
+  declared lock;
+* a **release** is any write to a lock address that is not part of an
+  acquire group.
+
+Each thread's events are straight-line after unrolling, so one in-order
+sweep per thread suffices.  Conditional acquires are handled through
+guards: a lock acquired under guard ``g`` protects a later event ``e``
+only when ``e``'s guard implies ``g`` (syntactic implication over the
+hash-consed conjunction structure -- sound, not complete).  Conditional
+releases are conservative: any release drops the lock from the held set
+regardless of its guard (under-approximating locksets never hides a
+race).
+
+``atomic { ... }`` blocks execute indivisibly, i.e. mutually exclusively
+with *every other* atomic block, so their events additionally hold the
+global pseudo-lock :data:`ATOMIC_PSEUDO_LOCK`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.encoding import formula as F
+from repro.encoding.formula import Term
+from repro.frontend.program import SymbolicProgram
+
+__all__ = [
+    "ATOMIC_PSEUDO_LOCK",
+    "LocksetInfo",
+    "compute_locksets",
+    "guard_implies",
+]
+
+#: Pseudo-lock held by every event inside an ``atomic`` block (all atomic
+#: blocks are mutually exclusive with each other).
+ATOMIC_PSEUDO_LOCK = "<atomic>"
+
+
+def _conjuncts(g: Term) -> FrozenSet[Term]:
+    """The flattened conjunct set of a guard (``mk_and`` flattens nested
+    conjunctions, and terms are hash-consed, so identity comparison of
+    conjuncts is exact)."""
+    if g is F.TRUE:
+        return frozenset()
+    if g.op == "and":
+        return frozenset(g.args)
+    return frozenset((g,))
+
+
+def guard_implies(g: Term, h: Term) -> bool:
+    """Syntactic check that guard ``g`` implies guard ``h``.
+
+    True when ``h`` is TRUE, ``g`` is FALSE, or every conjunct of ``h``
+    appears among the conjuncts of ``g``.  Sound but incomplete: a False
+    answer only means "cannot show the implication".
+    """
+    if h is F.TRUE or g is h or g is F.FALSE:
+        return True
+    return _conjuncts(h) <= _conjuncts(g)
+
+
+class LocksetInfo:
+    """Result of the lockset sweep.
+
+    Attributes:
+        locksets: eid -> frozenset of lock names (plus the atomic
+            pseudo-lock) definitely held at that event.
+        acquire_reads: eids of lock-acquire read events (the ``l == 0``
+            test of the desugared test-and-set).
+        acquire_writes: eids of lock-acquire write events (the ``l = 1``
+            store of the test-and-set).
+        release_writes: eids of ``unlock`` store events.
+    """
+
+    def __init__(self) -> None:
+        self.locksets: Dict[int, FrozenSet[str]] = {}
+        self.acquire_reads: Set[int] = set()
+        self.acquire_writes: Set[int] = set()
+        self.release_writes: Set[int] = set()
+
+    def lockset(self, eid: int) -> FrozenSet[str]:
+        return self.locksets.get(eid, frozenset())
+
+
+def compute_locksets(sym: SymbolicProgram) -> LocksetInfo:
+    """Per-event locksets for ``sym`` (one linear sweep per thread)."""
+    info = LocksetInfo()
+    lock_addrs = set(sym.lock_addrs)
+    acquire_read_of: Dict[int, str] = {}
+    acquire_write_of: Dict[int, str] = {}
+    for group in sym.rmw_groups:
+        if group.addr in lock_addrs:
+            acquire_read_of[group.read_eid] = group.addr
+            acquire_write_of[group.write_eid] = group.addr
+    info.acquire_reads = set(acquire_read_of)
+    info.acquire_writes = set(acquire_write_of)
+    atomic_eids: Set[int] = set()
+    for region in sym.atomic_regions:
+        atomic_eids.update(region)
+    # Synthesized init writes (the first events of main) are not releases.
+    init_eids: Set[int] = set()
+    if sym.threads:
+        init_eids = {
+            ev.eid for ev in sym.threads[0].events[: len(sym.shared_inits)]
+        }
+
+    for thread in sym.threads:
+        held: Dict[str, Term] = {}  # lock addr -> guard at acquire
+        for ev in thread.events:
+            if ev.addr is None:
+                continue  # anchors carry no lockset
+            # The event's lockset is computed against the *current* held
+            # set: acquire events do not protect themselves, release
+            # writes are still protected (the critical section extends
+            # through the releasing store).
+            locks = {
+                addr
+                for addr, g_acq in held.items()
+                if guard_implies(ev.guard, g_acq)
+            }
+            if ev.eid in atomic_eids:
+                locks.add(ATOMIC_PSEUDO_LOCK)
+            info.locksets[ev.eid] = frozenset(locks)
+            if ev.eid in acquire_read_of:
+                held[acquire_read_of[ev.eid]] = ev.guard
+            elif (
+                ev.is_write
+                and ev.addr in lock_addrs
+                and ev.eid not in acquire_write_of
+                and ev.eid not in init_eids
+            ):
+                # A release drops the lock even when conditional: smaller
+                # locksets stay sound for race detection.
+                info.release_writes.add(ev.eid)
+                held.pop(ev.addr, None)
+    return info

@@ -1,0 +1,71 @@
+"""May-happen-in-parallel (MHP) analysis over the event-graph skeleton.
+
+Two events may happen in parallel iff neither is program-order-reachable
+from the other.  Program order here is the *full* PO skeleton of the
+SSA'd program -- intra-thread chains plus the ``start``/``join`` anchor
+edges -- so the analysis automatically understands fork/join structure:
+everything main does before ``start t`` is ordered before all of ``t``,
+and everything after ``join t`` is ordered after all of ``t``.
+
+The reachability representation is one bitmask per event (bit ``j`` of
+``reach[i]`` set iff ``j`` is PO-reachable from ``i``), the same shape the
+T_ord solver uses internally; it is recomputed here from ``po_edges`` so
+the analysis layer does not depend on a constructed theory solver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frontend.program import SymbolicProgram
+
+__all__ = [
+    "po_reachability",
+    "program_reachability",
+    "may_happen_in_parallel",
+    "ordered",
+]
+
+
+def po_reachability(n: int, po_edges: List[Tuple[int, int]]) -> List[int]:
+    """Bitmask per event of all events PO-reachable from it (excl. self).
+
+    Computed by one reverse-topological sweep: O(V + E) bitmask unions.
+    """
+    out: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for a, b in po_edges:
+        out[a].append(b)
+        indeg[b] += 1
+    queue = [i for i in range(n) if indeg[i] == 0]
+    order: List[int] = []
+    while queue:
+        x = queue.pop()
+        order.append(x)
+        for y in out[x]:
+            indeg[y] -= 1
+            if indeg[y] == 0:
+                queue.append(y)
+    assert len(order) == n, "PO skeleton must be acyclic"
+    reach = [0] * n
+    for x in reversed(order):
+        mask = 0
+        for y in out[x]:
+            mask |= reach[y] | (1 << y)
+        reach[x] = mask
+    return reach
+
+
+def program_reachability(sym: SymbolicProgram) -> List[int]:
+    """PO reachability bitmasks for a symbolic program."""
+    return po_reachability(len(sym.events), sym.po_edges)
+
+
+def ordered(reach: List[int], a: int, b: int) -> bool:
+    """True when ``a`` and ``b`` are ordered by program order (either way)."""
+    return bool((reach[a] >> b) & 1 or (reach[b] >> a) & 1)
+
+
+def may_happen_in_parallel(reach: List[int], a: int, b: int) -> bool:
+    """True when neither event is PO-reachable from the other."""
+    return not ordered(reach, a, b)

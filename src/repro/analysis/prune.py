@@ -1,0 +1,109 @@
+"""Encoding pruner: analysis facts -> RF/WS variables that can be skipped.
+
+The pruner removes only ordering variables that are **false in every
+model** of the unpruned formula, so the pruned and unpruned encodings
+have exactly the same set of models projected onto the surviving
+variables -- verdict equivalence holds by construction.  Three rules:
+
+**PO-WS** (level >= 1).  For a program-order-ordered write pair
+``w1 ->po w2`` the reverse variable ``ws(w2, w1)`` is already forced
+false by the theory's initial unit clauses (a ws edge whose reverse is
+PO-enforced would close a cycle).  We skip creating it; WS-Some shrinks
+from ``g1 ∧ g2 -> v12 ∨ v21`` to ``g1 ∧ g2 -> v12``, which is the
+original clause minus a false disjunct.
+
+**GUARD-SHADOW** (level >= 1).  ``rf(w, r)`` is forced false whenever
+some other write ``w2`` to the same address sits PO-between ``w`` and
+``r`` and is enabled whenever the pair is (``guard(w) -> guard(w2)`` or
+``guard(r) -> guard(w2)``, checked syntactically): in any model with
+``rf(w, r)`` true, both guards hold, hence ``g_{w2}`` holds;
+``ws(w2, w)`` is PO-false so WS-Some forces ``ws(w, w2)``; the static
+from-read lemma ``rf(w, r) ∧ ws(w, w2) -> false`` (w2 is PO-before r)
+closes the contradiction.  This generalizes the encoder's baseline
+"definitely shadowed" skip (which requires ``guard(w2)`` to be the
+constant TRUE) to conditional code.
+
+**LOCK-VAL** (level >= 2).  A lock-acquire read carries the constraint
+``guard -> value == 0`` while a lock-acquire write stores 1; an
+``rf`` edge between them would force both guards plus value equality,
+i.e. ``0 == 1``.  Such variables are pure overhead and are skipped.
+Release writes (value 0) and the init write are *not* pruned as sources.
+
+Levels: 0 = off, 1 = PO/guard rules, 2 = + lock-value rule (default).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.analysis.lockset import compute_locksets, guard_implies
+from repro.analysis.mhp import program_reachability
+from repro.frontend.program import Event, SymbolicProgram
+from repro.robustness import checkpoint as _robustness_checkpoint
+
+__all__ = ["PrunePlan", "build_prune_plan", "MAX_PRUNE_LEVEL"]
+
+MAX_PRUNE_LEVEL = 2
+
+
+@dataclass
+class PrunePlan:
+    """Precomputed pruning facts consumed by the encoder.
+
+    The encoder consults :meth:`po_ordered` when creating WS variable
+    pairs and :meth:`rf_dead` when creating RF variables; a True answer
+    means "this variable is false in every model -- skip it".
+    """
+
+    level: int
+    po_reach: List[int] = field(default_factory=list)
+    acquire_reads: Set[int] = field(default_factory=set)
+    acquire_writes: Set[int] = field(default_factory=set)
+    build_time_s: float = 0.0
+
+    def po_ordered(self, a: int, b: int) -> bool:
+        """True when event ``a`` is PO-before event ``b``."""
+        return bool((self.po_reach[a] >> b) & 1)
+
+    def rf_dead(self, w: Event, r: Event, writes: Sequence[Event]) -> bool:
+        """True when ``rf(w, r)`` is false in every model.
+
+        ``writes`` must be all writes to the pair's address (the
+        encoder's per-address write list).
+        """
+        if (
+            self.level >= 2
+            and r.eid in self.acquire_reads
+            and w.eid in self.acquire_writes
+        ):
+            return True  # LOCK-VAL: acquire read (==0) vs acquire write (=1)
+        for w2 in writes:
+            if w2.eid == w.eid or w2.eid == r.eid:
+                continue
+            if not self.po_ordered(w.eid, w2.eid):
+                continue
+            if not self.po_ordered(w2.eid, r.eid):
+                continue
+            if guard_implies(w.guard, w2.guard) or guard_implies(
+                r.guard, w2.guard
+            ):
+                return True  # GUARD-SHADOW
+        return False
+
+
+def build_prune_plan(sym: SymbolicProgram, level: int) -> PrunePlan:
+    """Run the analyses backing a :class:`PrunePlan` at ``level``."""
+    t0 = time.perf_counter()
+    _robustness_checkpoint("analysis", events=len(sym.events))
+    plan = PrunePlan(level=min(level, MAX_PRUNE_LEVEL))
+    if plan.level <= 0:
+        return plan
+    plan.po_reach = program_reachability(sym)
+    if plan.level >= 2:
+        locks = compute_locksets(sym)
+        plan.acquire_reads = locks.acquire_reads
+        plan.acquire_writes = locks.acquire_writes
+    plan.build_time_s = time.perf_counter() - t0
+    return plan

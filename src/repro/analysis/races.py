@@ -1,0 +1,216 @@
+"""Static race detector: MHP x lockset -> per-address-pair verdicts.
+
+For every pair of same-address events with at least one write (lock
+addresses excluded -- sync objects are contended by design) the detector
+classifies:
+
+* ``ordered``    -- the events are ordered by program order (including
+  ``start``/``join`` anchor edges), so they can never race;
+* ``protected``  -- they may run in parallel but share a common lock (or
+  both sit inside ``atomic`` blocks);
+* ``racy``       -- neither holds: a candidate data race.
+
+``racy`` pairs become source-located warnings (deduplicated per pair of
+source statements).  The verdicts also drive encoding pruning indirectly:
+:mod:`repro.analysis.prune` consumes the same MHP/lockset facts.
+
+The analysis is *may*-race: guards are treated conservatively (an event
+that could be disabled still counts), so a clean report is a strong
+"no race" claim while a warning may be a false positive on programs whose
+synchronization is value-dependent in ways locksets cannot see.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.lockset import LocksetInfo, compute_locksets
+from repro.analysis.mhp import may_happen_in_parallel, program_reachability
+from repro.frontend.program import Event, SymbolicProgram
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.unparse import unparse_stmt
+
+__all__ = [
+    "AnalysisReport",
+    "PairVerdict",
+    "RaceWarning",
+    "analyze_program",
+    "analyze_symbolic",
+    "render_report",
+]
+
+VERDICT_ORDERED = "ordered"
+VERDICT_PROTECTED = "protected"
+VERDICT_RACY = "racy"
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """Classification of one conflicting event pair."""
+
+    addr: str
+    eid_a: int
+    eid_b: int
+    verdict: str  # ordered | protected | racy
+    common_locks: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RaceWarning:
+    """A candidate data race, located at its two source statements."""
+
+    addr: str
+    thread_a: str
+    thread_b: str
+    pos_a: Optional[Tuple[int, int]]
+    pos_b: Optional[Tuple[int, int]]
+    source_a: str
+    source_b: str
+    both_writes: bool
+
+    def describe(self, filename: str = "") -> str:
+        where = f"{filename}:" if filename else "line "
+
+        def loc(pos: Optional[Tuple[int, int]]) -> str:
+            return f"{where}{pos[0]}" if pos else "<synthesized>"
+
+        kind = "write/write" if self.both_writes else "read/write"
+        return (
+            f"race on '{self.addr}' ({kind}):\n"
+            f"  {loc(self.pos_a)}: [{self.thread_a}] {self.source_a}\n"
+            f"  {loc(self.pos_b)}: [{self.thread_b}] {self.source_b}"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Full output of :func:`analyze_symbolic`."""
+
+    verdicts: List[PairVerdict] = field(default_factory=list)
+    warnings: List[RaceWarning] = field(default_factory=list)
+    pairs_total: int = 0
+    pairs_ordered: int = 0
+    pairs_protected: int = 0
+    pairs_racy: int = 0
+    analysis_time_s: float = 0.0
+
+    @property
+    def has_races(self) -> bool:
+        return bool(self.warnings)
+
+
+def _source_of(ev: Event) -> str:
+    stmt = ev.stmt
+    if stmt is None:
+        return ev.label or f"{ev.kind} {ev.addr}"
+    try:
+        return unparse_stmt(stmt)[0].strip()
+    except Exception:
+        return ev.label or f"{ev.kind} {ev.addr}"
+
+
+def analyze_symbolic(sym: SymbolicProgram) -> AnalysisReport:
+    """Race-classify every conflicting pair of ``sym``'s memory events."""
+    t0 = time.perf_counter()
+    report = AnalysisReport()
+    reach = program_reachability(sym)
+    locks: LocksetInfo = compute_locksets(sym)
+    lock_addrs = set(sym.lock_addrs)
+
+    by_addr: Dict[str, List[Event]] = {}
+    for ev in sym.memory_events():
+        if ev.addr is not None and ev.addr not in lock_addrs:
+            by_addr.setdefault(ev.addr, []).append(ev)
+
+    seen_warnings = set()
+    for addr in sorted(by_addr):
+        events = by_addr[addr]
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.thread == b.thread:
+                    continue  # intra-thread pairs are always PO-ordered
+                report.pairs_total += 1
+                if not may_happen_in_parallel(reach, a.eid, b.eid):
+                    report.pairs_ordered += 1
+                    report.verdicts.append(
+                        PairVerdict(addr, a.eid, b.eid, VERDICT_ORDERED)
+                    )
+                    continue
+                common = locks.lockset(a.eid) & locks.lockset(b.eid)
+                if common:
+                    report.pairs_protected += 1
+                    report.verdicts.append(
+                        PairVerdict(
+                            addr,
+                            a.eid,
+                            b.eid,
+                            VERDICT_PROTECTED,
+                            tuple(sorted(common)),
+                        )
+                    )
+                    continue
+                report.pairs_racy += 1
+                report.verdicts.append(
+                    PairVerdict(addr, a.eid, b.eid, VERDICT_RACY)
+                )
+                first, second = sorted(
+                    (a, b), key=lambda e: (e.pos or (0, 0), e.thread)
+                )
+                key = (addr, first.pos, second.pos, first.thread, second.thread)
+                if key in seen_warnings:
+                    continue
+                seen_warnings.add(key)
+                report.warnings.append(
+                    RaceWarning(
+                        addr=addr,
+                        thread_a=first.thread,
+                        thread_b=second.thread,
+                        pos_a=first.pos,
+                        pos_b=second.pos,
+                        source_a=_source_of(first),
+                        source_b=_source_of(second),
+                        both_writes=a.is_write and b.is_write,
+                    )
+                )
+    report.analysis_time_s = time.perf_counter() - t0
+    return report
+
+
+def analyze_program(
+    source_or_ast: Union[str, ast.Program],
+    unwind: int = 8,
+    width: int = 8,
+) -> AnalysisReport:
+    """Parse (if needed), lower, and race-analyze a program."""
+    from repro.frontend.ssa import build_symbolic_program
+
+    program = (
+        parse(source_or_ast)
+        if isinstance(source_or_ast, str)
+        else source_or_ast
+    )
+    sym = build_symbolic_program(program, unwind=unwind, width=width)
+    return analyze_symbolic(sym)
+
+
+def render_report(report: AnalysisReport, filename: str = "") -> str:
+    """Human-readable race report."""
+    lines = [
+        f"conflicting pairs: {report.pairs_total} "
+        f"(ordered {report.pairs_ordered}, "
+        f"protected {report.pairs_protected}, "
+        f"racy {report.pairs_racy})",
+    ]
+    if not report.warnings:
+        lines.append("no data races found")
+    else:
+        n = len(report.warnings)
+        lines.append(f"{n} potential data race{'s' if n != 1 else ''}:")
+        for w in report.warnings:
+            lines.append(w.describe(filename))
+    return "\n".join(lines)

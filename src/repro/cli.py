@@ -1,7 +1,9 @@
-"""Command-line interface: ``repro-verify FILE [options]``.
+"""Command-line interface: ``repro-verify FILE [options]`` and the static
+race-report mode ``repro analyze FILE [options]``.
 
-Exit codes: 0 = SAFE, 10 = UNSAFE, 2 = UNKNOWN (budget exhausted),
-1 = input/usage error or contained engine crash (ERROR verdict).
+Exit codes: 0 = SAFE (or, for ``analyze``, no races), 10 = UNSAFE (or
+races reported), 2 = UNKNOWN (budget exhausted), 1 = input/usage error or
+contained engine crash (ERROR verdict).
 The engine choices are derived from the preset
 table in :mod:`repro.verify.config`, which is validated against the
 engine registry -- there is no second hand-maintained engine list here.
@@ -38,6 +40,10 @@ def _exit_code(verdict: str) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        return _analyze(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-verify",
         description="Verify a multi-threaded program under sequential "
@@ -101,6 +107,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "one time budget)",
     )
     parser.add_argument(
+        "--prune",
+        dest="prune_level",
+        action="store_const",
+        const=2,
+        default=None,
+        help="force static-analysis encoding pruning at full level "
+        "(without either flag the REPRO_PRUNE env var decides, "
+        "falling back to 2)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        dest="prune_level",
+        action="store_const",
+        const=0,
+        help="disable encoding pruning (soundness off-switch: verdicts "
+        "are identical, the encoding just keeps every RF/WS variable)",
+    )
+    parser.add_argument(
         "--witness", action="store_true", help="print a counterexample trace"
     )
     parser.add_argument("--stats", action="store_true", help="print statistics")
@@ -152,6 +176,7 @@ def _config_kwargs(args) -> dict:
         max_conflicts=args.max_conflicts,
         memory_limit_mb=args.memory_limit_mb,
         memory_model=args.memory_model,
+        prune_level=args.prune_level,
     )
 
 
@@ -165,6 +190,10 @@ def _print_result_details(result, args) -> None:
         )
     if args.witness and result.witness is not None:
         print(result.witness)
+    if args.witness and result.schedule:
+        print("violating schedule:")
+        for i, step in enumerate(result.schedule):
+            print(f"  {i:3d}: {step}")
     if args.stats:
         for key in sorted(result.stats):
             print(f"  {key}: {result.stats[key]}")
@@ -217,6 +246,40 @@ def _verify_portfolio(source: str, args) -> int:
     if outcome.result is not None:
         _print_result_details(outcome.result, args)
     return _exit_code(outcome.verdict)
+
+
+def _analyze(argv: List[str]) -> int:
+    """``repro analyze FILE``: static race report, no solver involved."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Statically classify every conflicting access pair "
+        "(MHP + lockset analysis) and report candidate data races with "
+        "source locations.",
+    )
+    parser.add_argument("file", help="program source file")
+    parser.add_argument("--unwind", type=int, default=8, help="loop bound")
+    parser.add_argument("--width", type=int, default=8, help="integer bit-width")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    from repro.analysis import analyze_program, render_report
+    from repro.lang.lexer import LexError
+    from repro.lang.parser import ParseError
+    from repro.lang.sema import SemanticError
+
+    try:
+        report = analyze_program(source, unwind=args.unwind, width=args.width)
+    except (LexError, ParseError, SemanticError) as exc:
+        print(f"{args.file}: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(render_report(report, filename=args.file))
+    return EXIT_UNSAFE if report.has_races else EXIT_SAFE
 
 
 def _dump(source: str, args) -> int:

@@ -40,6 +40,11 @@ class EncodingStats:
     fr_vars: int = 0
     sat_vars: int = 0
     clauses_hint: int = 0
+    #: RF/WS candidates considered (post baseline skips) and how many the
+    #: :mod:`repro.analysis` prune plan vetoed, plus its build time.
+    analysis_pairs_total: int = 0
+    analysis_pairs_pruned: int = 0
+    analysis_time_s: float = 0.0
 
 
 @dataclass
@@ -68,6 +73,7 @@ def encode_program(
     max_conflict_clauses: int = 8,
     theory=None,
     memory_model: str = "sc",
+    prune_plan=None,
 ) -> EncodedProgram:
     """Encode ``sym`` into CNF + an ordering theory; return the bundle.
 
@@ -83,6 +89,9 @@ def encode_program(
         memory_model: ``"sc"``, ``"tso"`` or ``"pso"``; under the weak
             models the event-graph skeleton carries only the preserved
             program order (see :mod:`repro.encoding.ppo`).
+        prune_plan: optional :class:`repro.analysis.prune.PrunePlan`;
+            RF/WS variables it proves false-in-every-model are skipped
+            (model-equivalent encoding, see ``docs/ANALYSIS.md``).
     """
     _robustness_checkpoint("encode")
     if theory is None:
@@ -100,6 +109,8 @@ def encode_program(
     builder = CnfBuilder(solver)
     blaster = BitBlaster(builder)
     enc = EncodedProgram(solver, theory, blaster, sym)
+    if prune_plan is not None:
+        enc.stats.analysis_time_s = prune_plan.build_time_s
 
     # --- rho_va and assume constraints -------------------------------
     for constraint in sym.constraints:
@@ -158,6 +169,14 @@ def encode_program(
                     continue  # w is PO-after r: can never be read
                 if _definitely_shadowed(w, r, writes):
                     continue
+                enc.stats.analysis_pairs_total += 1
+                if prune_plan is not None and prune_plan.rf_dead(
+                    w, r, writes
+                ):
+                    # False in every model (shadowed under guards, or a
+                    # lock acquire reading another acquire's stored 1).
+                    enc.stats.analysis_pairs_pruned += 1
+                    continue
                 var = solver.new_var(relevant=True)
                 theory.add_rf_var(var, w.eid, r.eid)
                 enc.rf_vars[var] = (w, r)
@@ -178,6 +197,32 @@ def encode_program(
         ws_var: Dict[Tuple[int, int], int] = {}
         for i, w1 in enumerate(writes):
             for w2 in writes[i + 1:]:
+                enc.stats.analysis_pairs_total += 2
+                if prune_plan is not None:
+                    fwd = None
+                    if prune_plan.po_ordered(w1.eid, w2.eid):
+                        fwd = (w1, w2)
+                    elif prune_plan.po_ordered(w2.eid, w1.eid):
+                        fwd = (w2, w1)
+                    if fwd is not None:
+                        # The reverse ws var is forced false by the
+                        # theory's initial unit clauses; create only the
+                        # forward one and shrink WS-Some accordingly.
+                        wa, wb = fwd
+                        v = solver.new_var(relevant=True)
+                        theory.add_ws_var(v, wa.eid, wb.eid)
+                        enc.ws_vars[v] = (wa, wb)
+                        ws_var[(wa.eid, wb.eid)] = v
+                        g1 = enc.guard_lits[w1.eid]
+                        g2 = enc.guard_lits[w2.eid]
+                        builder.imply(v, g1)
+                        builder.imply(v, g2)
+                        builder.add_clause([-g1, -g2, v])
+                        enc.stats.ws_vars += 1
+                        enc.stats.analysis_pairs_pruned += 1
+                        if enc.stats.ws_vars & 0x3FF == 0:
+                            _robustness_checkpoint("encode")
+                        continue
                 v12 = solver.new_var(relevant=True)
                 theory.add_ws_var(v12, w1.eid, w2.eid)
                 enc.ws_vars[v12] = (w1, w2)

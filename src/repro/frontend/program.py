@@ -42,6 +42,10 @@ class Event:
         thread: owning thread name ("main" for main-thread events).
         guard: Bool term; the event is enabled iff the guard holds.
         label: human-readable description used in witness traces.
+        pos: source position ``(line, col)`` of the originating statement
+            (None for synthesized events such as the init writes).
+        stmt: originating AST statement, for source-located diagnostics
+            (:mod:`repro.analysis` race warnings).
     """
 
     eid: int
@@ -51,6 +55,8 @@ class Event:
     thread: str
     guard: Term
     label: str = ""
+    pos: Optional[Tuple[int, int]] = None
+    stmt: Optional[object] = None
 
     @property
     def is_read(self) -> bool:
@@ -103,6 +109,13 @@ class SymbolicProgram:
     #: Addresses declared as locks: their accesses are fence-like under
     #: weak memory models (lock/unlock carry full barriers).
     lock_addrs: List[str] = field(default_factory=list)
+    #: Event ids of each ``atomic { ... }`` block, in program order (one
+    #: list per block occurrence; lock desugarings are *not* included --
+    #: they are tracked through ``rmw_groups`` + ``lock_addrs``).
+    atomic_regions: List[List[int]] = field(default_factory=list)
+    #: ``nondet()`` occurrences: ``(thread, ssa_name, guard)`` in static
+    #: program order, for witness replay through the SMC interpreter.
+    nondet_sites: List[Tuple[str, str, Term]] = field(default_factory=list)
 
     def event(self, eid: int) -> Event:
         return self.events[eid]

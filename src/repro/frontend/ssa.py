@@ -72,6 +72,7 @@ class _Lowerer:
         self._events: List[Event] = []
         self._thread: str = ""
         self._atomic_events: Optional[List[Event]] = None
+        self._stmt: Optional[ast.Stmt] = None
 
     # ------------------------------------------------------------------
     # Top level
@@ -107,6 +108,7 @@ class _Lowerer:
         self._events = []
         self._thread = tdef.name
         self._atomic_events = None
+        self._stmt = None
         if is_main:
             # Initialization writes: one unconditional write per shared var.
             for name, init in sorted(self._shared.items()):
@@ -144,6 +146,8 @@ class _Lowerer:
             thread=self._thread,
             guard=self._guard,
             label=f"{self._thread}:{kind} {ssa_name}",
+            pos=getattr(self._stmt, "pos", None),
+            stmt=self._stmt,
         )
         self.out.events.append(ev)
         self._events.append(ev)
@@ -192,7 +196,9 @@ class _Lowerer:
         if isinstance(expr, ast.IntLit):
             return F.bv_const(expr.value, self.width)
         if isinstance(expr, ast.Nondet):
-            return self._free_var("nondet")
+            var = self._free_var("nondet")
+            self.out.nondet_sites.append((self._thread, var.name, self._guard))
+            return var
         if isinstance(expr, ast.VarRef):
             if expr.name in self._shared:
                 _, var = self._emit_access(EventKind.READ, expr.name)
@@ -255,6 +261,7 @@ class _Lowerer:
     # ------------------------------------------------------------------
 
     def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        self._stmt = stmt
         if isinstance(stmt, ast.LocalDecl):
             if stmt.init is not None:
                 self._env[stmt.name] = self._lower_expr(stmt.init)
@@ -342,6 +349,7 @@ class _Lowerer:
         self._env = self._merge_envs(cond, then_env, else_env)
 
     def _lower_while(self, stmt: ast.While, depth: int) -> None:
+        self._stmt = stmt  # condition re-reads belong to the loop header
         cond = self._lower_cond(stmt.cond)
         if depth == 0:
             # Unwinding assumption: executions that would iterate further
@@ -385,6 +393,8 @@ class _Lowerer:
             events = self._atomic_events
         finally:
             self._atomic_events = None
+        if events:
+            self.out.atomic_regions.append([e.eid for e in events])
         # Per address: pair the first read with the last write (sema
         # guarantees at most one shared variable is touched).
         by_addr: Dict[str, List[Event]] = {}

@@ -55,7 +55,8 @@ class BudgetExceeded(Exception):
         limit: which limit tripped: ``"time"``, ``"conflicts"``,
             ``"memory"`` or ``"events"``.
         phase: pipeline phase at the failing checkpoint (``"frontend"``,
-            ``"encode"``, ``"theory"``, ``"solve"``, ``"engine"``, ...).
+            ``"analysis"``, ``"encode"``, ``"theory"``, ``"solve"``,
+            ``"engine"``, ...).
         used: the measured value at the check.
         cap: the configured cap.
         partial_stats: counters gathered before exhaustion (layers that

@@ -1,0 +1,163 @@
+"""Replay an SMT witness trace through the SMC interpreter.
+
+The SMT engine's counterexample (:class:`repro.verify.witness.Trace`) is a
+linearization of the accepted partial order, annotated with model values.
+This module drives the concrete interpreter (:mod:`repro.smc.interpreter`)
+through exactly that schedule, feeding the model's ``nondet()`` values,
+and checks at every step that the concrete machine observes the same
+values the model claims -- ending with a completed execution whose
+assertion actually failed.  A successful replay is an end-to-end
+soundness check of frontend + encoding + theory + witness extraction.
+
+Granularity differences between the two layers are bridged explicitly:
+
+* the interpreter pre-applies the initial shared-memory values, so the
+  frontend's synthesized init-write events are skipped;
+* ``lock(m)`` is two events (RMW read + write) in the encoding but one
+  interpreter step; the step runs at the acquire read's position.  Sound
+  because the RMW constraint forbids conflicting lock-variable accesses
+  between the two events in any model (two acquires can never read the
+  same source write), so collapsing them cannot change any observed
+  value;
+* an ``atomic`` block is one interpreter step; it runs at the block's
+  first event and consumes the whole region.
+
+Any mismatch -- a disabled lock, a value disagreement, an unfinished
+thread -- raises :class:`ReplayError` with the offending step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Set, Union
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.smc.compile import compile_program
+from repro.smc.interpreter import Interpreter
+
+__all__ = ["ReplayError", "replay_witness"]
+
+
+class ReplayError(AssertionError):
+    """The witness does not replay: some step disagrees with the concrete
+    semantics (this indicates a verifier bug, hence an AssertionError)."""
+
+
+def replay_witness(
+    program: Union[str, ast.Program],
+    trace,
+    width: int = 8,
+    unwind: int = 8,
+) -> bool:
+    """Replay ``trace`` on ``program``; return whether an assert failed.
+
+    ``width``/``unwind`` must match the configuration that produced the
+    witness (event ids are matched against a fresh frontend run, which is
+    deterministic).
+    """
+    if isinstance(program, str):
+        program = parse(program)
+
+    # Rebuild the symbolic program to recover event structure (init
+    # writes, lock RMW pairs, atomic regions) keyed by eid.
+    from repro.frontend.ssa import build_symbolic_program
+
+    sym = build_symbolic_program(program, unwind=unwind, width=width)
+    mask = (1 << width) - 1
+    init_eids = {
+        ev.eid for ev in sym.threads[0].events[: len(sym.shared_inits)]
+    }
+    lock_addrs = set(sym.lock_addrs)
+    acquire_write_of: Dict[int, int] = {}  # acquire read eid -> write eid
+    acquire_writes: Set[int] = set()
+    for group in sym.rmw_groups:
+        if group.addr in lock_addrs:
+            acquire_write_of[group.read_eid] = group.write_eid
+            acquire_writes.add(group.write_eid)
+    region_of: Dict[int, Set[int]] = {}
+    for region in sym.atomic_regions:
+        eids = set(region)
+        for eid in region:
+            region_of[eid] = eids
+
+    nondet_queue: Dict[str, Deque[int]] = {}
+    for thread, _ssa_name, value in getattr(trace, "nondet_values", ()):
+        nondet_queue.setdefault(thread, deque()).append(value)
+
+    interp = Interpreter(compile_program(program, width=width, unwind=unwind))
+    state = interp.initial_state()
+    consumed: Set[int] = set()
+
+    def fail(step, why: str) -> None:
+        raise ReplayError(f"witness replay failed at {step}: {why}")
+
+    def flush_nondet(tid: str) -> None:
+        """Feed model nondet values while ``tid`` is parked at nondet."""
+        while True:
+            op = interp.front(state, tid)
+            if op is None or op.kind != "nondet":
+                return
+            queue = nondet_queue.get(tid)
+            value = queue.popleft() if queue else 0
+            interp.step(state, tid, nondet_value=value)
+
+    for step in trace.steps:
+        if step.eid in consumed or step.eid in init_eids:
+            continue
+        tid = step.thread
+        flush_nondet(tid)
+        op = interp.front(state, tid)
+        if op is None:
+            fail(step, "thread not schedulable (stuck, finished or blocked)")
+
+        if step.eid in acquire_write_of:
+            if op.kind != "lock" or op.addr != step.addr:
+                fail(step, f"expected lock({step.addr}), thread at {op.kind}")
+            if state.mem[step.addr] != 0:
+                fail(step, "lock not free at acquire")
+            interp.step(state, tid)
+            consumed.add(acquire_write_of[step.eid])
+        elif step.eid in acquire_writes:
+            # The paired read was never seen first: linearization bug.
+            fail(step, "lock-acquire write before its read")
+        elif step.eid in region_of:
+            if op.kind != "abegin":
+                fail(step, f"expected atomic block, thread at {op.kind}")
+            if not interp._is_enabled(state, op):
+                fail(step, "atomic block disabled (failing assume)")
+            interp.step(state, tid)
+            consumed.update(region_of[step.eid])
+        elif step.addr in lock_addrs:  # release store
+            if op.kind != "unlock" or op.addr != step.addr:
+                fail(step, f"expected unlock({step.addr}), thread at {op.kind}")
+            interp.step(state, tid)
+        elif step.kind == "R":
+            if op.kind != "loadg" or op.addr != step.addr:
+                fail(step, f"expected read of {step.addr}, thread at {op.kind}")
+            got = state.mem[step.addr] & mask
+            if got != step.value & mask:
+                fail(step, f"read observed {got}, model claims {step.value & mask}")
+            interp.step(state, tid)
+        else:
+            if op.kind != "storeg" or op.addr != step.addr:
+                fail(step, f"expected write of {step.addr}, thread at {op.kind}")
+            interp.step(state, tid)
+            got = state.mem[step.addr] & mask
+            if got != step.value & mask:
+                fail(step, f"wrote {got}, model claims {step.value & mask}")
+        consumed.add(step.eid)
+
+    # Trailing nondet choices (after each thread's last memory event).
+    for tid in list(state.threads):
+        flush_nondet(tid)
+    if not interp.is_complete(state):
+        unfinished = [
+            name
+            for name, t in state.threads.items()
+            if t.started and not t.finished
+        ]
+        raise ReplayError(
+            f"witness replay did not complete; unfinished threads: {unfinished}"
+        )
+    return state.violated

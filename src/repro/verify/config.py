@@ -3,6 +3,7 @@ evaluation (Section 6)."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
@@ -44,6 +45,13 @@ class VerifierConfig:
         max_events: cap on the event-graph size the frontend may produce;
             exceeded -> UNKNOWN before the encoder commits to a
             quadratic/cubic encoding.
+        prune_level: static-analysis encoding pruning for the ``ord``
+            theory (see :mod:`repro.analysis.prune`): 0 = off, 1 = the
+            program-order and guard-shadow rules, 2 = + the lock-value
+            rule.  ``None`` (the default) resolves to the ``REPRO_PRUNE``
+            environment variable, falling back to 2.  Pruning only skips
+            ordering variables that are false in every model, so verdicts
+            are identical at every level.
         fallbacks: preset names retried, in order, when an attempt crashes
             or exhausts its budget (see :mod:`repro.robustness.fallback`).
             All attempts share one wall-clock deadline.
@@ -74,6 +82,7 @@ class VerifierConfig:
     max_conflicts: Optional[int] = None
     memory_limit_mb: Optional[float] = None
     max_events: Optional[int] = None
+    prune_level: Optional[int] = None
     fallbacks: Tuple[str, ...] = ()
     trace_jsonl: Optional[str] = None
 
@@ -82,6 +91,16 @@ class VerifierConfig:
 
         if not isinstance(self.fallbacks, tuple):
             object.__setattr__(self, "fallbacks", tuple(self.fallbacks))
+        if self.prune_level is None:
+            try:
+                level = int(os.environ.get("REPRO_PRUNE", "2"))
+            except ValueError:
+                level = 2
+            object.__setattr__(self, "prune_level", level)
+        if not 0 <= self.prune_level <= 2:
+            raise ValueError(
+                f"prune_level must be 0..2, got {self.prune_level!r}"
+            )
         registry.validate_config(self)
 
     # ------------------------------------------------------------------

@@ -62,6 +62,12 @@ def _ord_theory_loader():
     def encode(sym, config):
         from repro.encoding.encoder import encode_program
 
+        plan = None
+        level = getattr(config, "prune_level", 0) or 0
+        if level > 0:
+            from repro.analysis.prune import build_prune_plan
+
+            plan = build_prune_plan(sym, level)
         return encode_program(
             sym,
             detector=config.detector,
@@ -69,6 +75,7 @@ def _ord_theory_loader():
             fr_encoding=config.fr_encoding,
             max_conflict_clauses=config.max_conflict_clauses,
             memory_model=config.memory_model,
+            prune_plan=plan,
         )
 
     return encode

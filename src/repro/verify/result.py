@@ -62,4 +62,8 @@ class VerificationResult:
             out += f"\n  {self.diagnostic}"
         if self.witness is not None:
             out += f"\n{self.witness}"
+        if self.schedule:
+            out += "\nviolating schedule:"
+            for i, step in enumerate(self.schedule):
+                out += f"\n  {i:3d}: {step}"
         return out

@@ -63,6 +63,10 @@ STAT_KEYS = (
     # stateless exploration
     "traces",
     "transitions",
+    # static analysis / encoding pruning (repro.analysis)
+    "analysis_pairs_total",
+    "analysis_pairs_pruned",
+    "analysis_time_s",
 )
 
 

@@ -170,6 +170,12 @@ def run_smt_engine(
     t_encode = time.monotonic() - t1
     if telemetry is not None:
         telemetry.emit("phase", name="frontend", wall_s=round(t_frontend, 6))
+        if encoded.stats.analysis_time_s:
+            telemetry.emit(
+                "phase",
+                name="analysis",
+                wall_s=round(encoded.stats.analysis_time_s, 6),
+            )
         telemetry.emit("phase", name="encode", wall_s=round(t_encode, 6))
         attach_telemetry(encoded, telemetry)
 
@@ -190,6 +196,9 @@ def run_smt_engine(
     stats["ws_vars"] = encoded.stats.ws_vars
     stats["fr_vars"] = encoded.stats.fr_vars
     stats["sat_vars"] = encoded.stats.sat_vars
+    stats["analysis_pairs_total"] = encoded.stats.analysis_pairs_total
+    stats["analysis_pairs_pruned"] = encoded.stats.analysis_pairs_pruned
+    stats["analysis_time_s"] = round(encoded.stats.analysis_time_s, 6)
     stats["time_frontend_s"] = round(t_frontend, 6)
     stats["time_encode_s"] = round(t_encode, 6)
     stats["time_solve_s"] = round(t_solve, 6)

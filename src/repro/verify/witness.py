@@ -4,12 +4,19 @@ After a SAT answer, the enabled events are linearized consistently with the
 active edges of the event graph (any topological order of the accepted
 partial order is a valid SC execution, by Axiom 3) and annotated with the
 model values of their SSA variables.
+
+Each step also records its event id and the trace carries the model's
+``nondet()`` values (per thread, in static program order), so a witness is
+replayable through the SMC interpreter
+(:mod:`repro.smc.witness_replay`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple
+
+from repro.encoding import formula as F
 
 __all__ = ["TraceStep", "Trace", "extract_trace"]
 
@@ -21,6 +28,8 @@ class TraceStep:
     addr: str
     value: int
     label: str = ""
+    #: Event id in the symbolic program (-1 for steps built by hand).
+    eid: int = -1
 
     def __str__(self) -> str:
         op = "read" if self.kind == "R" else "write"
@@ -32,6 +41,9 @@ class Trace:
     """A linearized counterexample execution."""
 
     steps: List[TraceStep] = field(default_factory=list)
+    #: Model values of enabled ``nondet()`` occurrences as
+    #: ``(thread, ssa_name, value)``, in static program order per thread.
+    nondet_values: List[Tuple[str, str, int]] = field(default_factory=list)
 
     def __str__(self) -> str:
         lines = ["counterexample trace:"]
@@ -40,6 +52,26 @@ class Trace:
 
     def values_of(self, addr: str) -> List[int]:
         return [s.value for s in self.steps if s.addr == addr]
+
+
+class _ModelEnv(dict):
+    """Formula-evaluation environment backed by the SAT model; variables
+    the blaster never saw (unconstrained) default to 0."""
+
+    def __init__(self, blaster) -> None:
+        super().__init__()
+        self._blaster = blaster
+
+    def __missing__(self, name):
+        try:
+            value = self._blaster.bv_value(name)
+        except Exception:
+            try:
+                value = self._blaster.bool_value(name)
+            except Exception:
+                value = 0
+        self[name] = value
+        return value
 
 
 def extract_trace(encoded) -> Trace:
@@ -61,8 +93,24 @@ def extract_trace(encoded) -> Trace:
         raw = encoded.blaster.bv_value(ev.ssa_name)
         if raw & (1 << (width - 1)):
             raw -= 1 << width  # display as signed
-        steps.append(TraceStep(ev.thread, ev.kind, ev.addr, raw, ev.label))
-    return Trace(steps)
+        steps.append(
+            TraceStep(ev.thread, ev.kind, ev.addr, raw, ev.label, eid=ev.eid)
+        )
+
+    env = _ModelEnv(encoded.blaster)
+    nondet_values: List[Tuple[str, str, int]] = []
+    for thread, ssa_name, guard in getattr(sym, "nondet_sites", ()):
+        try:
+            if not F.evaluate(guard, env):
+                continue  # the site was not reached in this execution
+        except Exception:
+            pass  # keep the value: a superfluous entry is harmless
+        try:
+            value = encoded.blaster.bv_value(ssa_name)
+        except Exception:
+            value = 0  # unconstrained nondet never blasted
+        nondet_values.append((thread, ssa_name, value))
+    return Trace(steps, nondet_values=nondet_values)
 
 
 def _linearize(graph) -> Dict[int, int]:

@@ -1,0 +1,128 @@
+"""Lockset analysis: acquire/release recognition, guards, atomic blocks."""
+
+from repro.analysis.lockset import (
+    ATOMIC_PSEUDO_LOCK,
+    compute_locksets,
+    guard_implies,
+)
+from repro.encoding import formula as F
+from repro.frontend import build_symbolic_program
+from repro.lang import parse
+
+
+def _sym(source, unwind=4):
+    return build_symbolic_program(parse(source), unwind=unwind, width=8)
+
+
+def _accesses(sym, thread, addr):
+    for t in sym.threads:
+        if t.name == thread:
+            return [e for e in t.events if e.addr == addr]
+    raise AssertionError(thread)
+
+
+class TestGuardImplies:
+    def test_true_is_implied_by_everything(self):
+        g = F.bool_var("g")
+        assert guard_implies(g, F.TRUE)
+        assert guard_implies(F.TRUE, F.TRUE)
+
+    def test_identity(self):
+        g = F.bool_var("g")
+        assert guard_implies(g, g)
+
+    def test_conjunct_subset(self):
+        a, b = F.bool_var("a"), F.bool_var("b")
+        both = F.mk_and(a, b)
+        assert guard_implies(both, a)
+        assert guard_implies(both, b)
+        assert not guard_implies(a, both)
+
+    def test_unrelated_guards(self):
+        assert not guard_implies(F.bool_var("a"), F.bool_var("b"))
+
+
+class TestLocksets:
+    def test_critical_section(self):
+        sym = _sym(
+            """
+            int c = 0; lock m;
+            thread t { int v; lock(m); v = c; c = v + 1; unlock(m); }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        for ev in _accesses(sym, "t", "c"):
+            assert info.lockset(ev.eid) == frozenset({"m"})
+
+    def test_outside_critical_section(self):
+        sym = _sym(
+            """
+            int c = 0; lock m;
+            thread t { c = 1; lock(m); c = 2; unlock(m); c = 3; }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        pre, inside, post = _accesses(sym, "t", "c")
+        assert info.lockset(pre.eid) == frozenset()
+        assert info.lockset(inside.eid) == frozenset({"m"})
+        assert info.lockset(post.eid) == frozenset()
+
+    def test_acquire_and_release_events_classified(self):
+        sym = _sym(
+            """
+            int c = 0; lock m;
+            thread t { lock(m); c = 1; unlock(m); }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        assert len(info.acquire_reads) == 1
+        assert len(info.acquire_writes) == 1
+        assert len(info.release_writes) == 1
+        # The releasing store itself still holds the lock (the critical
+        # section extends through it).
+        (rel,) = info.release_writes
+        assert "m" in info.lockset(rel)
+
+    def test_nested_locks(self):
+        sym = _sym(
+            """
+            int c = 0; lock m; lock n;
+            thread t { lock(m); lock(n); c = 1; unlock(n); c = 2; unlock(m); }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        both, only_m = _accesses(sym, "t", "c")
+        assert info.lockset(both.eid) == frozenset({"m", "n"})
+        assert info.lockset(only_m.eid) == frozenset({"m"})
+
+    def test_atomic_block_pseudo_lock(self):
+        sym = _sym(
+            """
+            int c = 0;
+            thread t { atomic { c = c + 1; } c = 5; }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        events = _accesses(sym, "t", "c")
+        in_region = [e for e in events if ATOMIC_PSEUDO_LOCK in info.lockset(e.eid)]
+        outside = [e for e in events if not info.lockset(e.eid)]
+        assert len(in_region) == 2  # the read and the write of c = c + 1
+        assert len(outside) == 1
+
+    def test_conditional_acquire_does_not_protect_unconditional_access(self):
+        sym = _sym(
+            """
+            int c = 0; int f = 0; lock m;
+            thread t { if (f == 1) { lock(m); } c = 1; }
+            main { start t; join t; assert(c >= 0); }
+            """
+        )
+        info = compute_locksets(sym)
+        (w,) = _accesses(sym, "t", "c")
+        # c = 1 runs whether or not the branch took the lock.
+        assert info.lockset(w.eid) == frozenset()

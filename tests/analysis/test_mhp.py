@@ -1,0 +1,89 @@
+"""MHP analysis: start/join structure and the reachability bitmasks."""
+
+from repro.analysis.mhp import (
+    may_happen_in_parallel,
+    ordered,
+    po_reachability,
+    program_reachability,
+)
+from repro.frontend import build_symbolic_program
+from repro.lang import parse
+
+
+def _sym(source, unwind=4):
+    return build_symbolic_program(parse(source), unwind=unwind, width=8)
+
+
+def _events_of(sym, thread):
+    for t in sym.threads:
+        if t.name == thread:
+            return [e for e in t.events if e.addr is not None]
+    raise AssertionError(thread)
+
+
+class TestPoReachability:
+    def test_chain(self):
+        reach = po_reachability(3, [(0, 1), (1, 2)])
+        assert reach[0] == 0b110
+        assert reach[1] == 0b100
+        assert reach[2] == 0
+
+    def test_diamond(self):
+        reach = po_reachability(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert reach[0] == 0b1110
+        assert ordered(reach, 1, 3) and ordered(reach, 2, 3)
+        assert may_happen_in_parallel(reach, 1, 2)
+
+    def test_matches_theory_solver(self):
+        from repro.ordering import OrderingTheory
+
+        sym = _sym(
+            """
+            int x = 0; int y = 0;
+            thread t1 { x = 1; }
+            thread t2 { y = x; }
+            main { start t1; start t2; join t1; join t2; assert(y >= 0); }
+            """
+        )
+        theory = OrderingTheory(len(sym.events), sym.po_edges)
+        assert program_reachability(sym) == theory.po_reach
+
+
+class TestStartJoin:
+    SRC = """
+    int x = 0;
+    thread t1 { x = 1; }
+    thread t2 { x = 2; }
+    main { x = 5; start t1; join t1; start t2; join t2; assert(x > 0); }
+    """
+
+    def test_sequentialized_threads_are_ordered(self):
+        sym = _sym(self.SRC)
+        reach = program_reachability(sym)
+        (w1,) = _events_of(sym, "t1")
+        (w2,) = _events_of(sym, "t2")
+        # t1 is joined before t2 starts: fully ordered.
+        assert ordered(reach, w1.eid, w2.eid)
+        assert not may_happen_in_parallel(reach, w1.eid, w2.eid)
+
+    def test_main_accesses_ordered_with_thread(self):
+        sym = _sym(self.SRC)
+        reach = program_reachability(sym)
+        (w1,) = _events_of(sym, "t1")
+        main_events = _events_of(sym, "main")
+        for ev in main_events:
+            assert ordered(reach, ev.eid, w1.eid)
+
+    def test_parallel_threads_are_mhp(self):
+        sym = _sym(
+            """
+            int x = 0;
+            thread t1 { x = 1; }
+            thread t2 { x = 2; }
+            main { start t1; start t2; join t1; join t2; assert(x > 0); }
+            """
+        )
+        reach = program_reachability(sym)
+        (w1,) = _events_of(sym, "t1")
+        (w2,) = _events_of(sym, "t2")
+        assert may_happen_in_parallel(reach, w1.eid, w2.eid)

@@ -1,0 +1,74 @@
+"""Soundness off-switch: pruning must never change a verdict.
+
+Runs the whole tier-1 corpus (and a lock-heavy benchmark sample) through
+the zord preset at prune level 0 and level 2 and asserts identical
+SAFE/UNSAFE verdicts, plus the headline encoding-size claim: the
+lock-heavy family drops >= 20% of its RF/WS variables.
+"""
+
+import pytest
+
+from repro.verify import VerifierConfig, verify
+from tests.verify.programs import ALL_PROGRAMS, LOCKED_COUNTER_SAFE
+
+
+def _run(source, level, **kw):
+    return verify(source, VerifierConfig.zord(prune_level=level, **kw))
+
+
+@pytest.mark.parametrize(
+    "name,source,is_safe",
+    ALL_PROGRAMS,
+    ids=[name for name, _, _ in ALL_PROGRAMS],
+)
+def test_corpus_verdicts_identical(name, source, is_safe):
+    unpruned = _run(source, 0)
+    pruned = _run(source, 2)
+    assert unpruned.verdict == pruned.verdict
+    assert pruned.is_safe == is_safe
+
+
+def test_bench_patterns_verdicts_identical():
+    from repro.bench.patterns import bank_transfer, ticket_lock, work_split
+
+    for source, is_safe in (
+        (ticket_lock(2), True),
+        (bank_transfer(True), True),
+        (bank_transfer(False), False),
+        (work_split(2, 2), True),
+    ):
+        unpruned = _run(source, 0, unwind=4)
+        pruned = _run(source, 2, unwind=4)
+        assert unpruned.verdict == pruned.verdict
+        assert pruned.is_safe == is_safe
+
+
+def test_lock_heavy_family_drops_twenty_percent():
+    unpruned = _run(LOCKED_COUNTER_SAFE, 0)
+    pruned = _run(LOCKED_COUNTER_SAFE, 2)
+    size = lambda r: r.stats["rf_vars"] + r.stats["ws_vars"]  # noqa: E731
+    assert pruned.stats["analysis_pairs_pruned"] > 0
+    assert size(pruned) <= 0.8 * size(unpruned)
+
+
+def test_pruned_stats_are_reported(capsys):
+    result = _run(LOCKED_COUNTER_SAFE, 2)
+    assert result.stats["analysis_pairs_total"] > 0
+    assert result.stats["analysis_pairs_pruned"] > 0
+    assert result.stats["analysis_time_s"] >= 0
+
+
+def test_env_var_default(monkeypatch):
+    monkeypatch.setenv("REPRO_PRUNE", "0")
+    assert VerifierConfig.zord().prune_level == 0
+    monkeypatch.delenv("REPRO_PRUNE")
+    assert VerifierConfig.zord().prune_level == 2
+    monkeypatch.setenv("REPRO_PRUNE", "garbage")
+    assert VerifierConfig.zord().prune_level == 2
+
+
+def test_invalid_level_rejected():
+    with pytest.raises(ValueError):
+        VerifierConfig.zord(prune_level=3)
+    with pytest.raises(ValueError):
+        VerifierConfig.zord(prune_level=-1)

@@ -1,0 +1,101 @@
+"""Race detector: verdict classification and source-located warnings."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_program, render_report
+from tests.verify.programs import (
+    ATOMIC_COUNTER_SAFE,
+    LOCKED_COUNTER_SAFE,
+    LOST_UPDATE_UNSAFE,
+    MAIN_ONLY_SAFE,
+    RACE_UNSAFE,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+
+class TestVerdicts:
+    def test_locked_counter_is_fully_protected(self):
+        report = analyze_program(LOCKED_COUNTER_SAFE)
+        assert not report.has_races
+        assert report.pairs_racy == 0
+        assert report.pairs_protected > 0
+
+    def test_atomic_counter_is_fully_protected(self):
+        report = analyze_program(ATOMIC_COUNTER_SAFE)
+        assert not report.has_races
+        assert report.pairs_racy == 0
+        assert report.pairs_protected > 0
+
+    def test_racy_counter_reports_races(self):
+        report = analyze_program(RACE_UNSAFE)
+        assert report.has_races
+        assert report.pairs_racy > 0
+
+    def test_lost_update_reports_write_write_race(self):
+        report = analyze_program(LOST_UPDATE_UNSAFE)
+        assert report.has_races
+        assert any(w.both_writes for w in report.warnings)
+
+    def test_single_thread_has_no_pairs_at_all(self):
+        report = analyze_program(MAIN_ONLY_SAFE)
+        assert report.pairs_total == 0
+        assert not report.has_races
+
+    def test_sequentialized_threads_are_ordered(self):
+        report = analyze_program(
+            """
+            int x = 0;
+            thread t1 { x = 1; }
+            thread t2 { x = 2; }
+            main { start t1; join t1; start t2; join t2; assert(x == 2); }
+            """
+        )
+        assert not report.has_races
+        assert report.pairs_ordered == report.pairs_total > 0
+
+    def test_counts_are_consistent(self):
+        report = analyze_program(RACE_UNSAFE)
+        assert (
+            report.pairs_ordered + report.pairs_protected + report.pairs_racy
+            == report.pairs_total
+            == len(report.verdicts)
+        )
+
+
+class TestWarnings:
+    def test_source_locations_on_example_file(self):
+        source = (EXAMPLES / "counter_racy.c").read_text()
+        report = analyze_program(source)
+        assert report.has_races
+        w = report.warnings[0]
+        assert w.pos_a is not None and w.pos_b is not None
+        text = w.describe("counter_racy.c")
+        assert "counter_racy.c:" in text
+        assert "counter" in text
+
+    def test_protected_example_file_is_clean(self):
+        source = (EXAMPLES / "counter_safe.c").read_text()
+        report = analyze_program(source)
+        assert not report.has_races
+        assert "no data races" in render_report(report)
+
+    def test_warnings_deduplicated_across_unrolling(self):
+        # The loop body races in every unrolled iteration, but the warning
+        # is per source-statement pair, not per event pair.
+        report = analyze_program(
+            """
+            int x = 0;
+            thread t1 { int i; i = 0; while (i < 3) { x = x + 1; i = i + 1; } }
+            thread t2 { x = 9; }
+            main { start t1; start t2; join t1; join t2; assert(x >= 0); }
+            """,
+            unwind=4,
+        )
+        assert report.has_races
+        assert report.pairs_racy > len(report.warnings)
+
+    def test_render_mentions_threads(self):
+        report = analyze_program(RACE_UNSAFE)
+        text = render_report(report)
+        assert "potential data race" in text

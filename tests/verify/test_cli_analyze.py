@@ -1,0 +1,85 @@
+"""CLI: the ``repro analyze`` race-report mode and the prune flags."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    def write(source):
+        path = tmp_path / "prog.c"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestAnalyze:
+    def test_racy_example_reports_races(self, capsys):
+        rc = main(["analyze", str(EXAMPLES / "counter_racy.c")])
+        out = capsys.readouterr().out
+        assert rc == 10
+        assert "race on 'counter'" in out
+        assert "counter_racy.c:" in out  # source-located
+
+    def test_protected_example_is_clean(self, capsys):
+        rc = main(["analyze", str(EXAMPLES / "counter_safe.c")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no data races" in out
+        assert "protected" in out
+
+    def test_missing_file(self, capsys):
+        rc = main(["analyze", "/nonexistent/prog.c"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, program_file, capsys):
+        rc = main(["analyze", program_file("int x = ;")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unwind_flag(self, program_file, capsys):
+        src = """
+        int x = 0;
+        thread t { int i; i = 0; while (i < 2) { x = x + 1; i = i + 1; } }
+        main { start t; join t; assert(x >= 0); }
+        """
+        rc = main(["analyze", program_file(src), "--unwind", "2"])
+        assert rc == 0
+        assert "no data races" in capsys.readouterr().out
+
+
+class TestPruneFlags:
+    SRC_PATH = str(EXAMPLES / "counter_safe.c")
+
+    def test_no_prune_same_verdict(self, capsys):
+        assert main([self.SRC_PATH]) == 0
+        assert main([self.SRC_PATH, "--no-prune"]) == 0
+
+    def test_stats_show_pruning(self, capsys):
+        main([self.SRC_PATH, "--stats"])
+        out = capsys.readouterr().out
+        assert "analysis_pairs_pruned" in out
+
+    def test_no_prune_zeroes_the_counter(self, capsys):
+        main([self.SRC_PATH, "--no-prune", "--stats"])
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if "analysis_pairs_pruned" in l
+        )
+        assert line.split(":")[1].strip() in ("0", "0.0")
+
+    def test_prune_flag_forces_level_two(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PRUNE", "0")
+        main([self.SRC_PATH, "--prune", "--stats"])
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if "analysis_pairs_pruned" in l
+        )
+        assert line.split(":")[1].strip() not in ("0", "0.0")
