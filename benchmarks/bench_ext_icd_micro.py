@@ -89,6 +89,16 @@ def test_icd_vs_tarjan_scaling(benchmark):
         rows.append(
             f"{n_nodes} {n_edges} {t_icd:.4f} {t_tarjan:.4f} {ratio:.2f}"
         )
+    # The hot-path classes on this workload declare __slots__: no
+    # per-instance __dict__, so edge activation stays allocation-lean.
+    # Record that the layout holds -- a regression back to dict-backed
+    # instances shows up in these timings first.
+    slot_note = " ".join(
+        f"{cls.__name__}={'__dict__' not in cls.__dict__}"
+        for cls in (Edge, EventGraph, IncrementalCycleDetector, TarjanCycleDetector)
+    )
+    rows.append(f"slots: {slot_note}")
+    assert "False" not in slot_note, slot_note
     write_output("ext_icd_micro.txt", "\n".join(rows))
     # Fresh detection must be clearly slower at the largest size.
     assert ratios[-1] > 2.0, rows

@@ -1,0 +1,19 @@
+int counter = 0;
+thread worker {
+    int n;
+    int i;
+    int t;
+    n = nondet();
+    assume(n <= 8);
+    i = 0;
+    while (i < n) {
+        t = counter;
+        counter = t + 1;
+        i = i + 1;
+    }
+}
+main {
+    start worker;
+    join worker;
+    assert(counter < 2);
+}

@@ -71,6 +71,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "capped at the CPU count; 1 = serial)",
     )
     parser.add_argument("--unwind", type=int, default=8, help="loop bound")
+    parser.add_argument(
+        "--unwind-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="iterative-deepening BMC: unroll to N but solve a doubling "
+        "bound schedule 1,2,4,...,N incrementally (overrides --unwind; "
+        "same verdict as one-shot at N, but shallow bugs are found "
+        "without paying the deep search)",
+    )
+    parser.add_argument(
+        "--unwind-schedule",
+        metavar="B1,B2,...",
+        default=None,
+        help="explicit iterative-deepening bound schedule (normalized to "
+        "end at the unwind bound); overrides the REPRO_UNWIND_SCHEDULE "
+        "environment variable",
+    )
     parser.add_argument("--width", type=int, default=8, help="integer bit-width")
     parser.add_argument(
         "--memory-model",
@@ -125,9 +143,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "are identical, the encoding just keeps every RF/WS variable)",
     )
     parser.add_argument(
+        "--share-clauses",
+        action="store_true",
+        help="with --portfolio: exchange short learned clauses between "
+        "engines that solve the identical encoding (verdict-preserving)",
+    )
+    parser.add_argument(
         "--witness", action="store_true", help="print a counterexample trace"
     )
     parser.add_argument("--stats", action="store_true", help="print statistics")
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the run with cProfile and write the dump to FILE "
+        "(inspect with: python -m pstats FILE)",
+    )
     parser.add_argument(
         "--trace-jsonl",
         metavar="FILE",
@@ -157,26 +187,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.lang.parser import ParseError
     from repro.lang.sema import SemanticError
 
-    try:
+    def _dispatch() -> int:
         if args.dump_smt2 or args.dump_dimacs:
             return _dump(source, args)
         if args.portfolio is not None:
             return _verify_portfolio(source, args)
         return _verify(source, args)
+
+    try:
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                code = _dispatch()
+            finally:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
+                print(f"wrote profile to {args.profile}", file=sys.stderr)
+            return code
+        return _dispatch()
     except (LexError, ParseError, SemanticError) as exc:
         print(f"{args.file}: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
 
 def _config_kwargs(args) -> dict:
+    unwind = args.unwind
+    schedule = None  # None = let REPRO_UNWIND_SCHEDULE decide
+    if args.unwind_max is not None:
+        unwind = args.unwind_max
+        bounds, b = [], 1
+        while b < unwind:
+            bounds.append(b)
+            b *= 2
+        schedule = tuple(bounds) + (unwind,)
+    if args.unwind_schedule is not None:
+        try:
+            schedule = tuple(
+                int(p) for p in args.unwind_schedule.split(",") if p.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"error: --unwind-schedule expects a comma-separated list "
+                f"of integers, got {args.unwind_schedule!r}"
+            )
     return dict(
-        unwind=args.unwind,
+        unwind=unwind,
         width=args.width,
         time_limit_s=args.timeout,
         max_conflicts=args.max_conflicts,
         memory_limit_mb=args.memory_limit_mb,
         memory_model=args.memory_model,
         prune_level=args.prune_level,
+        unwind_schedule=schedule,
     )
 
 
@@ -233,11 +298,15 @@ def _verify_portfolio(source: str, args) -> int:
             _PRESETS[name](trace_jsonl=trace, **_config_kwargs(args))
         )
     jobs = args.jobs or min(len(configs), os.cpu_count() or 1)
-    outcome = verify_portfolio(source, configs, jobs=jobs)
+    outcome = verify_portfolio(
+        source, configs, jobs=jobs, share_clauses=args.share_clauses
+    )
     print(
         f"verdict: {outcome.verdict.upper()}  "
         f"({outcome.wall_time_s:.3f}s, winner: {outcome.winner or '-'})"
     )
+    if args.share_clauses:
+        print(f"  shared clauses: {outcome.shared_clauses}")
     for run in outcome.runs:
         print(
             f"  {run.config_name:<14} {run.status:<11} "

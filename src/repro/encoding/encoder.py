@@ -28,7 +28,12 @@ from repro.ordering import OrderingTheory
 from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.sat import Solver
 
-__all__ = ["EncodedProgram", "encode_program", "EncodingStats"]
+__all__ = [
+    "EncodedProgram",
+    "encode_program",
+    "add_unwind_bound",
+    "EncodingStats",
+]
 
 
 @dataclass
@@ -63,6 +68,9 @@ class EncodedProgram:
     guard_lits: Dict[int, int] = field(default_factory=dict)
     trivially_safe: bool = False
     stats: EncodingStats = field(default_factory=EncodingStats)
+    #: bound -> activation literal of that bound's unwinding assumption
+    #: (None for bounds needing no assumption); see :func:`add_unwind_bound`.
+    unwind_assumptions: Dict[int, Optional[int]] = field(default_factory=dict)
 
 
 def encode_program(
@@ -312,3 +320,33 @@ def encode_program(
 
     enc.stats.sat_vars = solver.nvars
     return enc
+
+
+def add_unwind_bound(enc: EncodedProgram, bound: int) -> Optional[int]:
+    """Materialize the unwinding assumption for ``bound``; return its
+    activation literal (or None when the program needs no assumption at
+    this bound, e.g. it is loop-free).
+
+    Requires an encoding built from a front end run with
+    ``unwind_assumptions=True``: the symbolic program then carries the
+    frontier condition of every loop-header evaluation, tagged with the
+    number of iterations completed before it.  The returned fresh variable
+    ``u`` gets the clauses ``u -> not cond`` for every frontier condition
+    at exactly ``bound`` iterations -- passing ``u`` as a solve()
+    assumption restricts the search to executions where no loop runs more
+    than ``bound`` times, without committing the solver to it permanently.
+    Results are cached per bound, so deepening re-solves reuse the
+    literals (and all clauses learned under them).
+    """
+    if bound in enc.unwind_assumptions:
+        return enc.unwind_assumptions[bound]
+    conds = [c for done, c in enc.symbolic.unwind_conds if done == bound]
+    if not conds:
+        enc.unwind_assumptions[bound] = None
+        return None
+    u = enc.solver.new_var()
+    for cond in conds:
+        lit = enc.blaster.blast_bool(cond)
+        enc.solver.add_clause([-u, -lit])
+    enc.unwind_assumptions[bound] = u
+    return u

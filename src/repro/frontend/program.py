@@ -116,6 +116,13 @@ class SymbolicProgram:
     #: ``nondet()`` occurrences: ``(thread, ssa_name, guard)`` in static
     #: program order, for witness replay through the SMC interpreter.
     nondet_sites: List[Tuple[str, str, Term]] = field(default_factory=list)
+    #: Loop-unwinding frontier conditions ``(iterations_done, cond)``: the
+    #: loop condition term evaluated after ``iterations_done`` iterations
+    #: of some loop (conjoined with its path guard).  Only populated when
+    #: the front end runs with ``unwind_assumptions=True``; asserting
+    #: ``not cond`` for every entry at a given depth yields exactly the
+    #: bound-``depth`` unwinding assumption (iterative-deepening BMC).
+    unwind_conds: List[Tuple[int, Term]] = field(default_factory=list)
 
     def event(self, eid: int) -> Event:
         return self.events[eid]

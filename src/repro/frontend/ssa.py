@@ -40,7 +40,10 @@ class SsaError(ValueError):
 
 
 def build_symbolic_program(
-    program: ast.Program, unwind: int = 8, width: int = 8
+    program: ast.Program,
+    unwind: int = 8,
+    width: int = 8,
+    unwind_assumptions: bool = False,
 ) -> SymbolicProgram:
     """Lower ``program`` to a :class:`SymbolicProgram`.
 
@@ -49,17 +52,31 @@ def build_symbolic_program(
         unwind: maximum number of loop iterations considered (per loop
             occurrence; nested loops multiply).
         width: bit-width of all integer values.
+        unwind_assumptions: when True, loop frontiers are *not* cut off
+            with hard constraints; instead every loop-condition evaluation
+            is recorded in :attr:`SymbolicProgram.unwind_conds` so the
+            encoder can assert per-bound unwinding assumptions under
+            activation literals (iterative-deepening BMC).  The caller
+            **must** then assert the bound-``unwind`` assumption, or the
+            deepest frontier is truncated without exclusion (unsound).
     """
     check_program(program)
-    lowerer = _Lowerer(program, unwind, width)
+    lowerer = _Lowerer(program, unwind, width, unwind_assumptions)
     return lowerer.run()
 
 
 class _Lowerer:
-    def __init__(self, program: ast.Program, unwind: int, width: int) -> None:
+    def __init__(
+        self,
+        program: ast.Program,
+        unwind: int,
+        width: int,
+        unwind_assumptions: bool = False,
+    ) -> None:
         self.program = program
         self.unwind = unwind
         self.width = width
+        self.unwind_assumptions = unwind_assumptions
         self.out = SymbolicProgram(width=width)
         self._ssa_counters: Dict[str, int] = {}
         self._locks = {g.name for g in program.globals if g.is_lock}
@@ -351,12 +368,22 @@ class _Lowerer:
     def _lower_while(self, stmt: ast.While, depth: int) -> None:
         self._stmt = stmt  # condition re-reads belong to the loop header
         cond = self._lower_cond(stmt.cond)
-        if depth == 0:
-            # Unwinding assumption: executions that would iterate further
-            # are excluded from the bounded analysis.
-            self.out.constraints.append(
-                F.implies(F.mk_and(self._guard, cond), F.FALSE)
+        if self.unwind_assumptions:
+            # Record the frontier condition at every header evaluation:
+            # asserting the negation of all entries with the same
+            # iteration count is exactly the unwinding assumption for
+            # that bound (the encoder guards each set with an activation
+            # literal; see encoding.encoder.add_unwind_bound).
+            self.out.unwind_conds.append(
+                (self.unwind - depth, F.mk_and(self._guard, cond))
             )
+        if depth == 0:
+            if not self.unwind_assumptions:
+                # Unwinding assumption: executions that would iterate
+                # further are excluded from the bounded analysis.
+                self.out.constraints.append(
+                    F.implies(F.mk_and(self._guard, cond), F.FALSE)
+                )
             return
         outer_guard = self._guard
         saved_env = dict(self._env)

@@ -67,6 +67,8 @@ class EventGraph:
     here (``self.ord``) so conflict generation and detectors share it.
     """
 
+    __slots__ = ("n", "out", "inc", "ord", "inactive_out", "n_active_edges")
+
     def __init__(self, n_nodes: int) -> None:
         self.n = n_nodes
         self.out: List[List[Edge]] = [[] for _ in range(n_nodes)]
@@ -80,6 +82,20 @@ class EventGraph:
             {} for _ in range(n_nodes)
         ]
         self.n_active_edges = 0
+
+    def grow(self, k: int) -> None:
+        """Append ``k`` fresh nodes (delta encoding support).
+
+        New nodes get the largest pseudo-topological labels, so ``ord``
+        stays a permutation consistent with the existing active edges and
+        the ICD detector needs no rebuild.
+        """
+        for _ in range(k):
+            self.out.append([])
+            self.inc.append([])
+            self.inactive_out.append({})
+            self.ord.append(self.n)
+            self.n += 1
 
     # ------------------------------------------------------------------
     # Inactive edge registry

@@ -86,12 +86,13 @@ class IncrementalCycleDetector:
 
     name = "icd"
 
-    #: Optional hook ``on_reorder(n_back, n_fwd)`` invoked after every
-    #: pseudo-topological-order permutation (telemetry/stats).
-    on_reorder = None
+    __slots__ = ("graph", "on_reorder")
 
     def __init__(self, graph: EventGraph) -> None:
         self.graph = graph
+        #: Optional hook ``on_reorder(n_back, n_fwd)`` invoked after every
+        #: pseudo-topological-order permutation (telemetry/stats).
+        self.on_reorder = None
 
     def add_edge(self, edge: Edge) -> AddResult:
         """Try to activate ``edge``; detect cycles incrementally."""

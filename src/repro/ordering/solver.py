@@ -26,7 +26,7 @@ SAT solver's decision levels through :meth:`backjump`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.sat.theory import Theory, TheoryResult
@@ -98,6 +98,8 @@ class OrderingTheory(Theory):
         self._out_ws: List[List[Edge]] = [[] for _ in range(n_events)]
         #: Activation trail: (edge, level) pairs, LIFO.
         self._trail: List[Tuple[Edge, int]] = []
+        #: All PO edges seen so far (extended by :meth:`extend`).
+        self._po_edges: List[Tuple[int, int]] = list(po_edges)
         for i, (a, b) in enumerate(po_edges):
             # The Tarjan baseline does a full-graph search per insertion,
             # so building a large PO skeleton can dominate the run; keep it
@@ -118,6 +120,40 @@ class OrderingTheory(Theory):
         self.stats.icd_reorders += 1
         if self.telemetry is not None:
             self.telemetry.emit("icd_reorder", back=n_back, fwd=n_fwd)
+
+    # ------------------------------------------------------------------
+    # Incremental re-solve protocol
+    # ------------------------------------------------------------------
+
+    def extend(
+        self, n_events: int, po_edges: Sequence[Tuple[int, int]] = ()
+    ) -> None:
+        """Grow the event graph for a delta encoding.
+
+        New events and program-order edges are *appended*: the ICD
+        pseudo-topological order, active level-0 edges, derived FR edges,
+        and learned state all survive.  PO reachability is recomputed over
+        the accumulated PO skeleton (it is static, not trail-dependent).
+        Call only with the theory at level 0 (between solver queries).
+        """
+        if n_events < self.graph.n:
+            raise ValueError(
+                f"cannot shrink event graph ({self.graph.n} -> {n_events})"
+            )
+        self.graph.grow(n_events - self.graph.n)
+        while len(self._out_rf) < n_events:
+            self._out_rf.append([])
+            self._out_ws.append([])
+        for i, (a, b) in enumerate(po_edges):
+            if i & 0xFF == 0:
+                _robustness_checkpoint("encode")
+            edge = Edge(a, b, EdgeKind.PO)
+            result = self.detector.add_edge(edge)
+            if result.cycle:
+                raise ValueError("program order itself is cyclic")
+        self._po_edges.extend(po_edges)
+        self.po_reach = self._compute_po_reachability(n_events, self._po_edges)
+        self._po_reach = self.po_reach
 
     # ------------------------------------------------------------------
     # Construction-time registration

@@ -27,6 +27,8 @@ class TarjanCycleDetector:
 
     name = "tarjan"
 
+    __slots__ = ("graph",)
+
     def __init__(self, graph: EventGraph) -> None:
         self.graph = graph
 

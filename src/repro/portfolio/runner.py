@@ -19,6 +19,15 @@ The parallel race is hardened against misbehaving workers:
   extension, :data:`os.kill`) is reaped as ``status="error"``;
 * cancellation escalates: SIGTERM, then SIGKILL after ``term_grace_s``
   for workers that ignore the termination request.
+
+With ``share_clauses=True`` the members whose configs produce the
+identical CNF encoding (grouped by
+:func:`repro.portfolio.sharing.encoding_signature`) exchange short learned
+clauses while they race: workers publish them as ``"cl"`` messages on the
+result queue and the parent relays each batch to the import queues of the
+publisher's group siblings, who pull them in at their next restart
+boundary.  Sharing never changes a verdict -- only which engine reaches it
+first -- because shared clauses are consequences of the common formula.
 """
 
 from __future__ import annotations
@@ -32,7 +41,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.lang import ast
+from repro.portfolio.sharing import share_groups
 from repro.robustness.faults import fault_point
+from repro.sat import sharing as sat_sharing
 from repro.verify import Verdict, VerificationResult, VerifierConfig, verify
 from repro.verify.config import PRESETS
 
@@ -81,6 +92,9 @@ class PortfolioResult:
     result: Optional[VerificationResult]
     runs: List[EngineRun] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: Learned clauses that crossed the sharing medium (0 unless the
+    #: portfolio ran with ``share_clauses=True``).
+    shared_clauses: int = 0
 
     @property
     def is_safe(self) -> bool:
@@ -94,6 +108,8 @@ class PortfolioResult:
         head = f"[portfolio] {self.verdict.upper()} in {self.wall_time_s:.3f}s"
         if self.winner is not None:
             head += f" (winner: {self.winner})"
+        if self.shared_clauses:
+            head += f" [{self.shared_clauses} clauses shared]"
         lines = [head]
         for run in self.runs:
             verdict = run.verdict or "-"
@@ -136,13 +152,19 @@ def _worker(
     index: int,
     out_queue,
     heartbeat_s: float = _HEARTBEAT_S,
+    share_queue=None,
+    share_signature=None,
 ) -> None:
     """Process entry point: verify and report (index, kind, payload).
 
     ``kind`` is ``"ok"`` (payload: the result), ``"error"`` (payload: a
-    message) or ``"hb"`` (heartbeat, payload: None).  Heartbeats come from
-    a daemon thread so the parent can distinguish a slow worker from a
-    hung one.
+    message), ``"hb"`` (heartbeat, payload: None) or ``"cl"`` (payload: a
+    list of learned-clause tuples for the parent to relay).  Heartbeats
+    come from a daemon thread so the parent can distinguish a slow worker
+    from a hung one.  When ``share_queue`` is given, a
+    :class:`~repro.sat.sharing.ShareChannel` is attached process-wide:
+    exports travel out as ``"cl"`` messages, imports arrive on
+    ``share_queue`` (one list of clause tuples per item).
     """
     stop = threading.Event()
 
@@ -155,6 +177,25 @@ def _worker(
 
     beater = threading.Thread(target=_beat, daemon=True)
     beater.start()
+    if share_queue is not None:
+        def _send(clauses) -> None:
+            try:
+                out_queue.put((index, "cl", clauses))
+            except Exception:  # queue torn down: race already decided
+                pass
+
+        def _recv():
+            items = []
+            while True:
+                try:
+                    items.extend(share_queue.get_nowait())
+                except (queue_mod.Empty, OSError):
+                    break
+            return items
+
+        sat_sharing.attach(
+            sat_sharing.ShareChannel(_send, _recv, signature=share_signature)
+        )
     try:
         fault_point("portfolio_worker")
         result = verify(source, config)
@@ -174,6 +215,7 @@ def verify_portfolio(
     hang_timeout_s: Optional[float] = 30.0,
     term_grace_s: float = _TERM_GRACE_S,
     heartbeat_s: float = _HEARTBEAT_S,
+    share_clauses: bool = False,
 ) -> PortfolioResult:
     """Race a portfolio of engine configurations on one program.
 
@@ -192,6 +234,10 @@ def verify_portfolio(
             long is declared hung and killed (``None`` disables).
         term_grace_s: seconds a SIGTERM'd worker gets before SIGKILL.
         heartbeat_s: worker heartbeat interval.
+        share_clauses: exchange short learned clauses between members whose
+            configs produce the identical CNF encoding (see
+            :mod:`repro.portfolio.sharing`).  Verdict-preserving; serial
+            runs share forward from earlier to later members.
 
     Returns:
         A :class:`PortfolioResult`; ``result`` is the winning engine's full
@@ -209,10 +255,10 @@ def verify_portfolio(
         jobs = min(len(cfgs), os.cpu_count() or 1)
     start = time.monotonic()
     if jobs <= 1 or len(cfgs) == 1:
-        return _run_serial(program, cfgs, start)
+        return _run_serial(program, cfgs, start, share_clauses)
     return _run_parallel(
         program, cfgs, jobs, start, wall_budget_s,
-        hang_timeout_s, term_grace_s, heartbeat_s,
+        hang_timeout_s, term_grace_s, heartbeat_s, share_clauses,
     )
 
 
@@ -220,11 +266,26 @@ def verify_portfolio(
 # Serial fallback (jobs=1)
 # ----------------------------------------------------------------------
 
-def _run_serial(program, cfgs: List[VerifierConfig], start: float) -> PortfolioResult:
+def _run_serial(
+    program,
+    cfgs: List[VerifierConfig],
+    start: float,
+    share_clauses: bool = False,
+) -> PortfolioResult:
+    # Serial sharing is one-directional: members run in portfolio order, so
+    # clauses learned by earlier members seed the later ones of the same
+    # encoding group (via a SerialBroker mailbox per group).
+    channels: Dict[int, sat_sharing.ShareChannel] = {}
+    if share_clauses:
+        for sig, idxs in share_groups(cfgs).items():
+            broker = sat_sharing.SerialBroker(signature=sig)
+            for i in idxs:
+                channels[i] = broker.join()
     runs = [EngineRun(c.name, "cancelled") for c in cfgs]
     winner_idx: Optional[int] = None
     for i, cfg in enumerate(cfgs):
         t0 = time.monotonic()
+        sat_sharing.attach(channels.get(i))
         try:
             result = verify(program, cfg)
         except Exception as exc:
@@ -234,11 +295,14 @@ def _run_serial(program, cfgs: List[VerifierConfig], start: float) -> PortfolioR
                 error=f"{type(exc).__name__}: {exc}",
             )
             continue
+        finally:
+            sat_sharing.detach()
         runs[i] = _run_from_result(cfg.name, result)
         if runs[i].status == "conclusive":
             winner_idx = i
             break
-    return _finish(runs, winner_idx, start)
+    shared = sum(ch.exported for ch in channels.values())
+    return _finish(runs, winner_idx, start, shared)
 
 
 def _run_from_result(name: str, result: VerificationResult) -> EngineRun:
@@ -272,6 +336,7 @@ def _run_parallel(
     hang_timeout_s: Optional[float],
     term_grace_s: float,
     heartbeat_s: float,
+    share_clauses: bool = False,
 ) -> PortfolioResult:
     source = _source_of(program)
     # Fail fast in the parent on malformed input instead of collecting
@@ -283,6 +348,18 @@ def _run_parallel(
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
     out_q = ctx.Queue()
+    # Clause sharing: per-member import queues, and for each member the
+    # encoding-group siblings its exports are relayed to.
+    share_sig: Dict[int, tuple] = {}
+    share_peers: Dict[int, List[int]] = {}
+    share_in: Dict[int, multiprocessing.queues.Queue] = {}
+    shared_count = 0
+    if share_clauses:
+        for sig, idxs in share_groups(cfgs).items():
+            for i in idxs:
+                share_sig[i] = sig
+                share_peers[i] = [j for j in idxs if j != i]
+                share_in[i] = ctx.Queue()
     runs = [EngineRun(c.name, "cancelled") for c in cfgs]
     procs: Dict[int, multiprocessing.process.BaseProcess] = {}
     launched_at: Dict[int, float] = {}
@@ -331,7 +408,10 @@ def _run_parallel(
                 i = pending.pop(0)
                 proc = ctx.Process(
                     target=_worker,
-                    args=(source, cfgs[i], i, out_q, heartbeat_s),
+                    args=(
+                        source, cfgs[i], i, out_q, heartbeat_s,
+                        share_in.get(i), share_sig.get(i),
+                    ),
                     daemon=True,
                 )
                 launched_at[i] = last_beat[i] = time.monotonic()
@@ -373,6 +453,18 @@ def _run_parallel(
             if kind == "hb":
                 last_beat[i] = time.monotonic()
                 continue
+            if kind == "cl":
+                # Relay the batch to the publisher's encoding-group
+                # siblings; they import at their next restart boundary.
+                shared_count += len(payload)
+                for j in share_peers.get(i, ()):
+                    q = share_in.get(j)
+                    if q is not None:
+                        try:
+                            q.put(payload)
+                        except Exception:
+                            pass
+                continue
             record(i, kind, payload)
             reap(i)
             if runs[i].status == "conclusive":
@@ -384,8 +476,8 @@ def _run_parallel(
                         j, kind2, payload2 = out_q.get_nowait()
                     except queue_mod.Empty:
                         break
-                    if kind2 == "hb":
-                        continue
+                    if kind2 in ("hb", "cl"):
+                        continue  # race decided: no relaying needed
                     record(j, kind2, payload2)
                     reap(j)
                     if runs[j].status == "conclusive":
@@ -409,14 +501,24 @@ def _run_parallel(
                     wall_time_s=time.monotonic() - launched_at[i],
                 )
         out_q.close()
-    return _finish(runs, winner_idx, start)
+        for q in share_in.values():
+            # Don't block interpreter exit on relayed batches a cancelled
+            # worker never drained.
+            q.close()
+            q.cancel_join_thread()
+    return _finish(runs, winner_idx, start, shared_count)
 
 
 def _finish(
-    runs: List[EngineRun], winner_idx: Optional[int], start: float
+    runs: List[EngineRun],
+    winner_idx: Optional[int],
+    start: float,
+    shared: int = 0,
 ) -> PortfolioResult:
     elapsed = time.monotonic() - start
     if winner_idx is None:
-        return PortfolioResult(Verdict.UNKNOWN, None, None, runs, elapsed)
+        return PortfolioResult(Verdict.UNKNOWN, None, None, runs, elapsed, shared)
     win = runs[winner_idx]
-    return PortfolioResult(win.verdict, win.config_name, win.result, runs, elapsed)
+    return PortfolioResult(
+        win.verdict, win.config_name, win.result, runs, elapsed, shared
+    )

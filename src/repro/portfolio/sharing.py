@@ -1,0 +1,65 @@
+"""Encoding-compatibility grouping for portfolio clause sharing.
+
+Learned clauses are consequences of the CNF they were derived from (plus
+theory lemmas, which are theory-valid), so sharing them between portfolio
+members is sound exactly when the members solve the *identical* CNF: same
+deterministic encoding, hence same variable numbering.  Two configs do so
+iff they agree on every knob that shapes the encoding -- the theory, the
+FR-encoding ablation, the pruning level, the unrolling bound and schedule,
+the bit-width and the memory model.  Knobs that only steer the *search*
+(cycle detector, unit-edge propagation, conflict-clause caps, budgets) do
+not change the formula, which is what makes sharing between Zord and its
+search-side ablations (Zord', Zord-tarjan) both sound and useful.
+
+:func:`encoding_signature` captures exactly the formula-shaping knobs;
+:func:`share_groups` partitions a portfolio by it.  The signature is also
+stamped onto every :class:`~repro.sat.sharing.ShareChannel` so the
+verifier can refuse a channel when a fallback preset re-encodes the
+program differently mid-process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.verify.config import VerifierConfig
+
+__all__ = ["encoding_signature", "share_groups"]
+
+Signature = Tuple[Union[str, int, bool, Tuple[int, ...]], ...]
+
+
+def encoding_signature(config: VerifierConfig) -> Optional[Signature]:
+    """The key under which two configs produce the identical CNF.
+
+    Returns ``None`` for engines without a clause-learning SAT core
+    (everything but ``"smt"``): those members can never share.
+    """
+    if getattr(config, "engine", None) != "smt":
+        return None
+    return (
+        "smt",
+        config.theory,
+        bool(config.fr_encoding),
+        config.prune_level,
+        config.unwind,
+        config.width,
+        config.memory_model,
+        tuple(config.unwind_schedule or ()),
+    )
+
+
+def share_groups(
+    configs: Sequence[VerifierConfig],
+) -> Dict[Signature, List[int]]:
+    """Partition portfolio indices into sharing-compatible groups.
+
+    Only groups with at least two members are returned -- a solver with no
+    sibling has nobody to exchange with.
+    """
+    groups: Dict[Signature, List[int]] = {}
+    for i, cfg in enumerate(configs):
+        sig = encoding_signature(cfg)
+        if sig is not None:
+            groups.setdefault(sig, []).append(i)
+    return {sig: idxs for sig, idxs in groups.items() if len(idxs) >= 2}

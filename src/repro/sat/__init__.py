@@ -13,7 +13,16 @@ variable ``v`` asserted true, ``-v`` denotes it asserted false.  Variable 0
 is unused.
 """
 
+from repro.sat.sharing import SerialBroker, ShareChannel
 from repro.sat.solver import Solver, SolveResult, SolverStats
 from repro.sat.theory import Theory, TheoryResult
 
-__all__ = ["Solver", "SolveResult", "SolverStats", "Theory", "TheoryResult"]
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "SolverStats",
+    "Theory",
+    "TheoryResult",
+    "ShareChannel",
+    "SerialBroker",
+]

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.robustness.budget import BudgetExceeded, get_active as _active_budget
+from repro.sat.sharing import ShareChannel
 from repro.sat.theory import Theory
 
 #: Truth values used in the assignment array.
@@ -53,6 +54,13 @@ class SolverStats:
     theory_conflicts: int = 0
     theory_propagations: int = 0
     max_trail: int = 0
+    #: Number of :meth:`Solver.solve` calls on this instance.
+    incremental_calls: int = 0
+    #: Learned clauses carried into a re-solve (summed over calls 2..n).
+    clauses_retained: int = 0
+    #: Clauses published to / accepted from an attached share channel.
+    shared_exported: int = 0
+    shared_imported: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -64,6 +72,10 @@ class SolverStats:
             "theory_conflicts": self.theory_conflicts,
             "theory_propagations": self.theory_propagations,
             "max_trail": self.max_trail,
+            "incremental_calls": self.incremental_calls,
+            "clauses_retained": self.clauses_retained,
+            "shared_exported": self.shared_exported,
+            "shared_imported": self.shared_imported,
         }
 
 
@@ -135,6 +147,13 @@ class Solver:
         self._model: List[int] = []
         self._seen: List[bool] = [False]
         self._pending_lemmas: List[List[int]] = []
+        #: Assumption literals of the current solve() call, in order.
+        self._assumps: List[int] = []
+        #: After an assumption-caused UNSAT: the failing subset of the
+        #: assumptions (as passed).  Empty after a permanent UNSAT.
+        self.unsat_core: List[int] = []
+        #: Optional clause-exchange endpoint (portfolio clause sharing).
+        self.share: Optional[ShareChannel] = None
         self.stats = SolverStats()
         #: Optional telemetry sink (``repro.verify.telemetry.TraceWriter``):
         #: receives solve_start/restart/theory_conflict/theory_propagation/
@@ -171,9 +190,13 @@ class Solver:
     def add_clause(self, lits: Sequence[int]) -> bool:
         """Add a problem clause.  Returns False if the formula became UNSAT.
 
-        Must be called before :meth:`solve` (top level only).
+        May be called between :meth:`solve` calls (incremental use): any
+        leftover search state is cancelled back to decision level 0 first.
         """
-        assert not self._trail_lim, "add_clause is top-level only"
+        if self._unsat:
+            return False
+        if self._trail_lim:
+            self._backjump(0)
         # Simplify: drop duplicate/false literals, detect tautologies.
         seen = set()
         out: List[int] = []
@@ -214,14 +237,44 @@ class Solver:
         self,
         max_conflicts: Optional[int] = None,
         time_limit_s: Optional[float] = None,
+        assumptions: Optional[Sequence[int]] = None,
     ) -> str:
-        """Run CDCL search.  Returns a :class:`SolveResult` constant."""
+        """Run CDCL search.  Returns a :class:`SolveResult` constant.
+
+        ``assumptions`` are literals decided (in order) before any free
+        decision, MiniSat-style.  An UNSAT answer caused by the assumptions
+        leaves a sufficient failing subset in :attr:`unsat_core` and is
+        *not* permanent: the solver can be re-solved under different
+        assumptions, and ``new_var`` / ``add_clause`` may be called between
+        solves.  Learned clauses, activities, and saved phases are retained
+        across calls.
+        """
+        self._assumps = list(assumptions) if assumptions else []
+        for lit in self._assumps:
+            if lit == 0 or abs(lit) > self.nvars:
+                raise ValueError(f"invalid assumption literal {lit}")
+        self.unsat_core = []
+        self.stats.incremental_calls += 1
+        if self.stats.incremental_calls > 1:
+            self.stats.clauses_retained += len(self._learned)
+            if self._trail_lim:
+                self._backjump(0)
+            self.theory.reset()
         if self.telemetry is not None:
             self.telemetry.emit(
-                "solve_start", nvars=self.nvars, clauses=len(self._clauses)
+                "solve_start",
+                nvars=self.nvars,
+                clauses=len(self._clauses),
+                assumptions=len(self._assumps),
+                call=self.stats.incremental_calls,
             )
         try:
             result = self._solve(max_conflicts, time_limit_s)
+            # Publish leftover exports: a run that finished before its
+            # first restart has never flushed, and its learned clauses are
+            # still valuable to portfolio siblings racing the same CNF.
+            if self.share is not None:
+                self.share.flush()
         except BudgetExceeded as exc:
             # Attach the partial counters so the budget-exhausted UNKNOWN
             # still reports how far the search got.
@@ -252,6 +305,10 @@ class Solver:
             # faults and checks the run budget's deadline / memory cap
             # (per-conflict charging happens inside _search).
             _robustness_checkpoint("solve")
+            # Clause exchange happens at restart boundaries only: the
+            # solver is at decision level 0, so imports are plain clauses.
+            if not self._exchange_shared():
+                return SolveResult.UNSAT
             budget = restart_base * luby(restart_idx)
             status, used = self._search(
                 budget, start, time_limit_s, max_conflicts, conflicts_total, max_learned
@@ -336,6 +393,28 @@ class Solver:
                     time.monotonic() - start > time_limit_s
                 ):
                     return SolveResult.UNKNOWN, conflicts
+                # Assumptions are the first decisions (MiniSat-style).  An
+                # already-true assumption gets an empty decision level so
+                # level k always corresponds to assumption k; a false one
+                # means UNSAT under these assumptions -- analyze the final
+                # conflict into a core over the assumptions.
+                placed = False
+                while self.decision_level < len(self._assumps):
+                    p = self._assumps[self.decision_level]
+                    val = self._value(p)
+                    if val == _TRUE:
+                        self._trail_lim.append(len(self._trail))
+                    elif val == _FALSE:
+                        self.unsat_core = self._analyze_final(p)
+                        return SolveResult.UNSAT, conflicts
+                    else:
+                        self.stats.decisions += 1
+                        self._trail_lim.append(len(self._trail))
+                        self._enqueue(p, None)
+                        placed = True
+                        break
+                if placed:
+                    continue  # propagate before the next assumption
                 lit = self._pick_branch()
                 if lit == 0:
                     final = self.theory.final_check()
@@ -475,6 +554,10 @@ class Solver:
         """
         pending, self._pending_lemmas = self._pending_lemmas, []
         for lits in pending:
+            # Theory lemmas are theory-valid, hence shareable with any
+            # solver working on the identical encoding.
+            if self.share is not None and self.share.offer(lits):
+                self.stats.shared_exported += 1
             non_false = [l for l in lits if self._value(l) != _FALSE]
             if len(lits) < 2:
                 continue
@@ -555,6 +638,9 @@ class Solver:
             if lvl > max_level:
                 max_level = lvl
         if max_level == 0:
+            # A clause falsified at level 0 follows from the formula alone
+            # (assumptions never enter level 0), so this UNSAT is permanent.
+            self._unsat = True
             return False
         if max_level < self.decision_level:
             self._backjump(max_level)
@@ -656,7 +742,45 @@ class Solver:
                 stack.append(q)
         return True
 
+    def _analyze_final(self, p: int) -> List[int]:
+        """Failed-assumption analysis (MiniSat ``analyzeFinal``).
+
+        ``p`` is an assumption that is false under the current (assumption-
+        only) prefix of the trail.  Walk the implication graph backwards
+        from ``-p``; every decision reached is an assumption, and together
+        with ``p`` they form a subset of the assumptions sufficient for
+        UNSAT -- the unsat core.  Returned literals are the assumptions as
+        passed to :meth:`solve`.
+        """
+        core = [p]
+        if self.decision_level == 0 or self._level[abs(p)] == 0:
+            return core
+        seen = self._seen
+        to_clear = [abs(p)]
+        seen[abs(p)] = True
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[i]
+            v = abs(lit)
+            if not seen[v]:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                # A decision above level 0 is an assumption (it was
+                # enqueued exactly as passed).
+                core.append(lit)
+            else:
+                for q in reason.lits[1:]:
+                    u = abs(q)
+                    if not seen[u] and self._level[u] > 0:
+                        seen[u] = True
+                        to_clear.append(u)
+        for v in to_clear:
+            seen[v] = False
+        return core
+
     def _record_learnt(self, learnt: List[int]) -> None:
+        if self.share is not None and self.share.offer(learnt):
+            self.stats.shared_exported += 1
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
@@ -666,6 +790,21 @@ class Solver:
         self._attach(clause)
         self._bump_clause(clause)
         self._enqueue(learnt[0], clause)
+
+    def _exchange_shared(self) -> bool:
+        """Flush/import shared clauses at a restart boundary (level 0).
+
+        Imported clauses are formula-valid for the identical encoding, so
+        they are added as ordinary clauses.  Returns False if an import
+        proves the formula UNSAT.
+        """
+        if self.share is None:
+            return True
+        for lits in self.share.exchange():
+            self.stats.shared_imported += 1
+            if not self.add_clause(lits):
+                return False
+        return not self._unsat
 
     # ------------------------------------------------------------------
     # Assignment management

@@ -72,6 +72,18 @@ class Theory:
     def backjump(self, level: int) -> None:
         """Undo all effects of assignments made at levels > ``level``."""
 
+    def reset(self) -> None:
+        """Prepare for a fresh :meth:`Solver.solve` call on the same
+        (possibly extended) problem.
+
+        Called by the solver at the start of every re-solve.  Level-0 state
+        is *kept*: anything activated at level 0 follows from unit clauses
+        and remains valid across queries.  Theories whose per-query state
+        is exactly the assignment trail (like the ordering-consistency
+        solver) get the right behaviour from this default.
+        """
+        self.backjump(0)
+
     def final_check(self) -> TheoryResult:
         """Called when the Boolean assignment is total and consistent so far.
 

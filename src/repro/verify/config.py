@@ -10,6 +10,45 @@ from typing import Callable, Dict, Optional, Tuple
 __all__ = ["VerifierConfig", "PRESETS"]
 
 
+def _schedule_from_env(unwind: int) -> Tuple[int, ...]:
+    """Resolve ``REPRO_UNWIND_SCHEDULE``: ``1``/``true`` -> doubling
+    schedule up to ``unwind``; a comma list -> explicit bounds; anything
+    else -> one-shot."""
+    raw = os.environ.get("REPRO_UNWIND_SCHEDULE", "").strip().lower()
+    if not raw or raw in ("0", "false"):
+        return ()
+    if raw in ("1", "true"):
+        bounds = []
+        b = 1
+        while b < unwind:
+            bounds.append(b)
+            b *= 2
+        bounds.append(unwind)
+        return tuple(bounds)
+    try:
+        return tuple(int(p) for p in raw.split(",") if p.strip())
+    except ValueError:
+        return ()
+
+
+def _normalize_schedule(
+    schedule: Optional[Tuple[int, ...]], unwind: int, engine: str
+) -> Tuple[int, ...]:
+    """Sorted unique bounds in ``1..unwind``, always ending at ``unwind``
+    (so the deepest solve is exactly the one-shot problem).  Empty means
+    one-shot; non-SMT engines are always one-shot."""
+    if schedule is None:
+        schedule = _schedule_from_env(unwind)
+    if not schedule or engine != "smt":
+        return ()
+    bounds = sorted({int(b) for b in schedule})
+    if bounds[0] < 1:
+        raise ValueError(
+            f"unwind_schedule bounds must be >= 1, got {bounds[0]}"
+        )
+    return tuple(b for b in bounds if b < unwind) + (unwind,)
+
+
 @dataclass(frozen=True)
 class VerifierConfig:
     """Configuration of the verification engine.
@@ -52,6 +91,16 @@ class VerifierConfig:
             environment variable, falling back to 2.  Pruning only skips
             ordering variables that are false in every model, so verdicts
             are identical at every level.
+        unwind_schedule: iterative-deepening BMC bound schedule (SMT
+            engines only).  ``None`` (the default) resolves to the
+            ``REPRO_UNWIND_SCHEDULE`` environment variable: unset/empty/
+            ``"0"`` means one-shot solving at ``unwind``; ``"1"``/
+            ``"true"`` means a doubling schedule ``1, 2, 4, ..., unwind``;
+            a comma-separated list gives explicit bounds.  ``()`` forces
+            one-shot regardless of the environment.  A non-empty schedule
+            is normalized to sorted unique bounds in ``1..unwind`` and
+            always ends at ``unwind``, so the verdict is identical to the
+            one-shot run by construction (see ``docs/INCREMENTAL.md``).
         fallbacks: preset names retried, in order, when an attempt crashes
             or exhausts its budget (see :mod:`repro.robustness.fallback`).
             All attempts share one wall-clock deadline.
@@ -83,6 +132,7 @@ class VerifierConfig:
     memory_limit_mb: Optional[float] = None
     max_events: Optional[int] = None
     prune_level: Optional[int] = None
+    unwind_schedule: Optional[Tuple[int, ...]] = None
     fallbacks: Tuple[str, ...] = ()
     trace_jsonl: Optional[str] = None
 
@@ -101,6 +151,11 @@ class VerifierConfig:
             raise ValueError(
                 f"prune_level must be 0..2, got {self.prune_level!r}"
             )
+        object.__setattr__(
+            self,
+            "unwind_schedule",
+            _normalize_schedule(self.unwind_schedule, self.unwind, self.engine),
+        )
         registry.validate_config(self)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ restart        the SAT core, per Luby restart                    index, conflict
 theory_conflict the DPLL(T) loop, per theory conflict            level, clauses
 theory_propagation the DPLL(T) loop, per propagation batch       count
 icd_reorder    the incremental cycle detector, per reordering    back, fwd
+bound          the SMT engine, per unwind-schedule bound         bound, answer, wall_s, conflicts
 solve_end      the SAT core, leaving CDCL search                 result + counters
 verify_end     :func:`repro.verify.verify`                       verdict, wall_time_s
 ============== ================================================= =========
@@ -55,6 +56,11 @@ STAT_KEYS = (
     "theory_conflicts",
     "theory_propagations",
     "max_trail",
+    # incremental solving (assumption-based re-solves, clause sharing)
+    "incremental_calls",
+    "clauses_retained",
+    "shared_exported",
+    "shared_imported",
     # encoding sizes
     "rf_vars",
     "ws_vars",

@@ -30,6 +30,7 @@ from repro.robustness.budget import Budget
 from repro.robustness.fallback import Attempt, resolve_chain
 from repro.robustness.guard import run_guarded
 from repro.sat import SolveResult
+from repro.sat import sharing as _sharing
 from repro.verify import registry
 from repro.verify.config import VerifierConfig
 from repro.verify.result import Verdict, VerificationResult
@@ -156,10 +157,24 @@ def run_smt_engine(
     telemetry: Optional[TraceWriter] = None,
 ) -> VerificationResult:
     """The DPLL(T) BMC engine: SSA, theory-registry encode, CDCL solve,
-    witness extraction.  Registered under engine name ``"smt"``."""
+    witness extraction.  Registered under engine name ``"smt"``.
+
+    With ``config.unwind_schedule`` set, one encoding is built at the
+    maximum bound and solved once per scheduled bound under that bound's
+    unwinding-assumption literal (iterative deepening): a bug reachable at
+    a shallow bound is found without paying the deep search, and every
+    deeper re-solve keeps the learned clauses, activities, phases and
+    theory state of the shallower ones.
+    """
+    schedule = config.unwind_schedule
     t0 = time.monotonic()
     checkpoint("frontend")
-    sym = build_symbolic_program(program, unwind=config.unwind, width=config.width)
+    sym = build_symbolic_program(
+        program,
+        unwind=config.unwind,
+        width=config.width,
+        unwind_assumptions=bool(schedule),
+    )
     checkpoint("frontend")
     t_frontend = time.monotonic() - t0
 
@@ -182,13 +197,34 @@ def run_smt_engine(
     if encoded.trivially_safe:
         return VerificationResult(Verdict.SAFE, config.name)
 
+    # Portfolio clause sharing: a worker attaches its channel process-wide
+    # before verify() runs (configs stay picklable); pick it up here.  A
+    # signed channel is only honored when this config produces the same
+    # encoding the channel's clauses came from -- a fallback preset running
+    # in the same process may encode the program differently.
+    share = _sharing.active_channel()
+    if share is not None and share.signature is not None:
+        from repro.portfolio.sharing import encoding_signature
+
+        if share.signature != encoding_signature(config):
+            share = None
+    if share is not None:
+        encoded.solver.share = share
+
     t2 = time.monotonic()
-    answer = encoded.solver.solve(
-        max_conflicts=config.max_conflicts,
-        time_limit_s=effective_time_limit(config.time_limit_s),
-    )
+    if schedule:
+        answer, bound_stats = _solve_schedule(encoded, config, telemetry)
+    else:
+        bound_stats = None
+        answer = encoded.solver.solve(
+            max_conflicts=config.max_conflicts,
+            time_limit_s=effective_time_limit(config.time_limit_s),
+        )
     t_solve = time.monotonic() - t2
     stats = dict(encoded.solver.stats.as_dict())
+    if bound_stats is not None:
+        stats["unwind_schedule"] = list(schedule)
+        stats["bounds"] = bound_stats
     theory_stats = getattr(encoded.theory, "stats", None)
     if theory_stats is not None:
         stats.update({f"theory_{k}": v for k, v in theory_stats.as_dict().items()})
@@ -214,3 +250,68 @@ def run_smt_engine(
     return VerificationResult(
         Verdict.UNSAFE, config.name, witness=witness, stats=stats
     )
+
+
+def _solve_schedule(encoded, config, telemetry):
+    """Iterative-deepening solve loop over ``config.unwind_schedule``.
+
+    Each bound's unwinding assumption is an *assumption literal*, never a
+    unit clause, so the single live solver serves every bound: SAT at a
+    shallow bound is a real counterexample (the assumption excludes all
+    truncated executions), and the final bound's query is exactly the
+    one-shot problem, so an UNSAT sweep means SAFE.  There is no early
+    SAFE exit below the maximum bound -- a shallow UNSAT only says no bug
+    exists *within* that bound.  One shortcut is sound: an UNSAT whose
+    core is empty was derived at decision level 0, i.e. without the
+    assumptions, so the formula itself (a subset of the deepest problem)
+    is UNSAT and the program is SAFE.
+
+    Returns ``(final SolveResult, per-bound stats list)``.
+    """
+    from repro.encoding.encoder import add_unwind_bound
+
+    solver = encoded.solver
+    schedule = config.unwind_schedule
+    start = time.monotonic()
+    conflicts_base = solver.stats.conflicts
+    per_bound = []
+    answer = SolveResult.UNSAT
+    for bound in schedule:
+        u = add_unwind_bound(encoded, bound)
+        if u is None and bound != schedule[-1]:
+            # No loop frontier at this bound (loop-free program): the
+            # bound imposes no restriction, so only the deepest solve
+            # matters.
+            continue
+        remaining_conflicts = None
+        if config.max_conflicts is not None:
+            spent = solver.stats.conflicts - conflicts_base
+            remaining_conflicts = config.max_conflicts - spent
+            if remaining_conflicts <= 0:
+                answer = SolveResult.UNKNOWN
+                break
+        remaining_time = config.time_limit_s
+        if remaining_time is not None:
+            remaining_time = max(0.0, remaining_time - (time.monotonic() - start))
+        t_bound = time.monotonic()
+        answer = solver.solve(
+            max_conflicts=remaining_conflicts,
+            time_limit_s=effective_time_limit(remaining_time),
+            assumptions=[u] if u is not None else [],
+        )
+        entry = {
+            "bound": bound,
+            "answer": answer,
+            "wall_s": round(time.monotonic() - t_bound, 6),
+            "conflicts": solver.stats.conflicts - conflicts_base,
+            "clauses_retained": solver.stats.clauses_retained,
+        }
+        per_bound.append(entry)
+        if telemetry is not None:
+            telemetry.emit("bound", **entry)
+        if answer != SolveResult.UNSAT:
+            break
+        if u is not None and not solver.unsat_core:
+            # Root-level UNSAT: holds independent of the bound assumption.
+            break
+    return answer, per_bound

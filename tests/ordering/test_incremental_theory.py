@@ -1,0 +1,95 @@
+"""Incremental re-solve protocol of the ordering theory: reset between
+queries (backjump to level 0), event-graph extension between solves, and
+state restoration under alternating assumptions."""
+
+import pytest
+
+from repro.ordering import OrderingTheory
+from repro.sat import SolveResult, Solver
+
+
+def make(n_events, po_edges, **kw):
+    theory = OrderingTheory(n_events, po_edges, **kw)
+    solver = Solver(theory)
+    return solver, theory
+
+
+def new_ws(solver, theory, w1, w2):
+    v = solver.new_var(relevant=True)
+    theory.add_ws_var(v, w1, w2)
+    return v
+
+
+class TestResetBetweenSolves:
+    def test_alternating_assumptions_see_fresh_graph(self):
+        # a activates 0->1, b activates 1->0.  Each alone is consistent;
+        # together they cycle.  A stale edge surviving a reset would make
+        # the later single-assumption queries wrongly UNSAT.
+        solver, theory = make(2, [])
+        a = new_ws(solver, theory, 0, 1)
+        b = new_ws(solver, theory, 1, 0)
+        assert solver.solve(assumptions=[a]) == SolveResult.SAT
+        assert solver.solve(assumptions=[b]) == SolveResult.SAT
+        assert solver.solve(assumptions=[a, b]) == SolveResult.UNSAT
+        assert set(solver.unsat_core) <= {a, b}
+        assert solver.solve(assumptions=[a]) == SolveResult.SAT
+        assert solver.solve(assumptions=[b]) == SolveResult.SAT
+
+    def test_reset_deactivates_non_root_edges(self):
+        solver, theory = make(3, [(0, 1)])
+        a = new_ws(solver, theory, 1, 2)
+        # Assumption-activated: the edge enters at decision level 1.
+        assert solver.solve(assumptions=[a]) == SolveResult.SAT
+        # Post-SAT the search edge is still active (witness extraction
+        # reads the live graph); only the PO edge is permanent.
+        assert theory.graph.n_active_edges == 2
+        theory.reset()
+        assert theory.graph.n_active_edges == 1
+
+    def test_root_level_edges_survive_reset(self):
+        solver, theory = make(2, [])
+        a = new_ws(solver, theory, 0, 1)
+        solver.add_clause([a])  # unit: activated at level 0
+        assert solver.solve() == SolveResult.SAT
+        theory.reset()
+        assert theory.graph.n_active_edges == 1
+
+
+class TestExtendBetweenSolves:
+    def test_extend_grows_graph_and_detects_cross_cycles(self):
+        solver, theory = make(2, [(0, 1)])
+        assert solver.solve() == SolveResult.SAT
+        theory.reset()
+        theory.extend(3, po_edges=[(1, 2)])
+        c = new_ws(solver, theory, 2, 0)
+        # 0 ->po 1 ->po 2 ->ws 0 closes a cycle across old and new events.
+        assert solver.solve(assumptions=[c]) == SolveResult.UNSAT
+        assert solver.unsat_core == [c]
+        assert solver.solve(assumptions=[-c]) == SolveResult.SAT
+
+    def test_extend_updates_po_reachability(self):
+        solver, theory = make(2, [(0, 1)])
+        theory.extend(4, po_edges=[(1, 2), (2, 3)])
+        assert (theory.po_reach[0] >> 3) & 1  # 0 reaches 3 through the delta
+        # A pre-contradicted variable in the extended region is fixed false.
+        v = new_ws(solver, theory, 3, 0)
+        assert [-v] in theory.initial_unit_clauses()
+
+    def test_extend_cannot_shrink(self):
+        _, theory = make(3, [])
+        with pytest.raises(ValueError):
+            theory.extend(2)
+
+    def test_extend_rejects_cyclic_po(self):
+        _, theory = make(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            theory.extend(2, po_edges=[(1, 0)])
+
+    def test_extend_preserves_topological_consistency(self):
+        # New nodes get the largest order labels; the ICD order must stay a
+        # permutation so subsequent insertions behave.
+        _, theory = make(3, [(0, 1)])
+        theory.extend(6, po_edges=[(3, 4), (4, 5), (1, 3)])
+        g = theory.graph
+        assert g.n == 6
+        assert sorted(g.ord) == list(range(6))

@@ -1,0 +1,248 @@
+"""Tests for the incremental solving API: assumptions, unsat cores,
+clause/variable addition between solves, state retention, and the
+clause-sharing channel."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SolveResult, Solver
+from repro.sat.sharing import SerialBroker, ShareChannel
+
+from tests.sat.test_solver import brute_force_sat, clause_strategy, solve_clauses
+
+
+def brute_force_sat_under(nvars, clauses, assumptions):
+    """Brute-force satisfiability restricted to assignments satisfying
+    every assumption literal."""
+    units = [[lit] for lit in assumptions]
+    return brute_force_sat(nvars, clauses + units)
+
+
+class TestAssumptions:
+    def test_assumption_forces_polarity(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a]) == SolveResult.SAT
+        assert s.model_value(a) is False
+        assert s.model_value(b) is True
+        # The same solver answers the opposite query.
+        assert s.solve(assumptions=[a]) == SolveResult.SAT
+        assert s.model_value(a) is True
+
+    def test_conflicting_assumptions_unsat_with_core(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        assert s.solve(assumptions=[a, -b]) == SolveResult.UNSAT
+        assert set(s.unsat_core) <= {a, -b}
+        assert s.unsat_core  # non-empty: caused by the assumptions
+        # Not permanent: dropping the assumptions restores SAT.
+        assert s.solve() == SolveResult.SAT
+
+    def test_core_is_itself_unsat(self):
+        s = Solver()
+        a, b, c = (s.new_var() for _ in range(3))
+        s.add_clause([-a, -b])
+        assert s.solve(assumptions=[c, a, b]) == SolveResult.UNSAT
+        core = list(s.unsat_core)
+        assert core
+        assert set(core) <= {c, a, b}
+        # Re-solving under the reported core alone must still be UNSAT.
+        assert s.solve(assumptions=core) == SolveResult.UNSAT
+
+    def test_invalid_assumption_literal_raises(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(ValueError):
+            s.solve(assumptions=[0])
+        with pytest.raises(ValueError):
+            s.solve(assumptions=[99])
+
+    def test_root_unsat_has_empty_core(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([v])
+        s.add_clause([-v])
+        assert s.solve(assumptions=[v]) == SolveResult.UNSAT
+        # The formula itself is contradictory: no assumption is to blame.
+        assert s.unsat_core == []
+        assert s.solve() == SolveResult.UNSAT
+
+    def test_assumption_already_true_at_level_zero(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        assert s.solve(assumptions=[a, b]) == SolveResult.SAT
+        assert s.solve(assumptions=[-b]) == SolveResult.UNSAT
+        assert s.unsat_core == [-b]
+
+
+class TestIncrementalGrowth:
+    def test_add_clause_between_solves_model_enumeration(self):
+        # Classic incremental use: block each model until UNSAT.
+        s = Solver()
+        vars_ = [s.new_var() for _ in range(3)]
+        s.add_clause(vars_)
+        models = 0
+        while s.solve() == SolveResult.SAT:
+            models += 1
+            assert models <= 7
+            s.add_clause([-v if s.model_value(v) else v for v in vars_])
+        assert models == 7  # all assignments except all-false
+        assert s.stats.incremental_calls == 8
+
+    def test_new_var_between_solves(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve() == SolveResult.SAT
+        b = s.new_var()
+        s.add_clause([-a, b])
+        assert s.solve() == SolveResult.SAT
+        assert s.model_value(b) is True
+        assert s.solve(assumptions=[-b]) == SolveResult.UNSAT
+
+    def test_learned_clauses_retained_across_calls(self):
+        # A conflict-rich instance: re-solving under assumptions must
+        # carry the learned clauses of earlier calls.
+        s = Solver()
+        n, m = 6, 5
+        p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
+        sel = s.new_var()  # selector assumption, irrelevant to the CNF
+        for i in range(n):
+            s.add_clause([p[(i, j)] for j in range(m)])
+        for j in range(m):
+            for i1 in range(n):
+                for i2 in range(i1 + 1, n):
+                    s.add_clause([-p[(i1, j)], -p[(i2, j)]])
+        assert s.solve(assumptions=[sel]) == SolveResult.UNSAT
+        assert s.unsat_core == []  # PHP is UNSAT without the selector
+        learned_first = s.stats.learned
+        assert learned_first > 0
+        assert s.solve(assumptions=[-sel]) == SolveResult.UNSAT
+        assert s.stats.clauses_retained > 0
+        # The second call starts from the first call's clause database, so
+        # it needs (far) fewer new conflicts than the first.
+        assert s.stats.incremental_calls == 2
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    nvars=st.integers(min_value=1, max_value=7),
+    data=st.data(),
+)
+def test_random_cnf_under_assumptions_matches_brute_force(nvars, data):
+    clauses = data.draw(st.lists(clause_strategy(nvars), min_size=0, max_size=20))
+    lit = st.integers(min_value=1, max_value=nvars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    assumptions = data.draw(st.lists(lit, min_size=0, max_size=4, unique_by=abs))
+    s, _ = solve_clauses(nvars, clauses, assumptions=assumptions)
+    res = s.solve(assumptions=assumptions)
+    expected = brute_force_sat_under(nvars, clauses, assumptions)
+    assert res == (SolveResult.SAT if expected else SolveResult.UNSAT)
+    if res == SolveResult.SAT:
+        for a in assumptions:
+            assert s.model_lit(a)
+        for clause in clauses:
+            assert any(s.model_lit(l) for l in clause)
+    else:
+        # The core is a subset of the assumptions, and sufficient: the
+        # formula plus the core alone must still be unsatisfiable.
+        assert set(s.unsat_core) <= set(assumptions)
+        assert not brute_force_sat_under(nvars, clauses, s.unsat_core)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_incremental_sequence_matches_fresh_solver(seed):
+    """A sequence of (add clauses, solve under assumptions) steps on one
+    solver must agree step-by-step with a fresh solver per query."""
+    rng = random.Random(seed)
+    nvars = 7
+    inc = Solver()
+    for _ in range(nvars):
+        inc.new_var()
+    clauses = []
+    for _step in range(8):
+        for _ in range(rng.randint(0, 4)):
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, nvars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            clauses.append(clause)
+            inc.add_clause(clause)
+        assumptions = [
+            rng.choice([1, -1]) * v
+            for v in rng.sample(range(1, nvars + 1), rng.randint(0, 2))
+        ]
+        got = inc.solve(assumptions=assumptions)
+        expected = brute_force_sat_under(nvars, clauses, assumptions)
+        assert got == (SolveResult.SAT if expected else SolveResult.UNSAT)
+
+
+class TestShareChannel:
+    def test_offer_caps_and_dedups(self):
+        sent = []
+        ch = ShareChannel(sent.extend, list, max_len=3)
+        assert ch.offer([1, 2]) is True
+        assert ch.offer([2, 1]) is False  # same literal set
+        assert ch.offer([1, 2, 3, 4]) is False  # over the length cap
+        assert ch.offer([]) is False
+        ch.flush()
+        assert sent == [(1, 2)]
+        assert ch.exported == 1
+
+    def test_exchange_imports_and_dedups(self):
+        inbox = [[(1, 2)], [(2, 1), (3,)]]
+        ch = ShareChannel(lambda _: None, lambda: inbox.pop(0))
+        assert ch.exchange() == [(1, 2)]
+        # (2, 1) is the same literal set as the already-seen (1, 2).
+        assert ch.exchange() == [(3,)]
+        assert ch.imported == 2
+
+    def test_import_cap(self):
+        ch = ShareChannel(
+            lambda _: None,
+            lambda: [(i, i + 1) for i in range(1, 50)],
+            max_import=5,
+        )
+        assert len(ch.exchange()) == 5
+
+    def test_serial_broker_delivers_to_others_only(self):
+        broker = SerialBroker()
+        a, b, c = broker.join(), broker.join(), broker.join()
+        a.offer([1, 2])
+        a.flush()
+        assert b.exchange() == [(1, 2)]
+        assert c.exchange() == [(1, 2)]
+        assert a.exchange() == []  # own clause never comes back
+
+    def test_sharing_preserves_verdict_on_php(self):
+        def php_clauses(s):
+            n, m = 5, 4
+            p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
+            for i in range(n):
+                s.add_clause([p[(i, j)] for j in range(m)])
+            for j in range(m):
+                for i1 in range(n):
+                    for i2 in range(i1 + 1, n):
+                        s.add_clause([-p[(i1, j)], -p[(i2, j)]])
+
+        broker = SerialBroker()
+        s1 = Solver()
+        s1.share = broker.join()
+        s2 = Solver()
+        s2.share = broker.join()
+        php_clauses(s1)
+        php_clauses(s2)
+        assert s1.solve() == SolveResult.UNSAT
+        assert s1.stats.shared_exported > 0
+        # s2 imports s1's learned clauses and must reach the same verdict.
+        assert s2.solve() == SolveResult.UNSAT
+        assert s2.stats.shared_imported > 0

@@ -6,6 +6,7 @@ import random
 import pytest
 
 from repro.sat import SolveResult, Solver, Theory, TheoryResult
+from repro.sat.solver import luby
 
 
 def random_hard_instance(seed, nvars=60, ratio=4.3):
@@ -67,6 +68,87 @@ class TestSearchMachinery:
             SolveResult.UNSAT, SolveResult.UNKNOWN,
         )
         assert s.stats.conflicts > 0
+
+
+class TestLubyProperties:
+    def test_block_boundaries_are_powers_of_two(self):
+        # luby(2^k - 1) == 2^(k-1): the last element of each block is the
+        # next power of two.
+        for k in range(1, 12):
+            assert luby(2 ** k - 1) == 2 ** (k - 1)
+
+    def test_sequence_is_self_similar(self):
+        # Dropping the trailing power of two of a block replays the
+        # sequence prefix: luby(2^k - 1 + i) == luby(i).
+        for k in range(2, 9):
+            base = 2 ** k - 1
+            for i in range(1, base):
+                assert luby(base + i) == luby(i)
+
+    def test_values_are_powers_of_two(self):
+        for i in range(1, 300):
+            v = luby(i)
+            assert v & (v - 1) == 0 and v >= 1
+
+
+def _php_clauses(s, n, m):
+    p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
+    for i in range(n):
+        s.add_clause([p[(i, j)] for j in range(m)])
+    for j in range(m):
+        for i1 in range(n):
+            for i2 in range(i1 + 1, n):
+                s.add_clause([-p[(i1, j)], -p[(i2, j)]])
+
+
+class TestReduceDB:
+    def _learned_solver(self):
+        """A solver stopped mid-search with a sizeable learned DB."""
+        s = Solver()
+        _php_clauses(s, 8, 7)
+        assert s.solve(max_conflicts=400) == SolveResult.UNKNOWN
+        assert len(s._learned) > 10
+        return s
+
+    def test_reduction_detaches_removed_clauses(self):
+        s = self._learned_solver()
+        s._backjump(0)
+        before = list(s._learned)
+        s._reduce_db()
+        removed = [c for c in before if c not in s._learned]
+        assert removed  # something was actually dropped
+        for clause in removed:
+            for watch_list in s._watches:
+                assert clause not in watch_list
+
+    def test_reduction_keeps_kept_clauses_watched(self):
+        s = self._learned_solver()
+        s._backjump(0)
+        s._reduce_db()
+        for clause in s._learned:
+            # Both watched literals still index the clause exactly once.
+            for lit in clause.lits[:2]:
+                assert s._watches[s._widx(lit)].count(clause) == 1
+
+    def test_reduction_keeps_reason_and_binary_clauses(self):
+        s = self._learned_solver()
+        learned_ids = {id(c) for c in s._learned}
+        locked = {
+            id(s._reason[v])
+            for v in range(1, s.nvars + 1)
+            if s._reason[v] is not None
+        } & learned_ids
+        binary = {id(c) for c in s._learned if len(c.lits) == 2}
+        s._reduce_db()
+        kept = {id(c) for c in s._learned}
+        assert locked <= kept
+        assert binary <= kept
+
+    def test_solving_continues_correctly_after_reduction(self):
+        s = self._learned_solver()
+        s._backjump(0)
+        s._reduce_db()
+        assert s.solve() == SolveResult.UNSAT
 
 
 class _FinalCheckTheory(Theory):
