@@ -1,9 +1,11 @@
-"""Command-line interface: ``repro-verify FILE [options]`` and the static
-race-report mode ``repro analyze FILE [options]``.
+"""Command-line interface: ``repro-verify FILE [options]``, the static
+race-report mode ``repro analyze FILE [options]``, and the differential
+fuzzing mode ``repro fuzz [options]``.
 
-Exit codes: 0 = SAFE (or, for ``analyze``, no races), 10 = UNSAFE (or
-races reported), 2 = UNKNOWN (budget exhausted), 1 = input/usage error or
-contained engine crash (ERROR verdict).
+Exit codes: 0 = SAFE (or, for ``analyze``, no races; for ``fuzz``, no
+findings), 10 = UNSAFE (or races reported), 2 = UNKNOWN (budget
+exhausted), 1 = input/usage error, contained engine crash (ERROR
+verdict), or ``fuzz`` findings.
 The engine choices are derived from the preset
 table in :mod:`repro.verify.config`, which is validated against the
 engine registry -- there is no second hand-maintained engine list here.
@@ -44,6 +46,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         return _analyze(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-verify",
         description="Verify a multi-threaded program under sequential "
@@ -349,6 +353,107 @@ def _analyze(argv: List[str]) -> int:
         return EXIT_ERROR
     print(render_report(report, filename=args.file))
     return EXIT_UNSAFE if report.has_races else EXIT_SAFE
+
+
+def _fuzz(argv: List[str]) -> int:
+    """``repro fuzz``: differential fuzzing of the engine matrix."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Generate seeded random concurrent programs and "
+        "differential-test an engine matrix on them: any verdict "
+        "disagreement between sound engines, non-replaying UNSAFE "
+        "witness, invariant-audit violation or engine crash is reported "
+        "as a finding.",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="100",
+        metavar="N|LO:HI",
+        help="seed count N (seeds 0..N-1) or an explicit LO:HI range "
+        "(default: 100)",
+    )
+    parser.add_argument(
+        "--matrix",
+        default="quick",
+        choices=["quick", "smt", "full"],
+        help="engine matrix: quick (zord/tarjan/cbmc), smt (every DPLL(T) "
+        "ablation x prune x schedule), full (+ baselines, SMC engines and "
+        "portfolios) (default: quick)",
+    )
+    parser.add_argument("--unwind", type=int, default=4, help="loop bound")
+    parser.add_argument("--width", type=int, default=8, help="integer bit-width")
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-engine-run budget in seconds (default: 10)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the internal invariant auditor (repro.oracle.audit) in "
+        "every engine run",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip concrete replay of UNSAFE witnesses",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report findings without delta-debugging minimization",
+    )
+    parser.add_argument(
+        "--max-findings",
+        type=int,
+        default=25,
+        metavar="N",
+        help="stop after N findings (default: 25)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write findings (+ summary) as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-seed progress"
+    )
+    args = parser.parse_args(argv)
+
+    if ":" in args.seeds:
+        lo, hi = args.seeds.split(":", 1)
+        seeds = range(int(lo), int(hi))
+    else:
+        seeds = range(int(args.seeds))
+
+    from repro.oracle.harness import fuzz
+
+    def progress(seed: int, report) -> None:
+        if not args.quiet and report.seeds_run % 50 == 0:
+            print(
+                f"  ... {report.seeds_run} programs, "
+                f"{len(report.findings)} findings",
+                file=sys.stderr,
+            )
+
+    report = fuzz(
+        seeds,
+        matrix=args.matrix,
+        unwind=args.unwind,
+        width=args.width,
+        time_limit_s=args.time_limit,
+        audit=args.audit,
+        replay=not args.no_replay,
+        shrink=not args.no_shrink,
+        max_findings=args.max_findings,
+        progress=progress,
+    )
+    if args.out:
+        report.write_jsonl(args.out)
+    print(report.format())
+    return EXIT_SAFE if report.ok else EXIT_ERROR
 
 
 def _dump(source: str, args) -> int:

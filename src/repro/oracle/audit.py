@@ -1,0 +1,243 @@
+"""Debug-mode invariant auditor for the DPLL(T) core (the oracle's third
+leg, next to differential testing and witness replay).
+
+The soundness of the T_ord integration rests on delicate bookkeeping --
+incremental cycle detection labels, the theory trail, the RF/WS indices,
+conflict-clause falsification, unsat cores -- and theory/SAT desyncs in
+exactly this kind of integration are notoriously silent: the solver keeps
+producing *answers*, just not always the right ones.  The auditor turns
+those invariants into hard checks:
+
+* **ICD labels** (:func:`check_icd_labels`): the pseudo-topological order
+  is a permutation and every active edge ``u -> v`` satisfies
+  ``ord[u] < ord[v]``;
+* **theory state sync** (:func:`check_theory_sync`): the theory trail,
+  the event graph's active adjacency (out and in), the
+  ``_out_rf``/``_out_ws`` partner indices and the inactive-edge index all
+  describe the same set of edges, in activation order, across arbitrary
+  backjumps;
+* **conflict clauses** (:func:`check_conflict_clause`): every theory
+  conflict clause handed to the SAT core is actually falsified by the
+  current assignment;
+* **propagation reasons** (:func:`check_propagation_reason`): a reason
+  clause contains its propagated literal and no other non-false literal;
+* **unsat cores** (checked inside :class:`repro.sat.solver.Solver`):
+  every reported core re-solves UNSAT in isolation.
+
+Auditing is opt-in: set ``REPRO_AUDIT=1`` in the environment (picked up
+by every :class:`~repro.sat.solver.Solver` /
+:class:`~repro.ordering.solver.OrderingTheory` at construction) or pass
+``VerifierConfig(audit=True)``.  A violation raises :class:`AuditError`,
+an ``AssertionError`` subclass: under the crash-containment guard it
+surfaces as an ``ERROR`` verdict whose diagnostic names the broken
+invariant, which the fuzz harness (:mod:`repro.oracle.harness`) counts as
+a finding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "AuditError",
+    "audit_enabled",
+    "check_icd_labels",
+    "check_theory_sync",
+    "check_conflict_clause",
+    "check_propagation_reason",
+    "enable_audit",
+]
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+class AuditError(AssertionError):
+    """An internal solver invariant does not hold.
+
+    This always indicates a verifier bug (never an input error), hence an
+    ``AssertionError``: tests fail loudly, and the crash guard contains it
+    into an ``ERROR`` verdict with the invariant in the diagnostic."""
+
+
+def audit_enabled() -> bool:
+    """Whether ``REPRO_AUDIT`` asks for auditing (read per construction,
+    so tests can flip it with ``monkeypatch.setenv``)."""
+    return os.environ.get("REPRO_AUDIT", "").strip().lower() in _TRUTHY
+
+
+def enable_audit(encoded) -> None:
+    """Switch auditing on for an encoded program's SAT core and theory
+    solver (mirror of :func:`repro.verify.telemetry.attach_telemetry`)."""
+    solver = getattr(encoded, "solver", None)
+    if solver is not None and hasattr(solver, "audit"):
+        solver.audit = True
+    theory = getattr(encoded, "theory", None)
+    if theory is not None and hasattr(theory, "audit"):
+        theory.audit = True
+    detector = getattr(theory, "detector", None)
+    if detector is not None and hasattr(detector, "audit"):
+        detector.audit = True
+
+
+# ----------------------------------------------------------------------
+# ICD label consistency
+# ----------------------------------------------------------------------
+
+
+def check_icd_labels(graph) -> None:
+    """The pseudo-topological labels are consistent with all active edges.
+
+    ``graph`` is a :class:`repro.ordering.event_graph.EventGraph` whose
+    ``ord`` labels are maintained by the incremental cycle detector.
+    """
+    ord_ = graph.ord
+    n = graph.n
+    if sorted(ord_) != list(range(n)):
+        raise AuditError(
+            f"ICD labels are not a permutation of 0..{n - 1}: {ord_}"
+        )
+    for edges in graph.out:
+        for e in edges:
+            if ord_[e.src] >= ord_[e.dst]:
+                raise AuditError(
+                    f"active edge {e!r} violates the pseudo-topological "
+                    f"order: ord[{e.src}]={ord_[e.src]} >= "
+                    f"ord[{e.dst}]={ord_[e.dst]}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Theory trail / graph / index synchronization
+# ----------------------------------------------------------------------
+
+
+def check_theory_sync(theory) -> None:
+    """Trail, active adjacency, RF/WS partner indices and the
+    inactive-edge index all agree (``theory`` is an
+    :class:`repro.ordering.solver.OrderingTheory`)."""
+    graph = theory.graph
+    trail = theory._trail
+
+    for (e1, l1), (e2, l2) in zip(trail, trail[1:]):
+        if l1 > l2:
+            raise AuditError(
+                f"theory trail levels not monotone: {e1!r}@{l1} precedes "
+                f"{e2!r}@{l2}"
+            )
+
+    active: List = [e for edges in graph.out for e in edges]
+    active_ids = {id(e) for e in active}
+    if len(active_ids) != len(active):
+        raise AuditError("an edge appears twice in the active out-adjacency")
+    inc = [e for edges in graph.inc for e in edges]
+    if len(inc) != len(active) or {id(e) for e in inc} != active_ids:
+        raise AuditError(
+            f"in/out adjacency desynchronized: {len(inc)} incoming vs "
+            f"{len(active)} outgoing active edges"
+        )
+    if graph.n_active_edges != len(active):
+        raise AuditError(
+            f"active edge count {graph.n_active_edges} != adjacency size "
+            f"{len(active)}"
+        )
+    for e in active:
+        if not e.active:
+            raise AuditError(f"edge in adjacency but not flagged active: {e!r}")
+
+    trail_ids = [id(e) for e, _ in trail]
+    if len(set(trail_ids)) != len(trail_ids):
+        raise AuditError("an edge appears twice on the theory trail")
+    non_po_ids = {id(e) for e in active if not e.is_po}
+    if set(trail_ids) != non_po_ids:
+        missing = [e for e, _ in trail if id(e) not in active_ids]
+        stray = [e for e in active if not e.is_po and id(e) not in set(trail_ids)]
+        raise AuditError(
+            "theory trail and active non-PO edges disagree: "
+            f"trail edges not active={missing!r}, "
+            f"active edges not on trail={stray!r}"
+        )
+
+    # RF/WS partner indices mirror the trail in activation order.
+    expect_rf: List[List] = [[] for _ in range(graph.n)]
+    expect_ws: List[List] = [[] for _ in range(graph.n)]
+    for e, _lvl in trail:
+        if e.kind == "rf":
+            expect_rf[e.src].append(e)
+        elif e.kind == "ws":
+            expect_ws[e.src].append(e)
+    for src in range(graph.n):
+        for label, got, want in (
+            ("_out_rf", theory._out_rf[src], expect_rf[src]),
+            ("_out_ws", theory._out_ws[src], expect_ws[src]),
+        ):
+            if len(got) != len(want) or any(
+                a is not b for a, b in zip(got, want)
+            ):
+                raise AuditError(
+                    f"{label}[{src}] desynchronized from the trail: "
+                    f"index={got!r}, trail={want!r}"
+                )
+
+    # Variable-controlled edges sit in exactly one of active / inactive.
+    for var, e in theory._edge_of_var.items():
+        bucket = graph.inactive_out[e.src].get(e.dst, [])
+        in_bucket = any(x is e for x in bucket)
+        if e.active:
+            if id(e) not in active_ids:
+                raise AuditError(
+                    f"registered edge flagged active but absent from the "
+                    f"adjacency: var {var}, {e!r}"
+                )
+            if in_bucket:
+                raise AuditError(
+                    f"active edge still in the inactive index: var {var}, {e!r}"
+                )
+        elif not in_bucket:
+            raise AuditError(
+                f"inactive registered edge missing from the inactive "
+                f"index: var {var}, {e!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# SAT-side checks (called by the solver with its own value function)
+# ----------------------------------------------------------------------
+
+
+def check_conflict_clause(
+    value_of: Callable[[int], Optional[bool]], clause: Sequence[int]
+) -> None:
+    """Every literal of a theory conflict clause must be currently false."""
+    for lit in clause:
+        v = value_of(lit)
+        if v is not False:
+            state = "unassigned" if v is None else "true"
+            raise AuditError(
+                f"theory conflict clause {list(clause)} is not falsified: "
+                f"literal {lit} is {state}"
+            )
+
+
+def check_propagation_reason(
+    value_of: Callable[[int], Optional[bool]],
+    lit: int,
+    reason: Sequence[int],
+) -> None:
+    """A propagation reason must contain ``lit`` and no other non-false
+    literal, and ``lit`` itself must not already be false."""
+    if lit not in reason:
+        raise AuditError(
+            f"propagation reason {list(reason)} does not contain its "
+            f"propagated literal {lit}"
+        )
+    for other in reason:
+        if other == lit:
+            continue
+        v = value_of(other)
+        if v is not False:
+            state = "unassigned" if v is None else "true"
+            raise AuditError(
+                f"propagation reason {list(reason)} for literal {lit} has "
+                f"non-false literal {other} ({state})"
+            )

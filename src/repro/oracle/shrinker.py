@@ -1,0 +1,257 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a program and a *predicate* ("this program still reproduces the
+failure"), :func:`shrink` greedily applies structural reductions --
+dropping whole threads, ddmin-style removal of statement chunks,
+hoisting ``if``/``while``/``atomic`` bodies, simplifying expressions to
+sub-expressions or literals, and dropping unused globals -- accepting a
+candidate whenever it still parses, passes the semantic checker and
+satisfies the predicate.  The loop runs to a fixpoint (no single
+reduction applies) or until ``max_checks`` predicate evaluations.
+
+The predicate is treated as a black box and is typically "re-run the
+engine matrix and observe the same disagreement"; the shrinker itself
+never interprets verdicts.  All candidates are valid programs by
+construction of the check, so the minimized artifact is directly usable
+as a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.lang import ast
+
+__all__ = ["shrink", "shrink_source"]
+
+#: A block address: ("main",) or ("thread", i), then a path of
+#: (stmt_index, field) pairs descending into compound statements.
+_Path = Tuple[Tuple[int, str], ...]
+
+_BODY_FIELDS = {
+    ast.If: ("then_body", "else_body"),
+    ast.While: ("body",),
+    ast.Atomic: ("body",),
+}
+
+
+def _iter_blocks(program: ast.Program) -> Iterator[Tuple[Tuple, _Path, List[ast.Stmt]]]:
+    """Yield every statement block as ``(owner, path, stmts)``."""
+
+    def walk(owner, path: _Path, stmts: List[ast.Stmt]):
+        yield owner, path, stmts
+        for i, s in enumerate(stmts):
+            for field in _BODY_FIELDS.get(type(s), ()):
+                yield from walk(owner, path + ((i, field),), getattr(s, field))
+
+    for ti, t in enumerate(program.threads):
+        yield from walk(("thread", ti), (), t.body)
+    if program.main is not None:
+        yield from walk(("main",), (), program.main.body)
+
+
+def _rebuild_block(stmts: List[ast.Stmt], path: _Path, new: List[ast.Stmt]) -> List[ast.Stmt]:
+    if not path:
+        return list(new)
+    (idx, field), rest = path[0], path[1:]
+    out = list(stmts)
+    out[idx] = replace(out[idx], **{field: _rebuild_block(getattr(out[idx], field), rest, new)})
+    return out
+
+
+def _with_block(
+    program: ast.Program, owner, path: _Path, new: List[ast.Stmt]
+) -> ast.Program:
+    if owner == ("main",):
+        main = replace(program.main, body=_rebuild_block(program.main.body, path, new))
+        return replace(program, main=main)
+    ti = owner[1]
+    threads = list(program.threads)
+    threads[ti] = replace(threads[ti], body=_rebuild_block(threads[ti].body, path, new))
+    return replace(program, threads=threads)
+
+
+def _without_thread(program: ast.Program, ti: int) -> ast.Program:
+    name = program.threads[ti].name
+    threads = [t for i, t in enumerate(program.threads) if i != ti]
+    main = program.main
+    if main is not None:
+        body = [
+            s
+            for s in main.body
+            if not (isinstance(s, (ast.Start, ast.Join)) and s.thread == name)
+        ]
+        main = replace(main, body=body)
+    return replace(program, threads=threads, main=main)
+
+
+def _chunk_removals(n: int) -> Iterator[Tuple[int, int]]:
+    """ddmin schedule: remove chunks of size n/2, n/4, ..., 1."""
+    size = max(1, n // 2)
+    while size >= 1:
+        for start in range(0, n, size):
+            yield start, min(start + size, n)
+        if size == 1:
+            return
+        size //= 2
+
+
+def _subexprs(e: ast.Expr) -> List[ast.Expr]:
+    out: List[ast.Expr] = []
+    if isinstance(e, ast.Unary):
+        out.append(e.operand)
+    elif isinstance(e, ast.Binary):
+        out += [e.left, e.right]
+    out += [ast.IntLit(0), ast.IntLit(1)]
+    return [c for c in out if c != e]
+
+
+def _expr_fields(s: ast.Stmt) -> Tuple[str, ...]:
+    if isinstance(s, (ast.Assert, ast.Assume, ast.If, ast.While)):
+        return ("cond",)
+    if isinstance(s, ast.Assign):
+        return ("value",)
+    if isinstance(s, ast.LocalDecl) and s.init is not None:
+        return ("init",)
+    return ()
+
+
+def _candidates(program: ast.Program) -> Iterator[ast.Program]:
+    """All single-step reductions, biggest wins first."""
+    # 1. Drop a whole thread (and its start/join).
+    for ti in range(len(program.threads)):
+        yield _without_thread(program, ti)
+    # 2. ddmin chunk removal inside every block.  start/join are kept --
+    #    they are only removed together with their thread (pass 1), which
+    #    keeps every intermediate candidate sema-valid.
+    for owner, path, stmts in _iter_blocks(program):
+        n = len(stmts)
+        if n == 0:
+            continue
+        for lo, hi in _chunk_removals(n):
+            chunk = stmts[lo:hi]
+            if any(isinstance(s, (ast.Start, ast.Join)) for s in chunk):
+                continue
+            if not _lock_balanced(chunk):
+                # sema does not enforce lock/unlock pairing; keep shrink
+                # candidates balanced so the minimized program exercises
+                # the same semantics as the original finding.
+                continue
+            yield _with_block(program, owner, path, stmts[:lo] + stmts[hi:])
+    # 3. Hoist compound bodies (if -> then-branch, while/atomic -> body).
+    for owner, path, stmts in _iter_blocks(program):
+        for i, s in enumerate(stmts):
+            if isinstance(s, ast.If):
+                for body in (s.then_body, s.else_body):
+                    yield _with_block(
+                        program, owner, path, stmts[:i] + body + stmts[i + 1:]
+                    )
+            elif isinstance(s, (ast.While, ast.Atomic)):
+                yield _with_block(
+                    program, owner, path, stmts[:i] + list(s.body) + stmts[i + 1:]
+                )
+    # 4. Simplify one expression to a sub-expression or literal.
+    for owner, path, stmts in _iter_blocks(program):
+        for i, s in enumerate(stmts):
+            for field in _expr_fields(s):
+                for sub in _subexprs(getattr(s, field)):
+                    out = list(stmts)
+                    out[i] = replace(s, **{field: sub})
+                    yield _with_block(program, owner, path, out)
+    # 5. Drop an unused global (referenced nowhere, including locks).
+    used = _used_names(program)
+    for gi, g in enumerate(program.globals):
+        if g.name not in used:
+            yield replace(
+                program, globals=[x for i, x in enumerate(program.globals) if i != gi]
+            )
+
+
+def _lock_balanced(stmts: List[ast.Stmt]) -> bool:
+    depth = {}
+    for s in stmts:
+        if isinstance(s, ast.Lock):
+            depth[s.name] = depth.get(s.name, 0) + 1
+        elif isinstance(s, ast.Unlock):
+            depth[s.name] = depth.get(s.name, 0) - 1
+    return all(v == 0 for v in depth.values())
+
+
+def _used_names(program: ast.Program) -> set:
+    used = set()
+
+    def walk_expr(e: ast.Expr) -> None:
+        if isinstance(e, ast.VarRef):
+            used.add(e.name)
+        elif isinstance(e, ast.Unary):
+            walk_expr(e.operand)
+        elif isinstance(e, ast.Binary):
+            walk_expr(e.left)
+            walk_expr(e.right)
+
+    for _, _, stmts in _iter_blocks(program):
+        for s in stmts:
+            if isinstance(s, (ast.Lock, ast.Unlock)):
+                used.add(s.name)
+            elif isinstance(s, ast.Assign):
+                used.add(s.name)
+                walk_expr(s.value)
+            elif isinstance(s, ast.LocalDecl) and s.init is not None:
+                walk_expr(s.init)
+            for field in _expr_fields(s):
+                walk_expr(getattr(s, field))
+    return used
+
+
+def _valid(program: ast.Program) -> bool:
+    from repro.lang.sema import SemanticError, check_program
+
+    try:
+        check_program(program)
+    except SemanticError:
+        return False
+    return True
+
+
+def shrink(
+    program: ast.Program,
+    predicate: Callable[[ast.Program], bool],
+    max_checks: int = 500,
+) -> ast.Program:
+    """Greedily minimize ``program`` while ``predicate`` stays true.
+
+    ``predicate`` is only ever called on sema-valid candidates; the input
+    program itself is assumed interesting (it is returned unchanged if no
+    reduction preserves the predicate).
+    """
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for cand in _candidates(program):
+            if checks >= max_checks:
+                break
+            if not _valid(cand):
+                continue
+            checks += 1
+            if predicate(cand):
+                program = cand
+                improved = True
+                break
+    return program
+
+
+def shrink_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_checks: int = 500,
+) -> str:
+    """Source-level wrapper around :func:`shrink`."""
+    from repro.lang import parse
+    from repro.lang.unparse import unparse
+
+    program = shrink(
+        parse(source), lambda p: predicate(unparse(p)), max_checks=max_checks
+    )
+    return unparse(program)

@@ -20,11 +20,26 @@ All shortest-width reasons reaching ``e_i`` are returned (capped at
 ``max_clauses`` to bound blow-up on pathological graphs), each turned into
 a conflict clause by negating its literals together with the new edge's
 own derivation reason.
+
+The ``max_clauses`` cap is applied only at the final accumulation at
+``e_i``: capping the per-node reason sets mid-propagation can return
+fewer distinct minimal cycles than exist (and than the cap allows),
+because reasons that merge into duplicates downstream would crowd out
+distinct ones.  A much larger internal safety valve
+(:data:`_REASON_SAFETY_CAP`) still bounds pathological blow-up.  The
+traversal and the emitted clause list are fully deterministic, so
+conflict clauses are reproducible run-to-run.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, FrozenSet, List, Set
+
+#: Hard bound on the reason-set size tracked per node.  Orders of
+#: magnitude above any ``max_clauses`` in use; only pathological graphs
+#: (exponentially many shortest critical cycles) ever hit it.
+_REASON_SAFETY_CAP = 4096
 
 from repro.ordering.event_graph import Edge, EventGraph
 
@@ -84,7 +99,7 @@ def generate_conflicts(
             w = width[e.src] + (0 if e.is_po else 1)
             if w < best:
                 best = w
-        if best is _INF or best == _INF:
+        if best == _INF:
             continue
         width[n] = best
         acc: Set[FrozenSet[int]] = set()
@@ -95,16 +110,18 @@ def generate_conflicts(
             extra = frozenset(e.reason)
             for r in reasons[e.src]:
                 acc.add(r | extra)
-                if len(acc) >= max_clauses:
+                if len(acc) >= _REASON_SAFETY_CAP:
                     break
-            if len(acc) >= max_clauses:
+            if len(acc) >= _REASON_SAFETY_CAP:
                 break
         reasons[n] = acc
 
     closing = frozenset(new_edge.reason)
     clauses: List[List[int]] = []
     seen: Set[FrozenSet[int]] = set()
-    for r in reasons[src]:
+    # Deterministic emission order: shortest reasons first, ties by the
+    # sorted literal tuple.  The cap is applied here, and only here.
+    for r in sorted(reasons[src], key=lambda s: (len(s), tuple(sorted(s)))):
         full = r | closing
         if full in seen:
             continue
@@ -132,7 +149,12 @@ def _reach(graph: EventGraph, start: int, forward: bool) -> Set[int]:
 
 
 def _topological(nodes: Set[int], in_edges: Dict[int, List[Edge]]) -> List[int]:
-    """Kahn's algorithm over the (acyclic) subgraph."""
+    """Kahn's algorithm over the (acyclic) subgraph.
+
+    Ready nodes are popped smallest-id first (a heap, not an arbitrary
+    ``list.pop``), so the visit order -- and with it the reason-set
+    iteration feeding the emitted clauses -- is deterministic run-to-run.
+    """
     indeg = {n: 0 for n in nodes}
     out: Dict[int, List[int]] = {n: [] for n in nodes}
     for n, edges in in_edges.items():
@@ -140,13 +162,14 @@ def _topological(nodes: Set[int], in_edges: Dict[int, List[Edge]]) -> List[int]:
             indeg[n] += 1
             out[e.src].append(n)
     queue = [n for n in nodes if indeg[n] == 0]
+    heapq.heapify(queue)
     order: List[int] = []
     while queue:
-        x = queue.pop()
+        x = heapq.heappop(queue)
         order.append(x)
         for y in out[x]:
             indeg[y] -= 1
             if indeg[y] == 0:
-                queue.append(y)
+                heapq.heappush(queue, y)
     assert len(order) == len(nodes), "subgraph is not acyclic"
     return order

@@ -44,9 +44,23 @@ class AddResult:
         parent_f: for each forward node ``x`` (except ``dst``), the edge
             ``y -> x`` it was discovered through; following the chain
             reconstructs the path ``dst ⇝ x``.
+        fast_path: the insertion was accepted on the ``ord[u] < ord[v]``
+            fast path, i.e. without running the two-way search.  The B/F
+            sets are then the trivial ``{u}`` / ``{v}``, so unit-edge
+            propagation only ever sees the single pair ``(v, u)`` --
+            intentional per the two-way-search design (the search sets
+            *are* the propagation frontier), but worth counting: see the
+            ``icd_fast_path`` theory stat.
     """
 
-    __slots__ = ("cycle", "back_nodes", "fwd_nodes", "parent_b", "parent_f")
+    __slots__ = (
+        "cycle",
+        "back_nodes",
+        "fwd_nodes",
+        "parent_b",
+        "parent_f",
+        "fast_path",
+    )
 
     def __init__(
         self,
@@ -55,12 +69,14 @@ class AddResult:
         fwd_nodes: List[int],
         parent_b: Dict[int, Optional[Edge]],
         parent_f: Dict[int, Optional[Edge]],
+        fast_path: bool = False,
     ) -> None:
         self.cycle = cycle
         self.back_nodes = back_nodes
         self.fwd_nodes = fwd_nodes
         self.parent_b = parent_b
         self.parent_f = parent_f
+        self.fast_path = fast_path
 
     def back_path_reason(self, node: int) -> List[int]:
         """Ordering literals along the path ``node ⇝ src``."""
@@ -86,13 +102,19 @@ class IncrementalCycleDetector:
 
     name = "icd"
 
-    __slots__ = ("graph", "on_reorder")
+    __slots__ = ("graph", "on_reorder", "audit")
 
     def __init__(self, graph: EventGraph) -> None:
         self.graph = graph
         #: Optional hook ``on_reorder(n_back, n_fwd)`` invoked after every
         #: pseudo-topological-order permutation (telemetry/stats).
         self.on_reorder = None
+        #: Debug-mode invariant auditing (``REPRO_AUDIT=1`` or
+        #: ``VerifierConfig.audit``): after every reordering, check the
+        #: B-before-F label discipline before the edge is activated.
+        from repro.oracle.audit import audit_enabled as _audit_enabled
+
+        self.audit = _audit_enabled()
 
     def add_edge(self, edge: Edge) -> AddResult:
         """Try to activate ``edge``; detect cycles incrementally."""
@@ -102,7 +124,7 @@ class IncrementalCycleDetector:
         ord_ = g.ord
         if ord_[u] < ord_[v]:
             g.activate(edge)
-            return AddResult(False, [u], [v], {u: None}, {v: None})
+            return AddResult(False, [u], [v], {u: None}, {v: None}, fast_path=True)
 
         lb = ord_[v]
         ub = ord_[u]
@@ -143,12 +165,29 @@ class IncrementalCycleDetector:
                     stack.append(y)
 
         self._reorder(back_nodes, fwd_nodes)
+        if self.audit:
+            self._audit_window(edge, back_nodes, fwd_nodes)
         g.activate(edge)
         return AddResult(False, back_nodes, fwd_nodes, parent_b, parent_f)
 
     def remove_edge(self, edge: Edge) -> None:
         """Deactivate an edge; the pseudo-topological order stays valid."""
         self.graph.deactivate(edge)
+
+    def _audit_window(self, edge, back_nodes, fwd_nodes) -> None:
+        """Audit check: after the reorder, every B label precedes every F
+        label (which makes the inserted edge consistent, since its source
+        is in B and its target in F)."""
+        from repro.oracle.audit import AuditError
+
+        ord_ = self.graph.ord
+        max_b = max(ord_[n] for n in back_nodes)
+        min_f = min(ord_[n] for n in fwd_nodes)
+        if max_b >= min_f:
+            raise AuditError(
+                f"ICD reorder left max B label {max_b} >= min F label "
+                f"{min_f} while inserting {edge!r}"
+            )
 
     def _reorder(self, back_nodes: List[int], fwd_nodes: List[int]) -> None:
         """Permute the order labels so every B node precedes every F node.

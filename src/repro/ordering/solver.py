@@ -49,6 +49,10 @@ class TheoryStats:
     fr_derived: int = 0
     edges_activated: int = 0
     icd_reorders: int = 0
+    #: Insertions accepted on the ICD ``ord[u] < ord[v]`` fast path.  The
+    #: two-way search is skipped there, so unit-edge propagation sees only
+    #: the trivial B/F sets ``{u}``/``{v}`` (see ``AddResult.fast_path``).
+    icd_fast_path: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return self.__dict__.copy()
@@ -90,6 +94,14 @@ class OrderingTheory(Theory):
         self.stats = TheoryStats()
         #: Optional telemetry sink (``repro.verify.telemetry.TraceWriter``).
         self.telemetry = None
+        #: Debug-mode invariant auditing (``REPRO_AUDIT=1`` or
+        #: ``VerifierConfig.audit``): after every assign/backjump, check
+        #: that the ICD labels are consistent with all active edges and
+        #: that the trail / event-graph active-set / RF-WS indices are
+        #: synchronized (see :mod:`repro.oracle.audit`).
+        from repro.oracle.audit import audit_enabled as _audit_enabled
+
+        self.audit = _audit_enabled()
         if hasattr(self.detector, "on_reorder"):
             self.detector.on_reorder = self._note_reorder
         self._edge_of_var: Dict[int, Edge] = {}
@@ -206,6 +218,8 @@ class OrderingTheory(Theory):
         if edge is None or edge.active:
             return result
         self._activate(edge, level, result)
+        if self.audit:
+            self._audit_check()
         return result
 
     def backjump(self, level: int) -> None:
@@ -219,6 +233,16 @@ class OrderingTheory(Theory):
             elif edge.kind == EdgeKind.WS:
                 popped = self._out_ws[edge.src].pop()
                 assert popped is edge
+        if self.audit:
+            self._audit_check()
+
+    def _audit_check(self) -> None:
+        """Invariant audit step (opt-in; see :mod:`repro.oracle.audit`)."""
+        from repro.oracle.audit import check_icd_labels, check_theory_sync
+
+        if isinstance(self.detector, IncrementalCycleDetector):
+            check_icd_labels(self.graph)
+        check_theory_sync(self)
 
     # ------------------------------------------------------------------
     # Core activation
@@ -240,6 +264,8 @@ class OrderingTheory(Theory):
             result.conflicts.extend(clauses)
             return False
         self.stats.edges_activated += 1
+        if added.fast_path:
+            self.stats.icd_fast_path += 1
         self._trail.append((edge, level))
         if edge.kind == EdgeKind.RF:
             self._out_rf[edge.src].append(edge)

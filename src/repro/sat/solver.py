@@ -155,6 +155,14 @@ class Solver:
         #: Optional clause-exchange endpoint (portfolio clause sharing).
         self.share: Optional[ShareChannel] = None
         self.stats = SolverStats()
+        #: Debug-mode invariant auditing (``REPRO_AUDIT=1`` or
+        #: ``VerifierConfig.audit``): checks that theory conflict clauses
+        #: are falsified, propagation reasons are well-formed, and unsat
+        #: cores re-solve UNSAT (see :mod:`repro.oracle.audit`).
+        from repro.oracle.audit import audit_enabled as _audit_enabled
+
+        self.audit = _audit_enabled()
+        self._in_audit = False
         #: Optional telemetry sink (``repro.verify.telemetry.TraceWriter``):
         #: receives solve_start/restart/theory_conflict/theory_propagation/
         #: solve_end events.  Kept off the hot boolean-propagation path.
@@ -284,9 +292,48 @@ class Solver:
                     "solve_end", result="budget_exceeded", **self.stats.as_dict()
                 )
             raise
+        if (
+            self.audit
+            and not self._in_audit
+            and result == SolveResult.UNSAT
+            and self.unsat_core
+        ):
+            self._audit_unsat_core()
         if self.telemetry is not None:
             self.telemetry.emit("solve_end", result=result, **self.stats.as_dict())
         return result
+
+    def _audit_unsat_core(self) -> None:
+        """Audit check: the reported unsat core re-solves UNSAT in
+        isolation (on the same incremental instance, with the core as the
+        only assumptions).  Telemetry and clause sharing are suspended for
+        the inner solve so the audit leaves no external trace."""
+        from repro.oracle.audit import AuditError
+
+        core = list(self.unsat_core)
+        assumps = list(self._assumps)
+        stray = [lit for lit in core if lit not in assumps]
+        if stray:
+            raise AuditError(
+                f"unsat core literals {stray} are not among the "
+                f"assumptions {assumps}"
+            )
+        saved_telemetry, self.telemetry = self.telemetry, None
+        saved_share, self.share = self.share, None
+        self._in_audit = True
+        try:
+            res = self.solve(assumptions=core)
+            if res != SolveResult.UNSAT:
+                raise AuditError(
+                    f"unsat core {core} does not re-solve UNSAT in "
+                    f"isolation (got {res})"
+                )
+        finally:
+            self._in_audit = False
+            self.telemetry = saved_telemetry
+            self.share = saved_share
+            self.unsat_core = core
+            self._assumps = assumps
 
     def _solve(
         self,
@@ -539,6 +586,11 @@ class Solver:
         are queued and attached only after the backjump, when the watch
         invariant can be established safely.
         """
+        if self.audit:
+            from repro.oracle.audit import check_conflict_clause
+
+            for clause_lits in conflicts:
+                check_conflict_clause(self.value, clause_lits)
         first = _Clause(list(conflicts[0]), learned=True)
         for extra in conflicts[1:]:
             if len(extra) >= 1:
@@ -613,6 +665,10 @@ class Solver:
             val = self._value(lit)
             if val == _TRUE:
                 continue
+            if self.audit:
+                from repro.oracle.audit import check_propagation_reason
+
+                check_propagation_reason(self.value, lit, reason_lits)
             reason = _Clause(list(reason_lits), learned=True)
             # Put the propagated literal first (reason-clause invariant).
             if reason.lits[0] != lit:

@@ -92,21 +92,65 @@ def replay_witness(
     def fail(step, why: str) -> None:
         raise ReplayError(f"witness replay failed at {step}: {why}")
 
-    def flush_nondet(tid: str) -> None:
+    def flush_nondet(tid: str) -> bool:
         """Feed model nondet values while ``tid`` is parked at nondet."""
+        fed = False
         while True:
             op = interp.front(state, tid)
             if op is None or op.kind != "nondet":
-                return
+                return fed
             queue = nondet_queue.get(tid)
             value = queue.popleft() if queue else 0
             interp.step(state, tid, nondet_value=value)
+            fed = True
+
+    def flush_invisible(tid: str) -> bool:
+        """Step ``tid`` through ops that are invisible to the *trace*.
+
+        Two kinds of parked ops produce no trace step and may be resolved
+        eagerly (they carry no cross-thread ordering in the encoding):
+        nondet choices, and ``atomic`` blocks containing no shared access
+        (the encoder emits no events for them, so the witness cannot
+        schedule them).
+        """
+        fed = flush_nondet(tid)
+        while True:
+            op = interp.front(state, tid)
+            if (
+                op is None
+                or op.kind != "abegin"
+                or op.addr is not None
+                or not interp._is_enabled(state, op)
+            ):
+                return fed
+            interp.step(state, tid)
+            fed = flush_nondet(tid) or True
+
+    def flush_nondet_all() -> None:
+        """Feed nondet values (and event-free atomic blocks) to *every*
+        parked thread, to fixpoint.
+
+        nondet choices are scheduling points in the interpreter but carry
+        no cross-thread ordering in the encoding (they touch no shared
+        state), so they may be resolved eagerly.  They must be: a thread
+        parked at a nondet that precedes its ``start`` of another thread
+        (or that a ``join`` waits on) would otherwise block the whole
+        schedule even though the witness is fine.  Feeding a value can
+        start new threads or release joins, which can park further
+        threads at nondets -- hence the fixpoint loop.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            for tid in list(state.threads):
+                if flush_invisible(tid):
+                    progressed = True
 
     for step in trace.steps:
         if step.eid in consumed or step.eid in init_eids:
             continue
         tid = step.thread
-        flush_nondet(tid)
+        flush_nondet_all()
         op = interp.front(state, tid)
         if op is None:
             fail(step, "thread not schedulable (stuck, finished or blocked)")
@@ -149,8 +193,7 @@ def replay_witness(
         consumed.add(step.eid)
 
     # Trailing nondet choices (after each thread's last memory event).
-    for tid in list(state.threads):
-        flush_nondet(tid)
+    flush_nondet_all()
     if not interp.is_complete(state):
         unfinished = [
             name

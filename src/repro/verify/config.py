@@ -106,6 +106,16 @@ class VerifierConfig:
             All attempts share one wall-clock deadline.
         trace_jsonl: when set, stream a JSONL telemetry event trace to this
             path while the engine runs (see :mod:`repro.verify.telemetry`).
+        audit: debug-mode invariant auditing of the SAT core and the
+            T_ord theory solver (see :mod:`repro.oracle.audit`): per-step
+            checks of ICD label consistency, theory trail/index sync,
+            conflict-clause falsification and unsat-core validity.  An
+            invariant violation raises
+            :class:`~repro.oracle.audit.AuditError` (contained by the
+            crash guard as an ``ERROR`` verdict).  ``None`` (the default)
+            resolves to the ``REPRO_AUDIT`` environment variable, falling
+            back to off.  Verdicts are unaffected; expect a significant
+            slowdown when enabled.
 
     The engine/theory/detector/memory-model combination is validated at
     construction against :mod:`repro.verify.registry`; unknown or
@@ -135,12 +145,19 @@ class VerifierConfig:
     unwind_schedule: Optional[Tuple[int, ...]] = None
     fallbacks: Tuple[str, ...] = ()
     trace_jsonl: Optional[str] = None
+    audit: Optional[bool] = None
 
     def __post_init__(self) -> None:
         from repro.verify import registry
 
         if not isinstance(self.fallbacks, tuple):
             object.__setattr__(self, "fallbacks", tuple(self.fallbacks))
+        if self.audit is None:
+            from repro.oracle.audit import audit_enabled
+
+            object.__setattr__(self, "audit", audit_enabled())
+        else:
+            object.__setattr__(self, "audit", bool(self.audit))
         if self.prune_level is None:
             try:
                 level = int(os.environ.get("REPRO_PRUNE", "2"))

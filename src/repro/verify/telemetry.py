@@ -39,9 +39,15 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
-__all__ = ["STAT_KEYS", "normalize_stats", "TraceWriter", "attach_telemetry"]
+__all__ = [
+    "STAT_KEYS",
+    "normalize_stats",
+    "TraceWriter",
+    "attach_telemetry",
+    "read_trace",
+]
 
 #: Canonical counters present in every normalized ``stats`` dict.  SAT-core
 #: counters, encoding sizes, and the stateless engines' exploration
@@ -76,12 +82,52 @@ STAT_KEYS = (
 )
 
 
+def _coerce_number(value):
+    """Coerce ``value`` to an int/float, or return None if impossible.
+
+    Rejects NaN (it breaks column-wise comparison) and anything that is
+    not a number or a numeric string; bools become 0/1."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value if value == value else None  # NaN != NaN
+    if isinstance(value, str):
+        try:
+            return int(value, 0)
+        except ValueError:
+            pass
+        try:
+            f = float(value)
+        except ValueError:
+            return None
+        return f if f == f else None
+    return None
+
+
 def normalize_stats(raw: Optional[Mapping]) -> Dict[str, float]:
     """Return ``raw`` with every :data:`STAT_KEYS` counter present
-    (defaulting to 0) and all engine-specific extras preserved."""
+    (defaulting to 0) and all engine-specific extras preserved.
+
+    The canonical counters are guaranteed *numeric*: engines cannot
+    poison batch comparisons by reporting ``None`` or free-form strings
+    under a canonical key.  Numeric strings are coerced; non-coercible
+    values are dropped back to 0 and flagged in ``stats_dropped`` so the
+    loss is visible instead of silent."""
     out: Dict[str, float] = {key: 0 for key in STAT_KEYS}
-    if raw:
-        out.update(raw)
+    if not raw:
+        return out
+    dropped: List[str] = []
+    for key, value in raw.items():
+        if key in out:
+            num = _coerce_number(value)
+            if num is None:
+                dropped.append(key)
+            else:
+                out[key] = num
+        else:
+            out[key] = value
+    if dropped:
+        out["stats_dropped"] = sorted(dropped)
     return out
 
 
@@ -100,6 +146,10 @@ class TraceWriter:
         record = {"t": round(time.monotonic() - self._t0, 6), "event": event}
         record.update(fields)
         self._file.write(json.dumps(record) + "\n")
+        # Flush per line: portfolio workers are SIGTERM'd (or SIGKILL'd
+        # when hung) the moment a sibling wins, and an unflushed buffer
+        # would silently drop the loser's entire trace.
+        self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:
@@ -111,6 +161,26 @@ class TraceWriter:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_trace(path: str) -> Iterator[Dict]:
+    """Yield the JSONL records of a telemetry trace.
+
+    Tolerates a truncated final line: a worker killed mid-``emit`` (e.g.
+    SIGKILL after a hang) leaves at most one partial record at the end of
+    the file, which is skipped.  A malformed record anywhere *else* still
+    raises -- that indicates corruption, not truncation."""
+    with open(path) as f:
+        lines = f.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                return  # truncated final line (killed writer)
+            raise
 
 
 def attach_telemetry(encoded, writer: Optional[TraceWriter]) -> None:

@@ -193,6 +193,10 @@ def run_smt_engine(
             )
         telemetry.emit("phase", name="encode", wall_s=round(t_encode, 6))
         attach_telemetry(encoded, telemetry)
+    if config.audit:
+        from repro.oracle.audit import enable_audit
+
+        enable_audit(encoded)
 
     if encoded.trivially_safe:
         return VerificationResult(Verdict.SAFE, config.name)

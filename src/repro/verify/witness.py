@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.encoding import formula as F
+from repro.ordering import EdgeKind
 
 __all__ = ["TraceStep", "Trace", "extract_trace"]
 
@@ -80,11 +81,25 @@ def extract_trace(encoded) -> Trace:
     solver = encoded.solver
     graph = encoded.theory.graph
 
-    order = _linearize(graph)
     enabled = []
     for ev in sym.memory_events():
         if solver.model_lit(encoded.guard_lits[ev.eid]):
             enabled.append(ev)
+    # Guard-disabled events never reach the trace, but they can carry
+    # spurious-yet-consistent RF/WS/FR edges (e.g. the IDL baseline's
+    # upfront FR encoding leaves disabled-event atoms unconstrained).
+    # Those must not constrain the order of the real steps: a disabled
+    # group member forced adjacent, or a spurious chain through disabled
+    # intermediates wrapped around a contracted region, can manufacture
+    # a cycle that the (acyclic) full graph never had.  PO edges stay --
+    # program order is static and holds regardless of enablement, and
+    # dropping a disabled node's PO edges would sever real same-thread
+    # and start/join ordering that routes through it.
+    enabled_eids = {ev.eid for ev in enabled}
+    disabled_eids = {
+        ev.eid for ev in sym.memory_events() if ev.eid not in enabled_eids
+    }
+    order = _linearize(graph, _atomic_groups(sym), disabled=disabled_eids)
     enabled.sort(key=lambda ev: order[ev.eid])
 
     width = sym.width
@@ -113,23 +128,96 @@ def extract_trace(encoded) -> Trace:
     return Trace(steps, nondet_values=nondet_values)
 
 
-def _linearize(graph) -> Dict[int, int]:
-    """Topological order of the active event graph (Kahn)."""
+def _atomic_groups(sym) -> List[List[int]]:
+    """Event-id groups that must stay adjacent in the linearization:
+    lock-acquire RMW pairs and ``atomic`` regions (merged when they
+    overlap)."""
+    root: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while root.get(x, x) != x:
+            root[x] = root.get(root[x], root[x])
+            x = root[x]
+        return x
+
+    seen: set = set()
+
+    def union(members) -> None:
+        members = list(members)
+        seen.update(members)
+        base = find(members[0])
+        for m in members[1:]:
+            root[find(m)] = base
+
+    for group in getattr(sym, "rmw_groups", ()):
+        union([group.read_eid, group.write_eid])
+    for region in getattr(sym, "atomic_regions", ()):
+        if len(region) > 1:
+            union(list(region))
+    buckets: Dict[int, List[int]] = {}
+    for eid in seen:
+        buckets.setdefault(find(eid), []).append(eid)
+    return [sorted(b) for b in buckets.values() if len(b) > 1]
+
+
+def _linearize(graph, groups=(), disabled=()) -> Dict[int, int]:
+    """Topological order of the active event graph (Kahn).
+
+    ``groups`` lists event ids that must come out *adjacent* (atomic
+    regions and lock RMW pairs).  A plain topological sort may legally
+    interleave an unordered outside read between a region's read and its
+    write -- the partial order allows it, but the trace consumers (witness
+    replay, and any reader of the printed trace) treat a region as one
+    indivisible step.  Each group is contracted to a super-node before
+    sorting; the RMW write-exclusion constraints guarantee no event is
+    *ordered* strictly inside a group, so contraction can never create a
+    cycle on an accepted event graph.
+
+    ``disabled`` lists event ids whose *non-PO* edges must be ignored
+    and which never join a contraction group.  Witness extraction passes
+    the guard-disabled memory events here: their RF/WS/FR atoms can be
+    set arbitrarily by the model (spurious but consistent, e.g. under
+    IDL's upfront FR encoding), and such a chain wrapped around a
+    contracted region would manufacture a cycle.  PO edges are kept even
+    at disabled events -- program order is static and real, and severing
+    it would lose same-thread and start/join ordering that routes
+    through disabled nodes.
+    """
     n = graph.n
-    indeg = [0] * n
+    disabled = set(disabled)
+    comp = list(range(n))
+    members: Dict[int, List[int]] = {}
+    for g in groups:
+        g = [e for e in g if 0 <= e < n and e not in disabled]
+        if len(g) < 2:
+            continue
+        base = min(g)
+        for e in g:
+            comp[e] = base
+        members[base] = sorted(g)
+    indeg: Dict[int, int] = {}
+    out: Dict[int, List[int]] = {}
+    for i in range(n):
+        indeg.setdefault(comp[i], 0)
     for edges in graph.out:
         for e in edges:
-            indeg[e.dst] += 1
-    queue = [i for i in range(n) if indeg[i] == 0]
+            if e.kind != EdgeKind.PO and (e.src in disabled or e.dst in disabled):
+                continue  # spurious atom on a never-executed event
+            a, b = comp[e.src], comp[e.dst]
+            if a != b:
+                out.setdefault(a, []).append(b)
+                indeg[b] += 1
+    queue = [c for c, d in indeg.items() if d == 0]
     pos: Dict[int, int] = {}
     k = 0
     while queue:
         x = queue.pop()
-        pos[x] = k
-        k += 1
-        for e in graph.out[x]:
-            indeg[e.dst] -= 1
-            if indeg[e.dst] == 0:
-                queue.append(e.dst)
+        for eid in members.get(x, [x]):
+            pos[eid] = k
+            k += 1
+        for b in out.get(x, ()):
+            indeg[b] -= 1
+            if indeg[b] == 0:
+                queue.append(b)
     assert len(pos) == n, "accepted event graph must be acyclic"
     return pos

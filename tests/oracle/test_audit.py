@@ -1,0 +1,251 @@
+"""The invariant auditor: helper checks, wiring, and the trail-sync
+regression around from-read derivation conflicts."""
+
+import pytest
+
+from repro.oracle.audit import (
+    AuditError,
+    audit_enabled,
+    check_conflict_clause,
+    check_icd_labels,
+    check_propagation_reason,
+    check_theory_sync,
+    enable_audit,
+)
+from repro.ordering import OrderingTheory
+from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
+from repro.ordering.icd import IncrementalCycleDetector
+from repro.sat import SolveResult, Solver
+from repro.verify import Verdict, VerifierConfig, verify
+
+UNSAFE_SRC = """int counter = 0;
+thread inc1 { int t; t = counter; counter = t + 1; }
+thread inc2 { int t; t = counter; counter = t + 1; }
+main { start inc1; start inc2; join inc1; join inc2; assert(counter == 2); }
+"""
+
+SAFE_SRC = """int g = 0;
+lock m;
+thread a { lock(m); g = g + 1; unlock(m); }
+thread b { lock(m); g = g + 1; unlock(m); }
+main { start a; start b; join a; join b; assert(g == 2); }
+"""
+
+
+def make_theory(n, po_edges, **kw):
+    theory = OrderingTheory(n, po_edges, **kw)
+    solver = Solver(theory)
+    return solver, theory
+
+
+class TestAuditEnabled:
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert audit_enabled() is False
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert audit_enabled() is True
+        monkeypatch.setenv("REPRO_AUDIT", "off")
+        assert audit_enabled() is False
+
+    def test_config_resolves_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert VerifierConfig().audit is True
+        monkeypatch.delenv("REPRO_AUDIT")
+        assert VerifierConfig().audit is False
+        assert VerifierConfig(audit=True).audit is True
+
+    def test_enable_audit_reaches_all_layers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        solver, theory = make_theory(2, [])
+        assert solver.audit is False and theory.audit is False
+
+        class Enc:
+            pass
+
+        enc = Enc()
+        enc.solver, enc.theory = solver, theory
+        enable_audit(enc)
+        assert solver.audit and theory.audit and theory.detector.audit
+
+
+class TestIcdLabels:
+    def test_consistent_graph_passes(self):
+        g = EventGraph(4)
+        det = IncrementalCycleDetector(g)
+        det.add_edge(Edge(2, 1, EdgeKind.PO))
+        det.add_edge(Edge(1, 3, EdgeKind.PO))
+        check_icd_labels(g)
+
+    def test_corrupted_label_caught(self):
+        g = EventGraph(3)
+        det = IncrementalCycleDetector(g)
+        det.add_edge(Edge(0, 1, EdgeKind.PO))
+        g.ord[0], g.ord[1] = g.ord[1], g.ord[0]  # break the discipline
+        with pytest.raises(AuditError):
+            check_icd_labels(g)
+
+    def test_non_permutation_caught(self):
+        g = EventGraph(3)
+        g.ord[0] = g.ord[1]
+        with pytest.raises(AuditError):
+            check_icd_labels(g)
+
+    def test_detector_window_audit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        g = EventGraph(5)
+        det = IncrementalCycleDetector(g)
+        assert det.audit is True
+        # Force real reorders; a correct reorder must not raise.
+        det.add_edge(Edge(3, 2, EdgeKind.PO))
+        det.add_edge(Edge(2, 1, EdgeKind.PO))
+        det.add_edge(Edge(4, 0, EdgeKind.PO))
+        check_icd_labels(g)
+
+
+class TestTheorySync:
+    def test_clean_theory_passes(self):
+        solver, theory = make_theory(3, [(0, 1)])
+        v = solver.new_var(relevant=True)
+        theory.add_rf_var(v, 1, 2)
+        assert solver.solve([v]) == SolveResult.SAT
+        check_theory_sync(theory)
+
+    def test_popped_index_desync_caught(self):
+        solver, theory = make_theory(3, [])
+        v = solver.new_var(relevant=True)
+        theory.add_rf_var(v, 0, 1)
+        theory.assign(v, 1)
+        theory._out_rf[0].pop()  # simulate a lost index entry
+        with pytest.raises(AuditError):
+            check_theory_sync(theory)
+
+    def test_stale_trail_entry_caught(self):
+        solver, theory = make_theory(3, [])
+        v = solver.new_var(relevant=True)
+        theory.add_ws_var(v, 0, 1)
+        theory.assign(v, 1)
+        edge = theory._trail[-1][0]
+        # Deactivate behind the theory's back: trail and graph now disagree.
+        theory.graph.deactivate(edge)
+        with pytest.raises(AuditError):
+            check_theory_sync(theory)
+
+
+class TestFrConflictTrailSync:
+    """Regression: when ``_derive_from_read`` hits a cycle *after* the
+    parent RF/WS edge was already pushed (trail + partner indices), the
+    theory state must stay consistent through the conflict and across the
+    subsequent backjump."""
+
+    def _setup(self):
+        # PO: 2 -> 1.  RF: 0 -> 1.  WS: 0 -> 2.  Activating both variable
+        # edges derives FR (1, 2) by Axiom 2, which closes a cycle with
+        # the PO edge -- inside the *second* activation, whose parent edge
+        # is already on the trail.
+        solver, theory = make_theory(3, [(2, 1)])
+        rf = solver.new_var(relevant=True)
+        theory.add_rf_var(rf, 0, 1)
+        ws = solver.new_var(relevant=True)
+        theory.add_ws_var(ws, 0, 2)
+        return solver, theory, rf, ws
+
+    def test_conflict_leaves_state_consistent(self):
+        _, theory, rf, ws = self._setup()
+        res = theory.assign(rf, level=1)
+        assert not res.conflicts
+        check_theory_sync(theory)
+        res = theory.assign(ws, level=2)
+        assert res.conflicts, "derived FR must close the PO cycle"
+        # Parent WS edge stays active (the SAT core will backjump); the
+        # trail, indices and graph must nonetheless agree.
+        check_theory_sync(theory)
+        check_icd_labels(theory.graph)
+
+    def test_backjump_after_fr_conflict_restores(self):
+        _, theory, rf, ws = self._setup()
+        theory.assign(rf, level=1)
+        theory.assign(ws, level=2)
+        theory.backjump(1)
+        check_theory_sync(theory)
+        assert len(theory._out_ws[0]) == 0
+        assert len(theory._out_rf[0]) == 1
+        theory.backjump(0)
+        check_theory_sync(theory)
+        assert theory._trail == []
+        assert theory.graph.n_active_edges == 1  # the PO edge
+
+    def test_end_to_end_under_solver(self):
+        solver, theory, rf, ws = self._setup()
+        solver.add_clause([rf])
+        solver.add_clause([ws])
+        assert solver.solve() == SolveResult.UNSAT
+        check_theory_sync(theory)
+
+    def test_audited_solve(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        solver, theory, rf, ws = self._setup()
+        assert theory.audit is True
+        solver.add_clause([rf])
+        solver.add_clause([ws])
+        assert solver.solve() == SolveResult.UNSAT
+
+
+class TestSatChecks:
+    def test_conflict_clause_falsified_ok(self):
+        values = {1: True, 2: True}
+
+        def value_of(lit):
+            v = values.get(abs(lit))
+            return v if v is None or lit > 0 else not v
+
+        check_conflict_clause(value_of, [-1, -2])
+        with pytest.raises(AuditError):
+            check_conflict_clause(value_of, [-1, 2])
+        with pytest.raises(AuditError):
+            check_conflict_clause(value_of, [-1, 3])  # 3 unassigned
+
+    def test_propagation_reason(self):
+        values = {1: True, 2: False}
+
+        def value_of(lit):
+            v = values.get(abs(lit))
+            return v if v is None or lit > 0 else not v
+
+        check_propagation_reason(value_of, 3, [3, -1, 2])
+        with pytest.raises(AuditError):
+            check_propagation_reason(value_of, 3, [-1, 2])  # lit missing
+        with pytest.raises(AuditError):
+            check_propagation_reason(value_of, 3, [3, 1])  # 1 is true
+
+
+class TestEndToEndAudit:
+    """Audited verification of whole programs: verdicts unchanged, and a
+    deliberately broken invariant surfaces as a contained ERROR."""
+
+    def test_verdicts_unchanged_under_audit(self):
+        for src, expected in ((UNSAFE_SRC, Verdict.UNSAFE), (SAFE_SRC, Verdict.SAFE)):
+            plain = verify(src, VerifierConfig(audit=False))
+            audited = verify(src, VerifierConfig(audit=True))
+            assert plain.verdict == expected
+            assert audited.verdict == expected
+
+    def test_audit_env_flows_through_verify(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        result = verify(UNSAFE_SRC, VerifierConfig())
+        assert result.verdict == Verdict.UNSAFE
+
+    def test_unsat_core_audit_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        solver = Solver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a])
+        solver.add_clause([-a, b])
+        assert solver.solve(assumptions=[-b]) == SolveResult.UNSAT
+        assert solver.unsat_core  # audited internally without recursion
+
+    def test_ablations_pass_audited(self):
+        for preset in ("zord", "zord-", "zord'", "zord-tarjan", "cbmc"):
+            from repro.verify.config import PRESETS
+
+            cfg = PRESETS[preset](audit=True, unwind=3)
+            assert verify(UNSAFE_SRC, cfg).verdict == Verdict.UNSAFE

@@ -1,0 +1,289 @@
+"""Regression tests for the witness/replay bugs found by the
+differential fuzz sweep (see docs/ORACLE.md):
+
+1. a thread parked at ``nondet()`` before a ``start``/``join`` it gates
+   deadlocked the replay schedule (nondet values were only flushed for
+   the thread owning the current trace step);
+2. an event-free ``atomic`` block produces no encoder events, so the
+   witness could never schedule past it;
+3. the trace linearization could interleave an outside read between an
+   atomic region's read and write -- legal in the partial order, but the
+   replayer commits a region as one indivisible step;
+4. contracting a *guard-disabled* atomic region crashed linearization:
+   disabled events can carry spurious-but-consistent ordering edges
+   (the IDL baseline's upfront FR encoding leaves disabled-event atoms
+   unconstrained), so forcing their adjacency manufactured a cycle;
+5. even with disabled events barred from the groups, a spurious edge
+   chain *through* disabled intermediates could wrap around an enabled
+   contracted region and close the same cycle -- disabled events' non-PO
+   edges must not constrain the linearization at all.
+"""
+
+import pytest
+
+from repro.lang import parse
+from repro.ordering.event_graph import Edge, EdgeKind, EventGraph
+from repro.ordering.icd import IncrementalCycleDetector
+from repro.smc.witness_replay import replay_witness
+from repro.verify import Verdict, VerifierConfig, verify
+from repro.verify.witness import _atomic_groups, _linearize
+
+
+def unsafe_witness(src, unwind=4, width=8):
+    result = verify(src, VerifierConfig(unwind=unwind, width=width))
+    assert result.verdict == Verdict.UNSAFE, result.diagnostic
+    assert result.witness is not None and result.witness.steps
+    return result.witness
+
+
+class TestNondetFlushing:
+    def test_nondet_before_start(self):
+        # main parks at nondet() before starting t0; the first trace step
+        # belongs to t0.  Bug 1 deadlocked here.
+        src = """int g = 0;
+thread t0 { g = 1; }
+main { int c; c = nondet(); assume(c == c); start t0; join t0; assert(g == 0); }
+"""
+        witness = unsafe_witness(src)
+        assert replay_witness(src, witness, width=8, unwind=4) is True
+
+    def test_nondet_blocking_join(self):
+        # t0's trailing nondet() must be flushed before main's join can
+        # proceed to the asserting read.
+        src = """int g = 0;
+thread t0 { int c; g = 1; c = nondet(); }
+main { start t0; join t0; assert(g == 0); }
+"""
+        witness = unsafe_witness(src)
+        assert replay_witness(src, witness, width=8, unwind=4) is True
+
+    def test_nondet_chain_fixpoint(self):
+        # Feeding main's nondet starts t0, whose own nondet gates its only
+        # write: resolving one park exposes the next (the fixpoint case).
+        src = """int g = 0;
+thread t0 { int d; d = nondet(); g = 1; }
+main { int c; c = nondet(); start t0; join t0; assert(g == 0); }
+"""
+        witness = unsafe_witness(src)
+        assert replay_witness(src, witness, width=8, unwind=4) is True
+
+
+class TestEventFreeAtomic:
+    def test_empty_atomic_block(self):
+        src = """int g = 0;
+thread t0 { atomic { } g = 1; }
+main { start t0; join t0; assert(g == 0); }
+"""
+        witness = unsafe_witness(src)
+        assert replay_witness(src, witness, width=8, unwind=4) is True
+
+    def test_local_only_atomic_block(self):
+        src = """int g = 0;
+thread t0 { int x; atomic { x = 5; } g = x; }
+main { start t0; join t0; assert(g == 0); }
+"""
+        witness = unsafe_witness(src)
+        assert replay_witness(src, witness, width=8, unwind=4) is True
+
+
+class TestAtomicRegionAdjacency:
+    SRC = """int g = 0;
+thread t0 { atomic { g = g + 1; } }
+thread t1 { int r; r = g; r = g; }
+main { start t0; start t1; join t0; join t1; assert(g == 0); }
+"""
+
+    def test_region_events_adjacent_in_trace(self):
+        witness = unsafe_witness(self.SRC)
+        # The atomic region's read and write must be consecutive steps.
+        t0_positions = [
+            i for i, s in enumerate(witness.steps) if s.thread == "t0"
+        ]
+        assert t0_positions, "t0's atomic region must appear in the trace"
+        lo, hi = min(t0_positions), max(t0_positions)
+        assert hi - lo == len(t0_positions) - 1, (
+            f"atomic region interleaved: t0 steps at {t0_positions}"
+        )
+
+    def test_replay_accepts_trace(self):
+        witness = unsafe_witness(self.SRC)
+        assert replay_witness(self.SRC, witness, width=8, unwind=4) is True
+
+    def test_replay_rejects_corrupted_value(self):
+        # Sanity-check the oracle itself: a witness claiming a read value
+        # the concrete machine cannot observe must be rejected.
+        witness = unsafe_witness(self.SRC)
+        reads = [s for s in witness.steps if s.thread == "t1" and s.kind == "R"]
+        assert reads, "t1 must read g in the trace"
+        reads[0].value = 77  # g is only ever 0 or 1
+        with pytest.raises(AssertionError):
+            replay_witness(self.SRC, witness, width=8, unwind=4)
+
+
+class TestDisabledRegionContraction:
+    # Minimized by the shrinker from fuzz seed 815: t0's atomic region is
+    # conditional, and under the IDL baseline's full FR encoding its
+    # disabled events carried ordering edges that made the contracted
+    # graph cyclic ("accepted event graph must be acyclic").
+    SRC = """int g0;
+lock m0;
+thread t0 {
+    int l0 = 0;
+    if (!(0 * 1 != l0 - g0)) {
+        atomic { g0 = g0 - 1; }
+    }
+}
+thread t1 {
+    atomic { g0 = g0 - 2; }
+}
+thread t2 {
+    int l5 = nondet() * 2;
+    l5 = g0 + g0 + g0;
+    l5 = 1 + l5 + l5;
+    int l6 = 0;
+    while (l6 < 3) {
+        atomic { g0 = g0 - l5; }
+        l6 = l6 + 1;
+    }
+}
+main {
+    start t0;
+    start t1;
+    int l7 = g0;
+    start t2;
+    join t0;
+    join t1;
+    join t2;
+    assert(l7 + g0 == g0 * 0);
+}
+"""
+
+    def test_idl_witness_extraction_succeeds(self):
+        result = verify(self.SRC, VerifierConfig.cbmc(unwind=4, width=8))
+        assert result.verdict == Verdict.UNSAFE, result.diagnostic
+        assert result.witness is not None and result.witness.steps
+        assert replay_witness(self.SRC, result.witness, width=8, unwind=4) is True
+
+    def test_all_quick_engines_agree_and_replay(self):
+        from repro.oracle.harness import run_program
+        from repro.oracle.matrix import build_matrix
+
+        _, findings = run_program(self.SRC, build_matrix("quick"), seed=815)
+        assert findings == []
+
+
+class TestSpuriousDisabledEdgeChain:
+    # Minimized by the shrinker from fuzz seed 7809: t0's atomic region
+    # is *enabled* in the model, but t1's branch events are disabled and
+    # (under the IDL baseline's upfront FR encoding) carry spurious FR
+    # atoms.  A chain region-read -> disabled write -> po -> disabled
+    # read -> region-write wrapped around the contracted super-node and
+    # crashed linearization even after disabled events were barred from
+    # the groups themselves.
+    SRC = """int g0 = 1;
+thread t0 {
+    assume(g0 - 3 > nondet() + nondet());
+    atomic { g0 = g0 - 1; }
+}
+thread t1 {
+    if (!(2 > nondet() - nondet())) {
+        if (!(g0 > 1 * 2)) { g0 = g0 + 2; } else { g0 = g0; }
+    }
+}
+main { start t0; start t1; join t0; join t1; assert(g0 < 0); }
+"""
+
+    def test_idl_witness_extraction_succeeds(self):
+        result = verify(self.SRC, VerifierConfig.cbmc(unwind=4, width=8))
+        assert result.verdict == Verdict.UNSAFE, result.diagnostic
+        assert result.witness is not None and result.witness.steps
+        assert replay_witness(self.SRC, result.witness, width=8, unwind=4) is True
+
+    def test_all_quick_engines_agree_and_replay(self):
+        from repro.oracle.harness import run_program
+        from repro.oracle.matrix import build_matrix
+
+        _, findings = run_program(self.SRC, build_matrix("quick"), seed=7809)
+        assert findings == []
+
+
+class TestLinearizeContraction:
+    def _graph(self):
+        # 0: outside write, 1: region read, 2: region write, 3: outside
+        # read ordered 0 -> 3 -> 2 (the read must precede the region's
+        # write), plus 0 -> 1 into the region.
+        g = EventGraph(4)
+        det = IncrementalCycleDetector(g)
+        for src, dst in ((0, 1), (0, 3), (3, 2), (1, 2)):
+            det.add_edge(Edge(src, dst, EdgeKind.PO))
+        return g
+
+    def test_group_members_adjacent(self):
+        g = self._graph()
+        pos = _linearize(g, groups=[[1, 2]])
+        assert pos[2] == pos[1] + 1
+        assert sorted(pos.values()) == list(range(4))
+        # All active edges still respected across the contraction.
+        for edges in g.out:
+            for e in edges:
+                if e.active:
+                    assert pos[e.src] < pos[e.dst]
+
+    def test_no_groups_is_plain_topo(self):
+        g = self._graph()
+        pos = _linearize(g)
+        assert sorted(pos.values()) == list(range(4))
+        for edges in g.out:
+            for e in edges:
+                if e.active:
+                    assert pos[e.src] < pos[e.dst]
+
+    def _wrapped_region_graph(self):
+        # Region (1, 2) with a spurious FR chain through disabled events
+        # 3 and 4 wrapped around it: 1 -fr-> 3 -po-> 4 -fr-> 2.  The
+        # uncontracted graph is acyclic, but contracting (1, 2) closes
+        # the loop unless the disabled events' non-PO edges are ignored.
+        g = EventGraph(6)
+        det = IncrementalCycleDetector(g)
+        det.add_edge(Edge(0, 1, EdgeKind.PO))
+        det.add_edge(Edge(1, 2, EdgeKind.PO))
+        det.add_edge(Edge(0, 3, EdgeKind.PO))
+        det.add_edge(Edge(3, 4, EdgeKind.PO))
+        det.add_edge(Edge(4, 5, EdgeKind.PO))
+        det.add_edge(Edge(1, 3, EdgeKind.FR, (8,), 8))
+        det.add_edge(Edge(4, 2, EdgeKind.FR, (9,), 9))
+        return g
+
+    def test_spurious_chain_would_cycle_without_disabled(self):
+        g = self._wrapped_region_graph()
+        with pytest.raises(AssertionError):
+            _linearize(g, groups=[[1, 2]])
+
+    def test_disabled_drops_spurious_edges_but_keeps_po(self):
+        g = self._wrapped_region_graph()
+        pos = _linearize(g, groups=[[1, 2]], disabled={3, 4})
+        assert sorted(pos.values()) == list(range(6))
+        assert pos[2] == pos[1] + 1  # region stays contracted
+        # PO through the disabled nodes still orders 0 before 5.
+        assert pos[0] < pos[3] < pos[4] < pos[5]
+        assert pos[0] < pos[1]
+
+    def test_disabled_member_never_contracted(self):
+        g = self._wrapped_region_graph()
+        # A group clipped below two enabled members degenerates to no
+        # contraction at all (the seed-815 fix, now routed via disabled).
+        pos = _linearize(g, groups=[[2, 3]], disabled={3, 4})
+        assert sorted(pos.values()) == list(range(6))
+
+    def test_atomic_groups_merge_overlaps(self):
+        class Group:
+            def __init__(self, r, w):
+                self.read_eid, self.write_eid = r, w
+                self.addr = "m"
+
+        class Sym:
+            rmw_groups = [Group(1, 2), Group(2, 4)]
+            atomic_regions = [[6, 7, 8], [9]]
+
+        groups = _atomic_groups(Sym())
+        assert sorted(map(tuple, groups)) == [(1, 2, 4), (6, 7, 8)]

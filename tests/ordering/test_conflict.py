@@ -120,6 +120,68 @@ class TestShortestWidth:
         assert clauses == [[-3, -7]]
 
 
+class TestDeterminism:
+    def _parallel_paths(self, order):
+        var_edges = []
+        var = 10
+        for mid in (2, 3, 4, 5):
+            var_edges.append((var, 1, mid, EdgeKind.WS))
+            var_edges.append((var + 1, mid, 0, EdgeKind.WS))
+            var += 2
+        if order == "reversed":
+            var_edges = list(reversed(var_edges))
+        g, po = build(6, [], var_edges)
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        return generate_conflicts(g, po, new, max_clauses=3)
+
+    def test_repeated_calls_identical(self):
+        assert self._parallel_paths("fwd") == self._parallel_paths("fwd")
+
+    def test_insertion_order_irrelevant(self):
+        # The same cycles activated in a different order must yield the
+        # same clauses in the same order (no set-iteration nondeterminism).
+        assert self._parallel_paths("fwd") == self._parallel_paths("reversed")
+
+    def test_emission_sorted_shortest_first(self):
+        # One single-literal cycle and one two-literal cycle, same width
+        # in non-PO edges is impossible here -- instead check the emitted
+        # clause list is ordered by clause size then literals.
+        clauses = self._parallel_paths("fwd")
+        keys = [(len(c), tuple(sorted(-lit for lit in c))) for c in clauses]
+        assert keys == sorted(keys)
+
+
+class TestCapAtFinalAccumulation:
+    def test_cap_does_not_lose_distinct_cycles(self):
+        # Six distinct width-1 cycles through a shared hub: a cap applied
+        # to the per-node reason sets *mid-propagation* (at the hub) would
+        # crowd out distinct reasons; applied only at the final
+        # accumulation, a cap of 5 must still return 5 distinct clauses.
+        var_edges = []
+        var = 10
+        hub = 2
+        var_edges.append((9, hub, 0, EdgeKind.WS))
+        for mid in range(3, 9):
+            var_edges.append((var, 1, mid, EdgeKind.WS))
+            var_edges.append((var + 1, mid, hub, EdgeKind.WS))
+            var += 2
+        g, po = build(9, [], var_edges)
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        clauses = generate_conflicts(g, po, new, max_clauses=5)
+        assert len(clauses) == 5
+        assert len({frozenset(c) for c in clauses}) == 5
+
+    def test_cap_above_cycle_count_returns_all(self):
+        g, po = build(
+            4,
+            [],
+            [(3, 1, 2, EdgeKind.WS), (4, 2, 0, EdgeKind.WS),
+             (5, 1, 3, EdgeKind.WS), (6, 3, 0, EdgeKind.WS)],
+        )
+        new = Edge(0, 1, EdgeKind.RF, (7,), 7)
+        assert len(generate_conflicts(g, po, new, max_clauses=100)) == 2
+
+
 class TestErrors:
     def test_no_cycle_raises(self):
         g, po = build(2, [], [])

@@ -78,6 +78,35 @@ class TestBasicCycles:
         assert det.add_edge(e20).cycle is False
 
 
+class TestFastPathFlag:
+    def test_flag_set_on_consistent_insert(self):
+        g = EventGraph(3)
+        det = IncrementalCycleDetector(g)
+        assert det.add_edge(mk_edge(0, 1)).fast_path is True
+
+    def test_flag_clear_when_search_runs(self):
+        g = EventGraph(3)
+        det = IncrementalCycleDetector(g)
+        res = det.add_edge(mk_edge(2, 0))  # ord[2] > ord[0]: must search
+        assert res.cycle is False
+        assert res.fast_path is False
+
+    def test_theory_stat_counts_fast_paths(self):
+        from repro.ordering import OrderingTheory
+        from repro.sat import Solver
+
+        theory = OrderingTheory(3, [(0, 1)])
+        solver = Solver(theory)
+        v = solver.new_var(relevant=True)
+        theory.add_rf_var(v, 1, 2)  # ord[1] < ord[2] holds already
+        theory.assign(v, 1)
+        assert theory.stats.icd_fast_path == 1
+        w = solver.new_var(relevant=True)
+        theory.add_ws_var(w, 2, 0)  # against the current order: searches
+        theory.assign(w, 2)
+        assert theory.stats.icd_fast_path == 1
+
+
 class TestSearchSets:
     def test_fast_path_sets(self):
         g = EventGraph(3)

@@ -2,7 +2,10 @@
 
 import json
 
+import pytest
+
 from repro.verify import STAT_KEYS, VerifierConfig, normalize_stats, verify
+from repro.verify.telemetry import TraceWriter, read_trace
 from tests.verify.programs import PAPER_FIG2, RACE_UNSAFE
 
 
@@ -78,3 +81,82 @@ class TestJsonlTrace:
     def test_icd_reorders_counted(self):
         result = verify(RACE_UNSAFE, VerifierConfig.zord())
         assert "theory_icd_reorders" in result.stats
+
+    def test_icd_fast_path_counted(self):
+        # Most ICD insertions on a realistic instance satisfy
+        # ``ord[u] < ord[v]`` outright and skip the bounded search.
+        result = verify(RACE_UNSAFE, VerifierConfig.zord())
+        assert result.stats["theory_icd_fast_path"] > 0
+        # The Tarjan baseline has no ICD, so the counter stays zero.
+        baseline = verify(RACE_UNSAFE, VerifierConfig.zord_tarjan())
+        assert baseline.stats.get("theory_icd_fast_path", 0) == 0
+
+
+class TestStatCoercion:
+    """Engines cannot poison canonical counters with non-numeric junk."""
+
+    def test_numeric_strings_coerced(self):
+        out = normalize_stats({"decisions": "12", "analysis_time_s": "0.5"})
+        assert out["decisions"] == 12
+        assert out["analysis_time_s"] == 0.5
+        assert "stats_dropped" not in out
+
+    def test_bools_become_ints(self):
+        out = normalize_stats({"restarts": True})
+        assert out["restarts"] == 1 and out["restarts"] is not True
+
+    def test_garbage_dropped_and_flagged(self):
+        out = normalize_stats(
+            {"conflicts": None, "learned": "lots", "decisions": float("nan")}
+        )
+        assert out["conflicts"] == 0
+        assert out["learned"] == 0
+        assert out["decisions"] == 0
+        assert out["stats_dropped"] == ["conflicts", "decisions", "learned"]
+
+    def test_extras_pass_through_uncoerced(self):
+        out = normalize_stats({"engine_note": "portfolio winner"})
+        assert out["engine_note"] == "portfolio winner"
+
+
+class TestTraceWriterRobustness:
+    """A killed portfolio worker must not cost us its trace."""
+
+    def test_emit_flushes_per_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        try:
+            writer.emit("solve_start", nvars=3)
+            # Read back *without* closing: the line must already be on
+            # disk, as it would be when the process is SIGKILL'd now.
+            with open(path) as f:
+                lines = f.readlines()
+            assert len(lines) == 1
+            assert json.loads(lines[0])["event"] == "solve_start"
+        finally:
+            writer.close()
+
+    def test_read_trace_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"t": 0.0, "event": "a"})
+            + "\n"
+            + '{"t": 0.1, "eve'  # writer killed mid-record
+        )
+        records = list(read_trace(str(path)))
+        assert [r["event"] for r in records] == ["a"]
+
+    def test_read_trace_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"t": 0.0, "eve\n' + json.dumps({"t": 0.1, "event": "b"}) + "\n"
+        )
+        with pytest.raises(json.JSONDecodeError):
+            list(read_trace(str(path)))
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as writer:
+            writer.emit("verify_start")
+        assert writer._file.closed
+        assert [r["event"] for r in read_trace(path)] == ["verify_start"]
