@@ -1,0 +1,126 @@
+"""Extension benchmark: the verification service.
+
+Measured and recorded to ``out/BENCH_service.json``:
+
+1. **Cache speedup.**  Every task of the SV-COMP-like suite is submitted
+   to one stdio daemon twice (cold pass, warm pass).  The warm pass must
+   be answered entirely from the verdict cache -- every repeat a hit --
+   and at least 10x faster in wall time than the cold pass: the service
+   amortizes parsing, encoding and search into a content lookup.
+2. **Verdict fidelity.**  Both passes must agree with each task's
+   ground-truth verdict; the cache can only ever return what a sound
+   engine concluded.
+3. **Throughput.**  Jobs/second for both passes, plus the daemon's own
+   counters (hit rate, queue waits, recycles) from its ``stats`` op.
+
+Conclusive-only caching means UNKNOWN tasks (none at these bounds) would
+simply miss twice; the assertion set tolerates them by counting only
+conclusive repeats as required hits.
+"""
+
+import json
+import time
+
+from conftest import write_output
+
+from repro.bench import svcomp_suite
+from repro.service.client import ServiceClient
+from repro.verify import Verdict
+
+
+def _run_pass(client, tasks):
+    wall = 0.0
+    outcomes = []
+    for task in tasks:
+        config = {"preset": "zord", "unwind": task.unwind}
+        t0 = time.perf_counter()
+        result = client.verify(task.source, config)
+        wall += time.perf_counter() - t0
+        outcomes.append((task, result))
+    return wall, outcomes
+
+
+def test_service_cache_speedup():
+    tasks = svcomp_suite(scale=1)
+    client = ServiceClient.spawn(workers=2, cache_size=4 * len(tasks))
+    try:
+        cold_wall, cold = _run_pass(client, tasks)
+        warm_wall, warm = _run_pass(client, tasks)
+        stats = client.stats()
+    finally:
+        client.close()
+
+    # Verdict fidelity on both passes.
+    mismatches = []
+    for pass_name, outcomes in (("cold", cold), ("warm", warm)):
+        for task, result in outcomes:
+            expected = Verdict.SAFE if task.expected_safe else Verdict.UNSAFE
+            if result.verdict != expected:
+                mismatches.append((pass_name, task.name, result.verdict))
+    assert not mismatches, mismatches
+
+    # The warm pass is pure cache: conclusive cold verdicts (all of them,
+    # per the fidelity check) must repeat as hits.
+    warm_hits = sum(r.stats["cache_hit"] for _, r in warm)
+    cold_hits = sum(r.stats["cache_hit"] for _, r in cold)
+    assert warm_hits == len(tasks)
+
+    speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    assert speedup >= 10.0, (
+        f"cache speedup {speedup:.1f}x below the 10x bar "
+        f"(cold {cold_wall:.3f}s, warm {warm_wall:.3f}s)"
+    )
+
+    record = {
+        "tasks": len(tasks),
+        "cold_wall_s": round(cold_wall, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "speedup": round(speedup, 1),
+        "cold_throughput_jobs_per_s": round(len(tasks) / cold_wall, 1),
+        "warm_throughput_jobs_per_s": round(len(tasks) / warm_wall, 1),
+        "cold_cache_hits": cold_hits,
+        "warm_cache_hits": warm_hits,
+        "server_stats": stats,
+    }
+    write_output("BENCH_service.json", json.dumps(record, indent=2))
+
+
+def test_service_mixed_load_hit_rate():
+    """A zipf-ish mixed stream (a few hot programs, a long cold tail)
+    records the hit rate a sustained workload would see."""
+    tasks = svcomp_suite(scale=1)
+    hot = tasks[: max(3, len(tasks) // 10)]
+    stream = []
+    for i, task in enumerate(tasks):
+        stream.append(task)
+        stream.append(hot[i % len(hot)])
+
+    client = ServiceClient.spawn(workers=2)
+    try:
+        t0 = time.perf_counter()
+        hits = 0
+        for task in stream:
+            result = client.verify(
+                task.source, {"preset": "zord", "unwind": task.unwind}
+            )
+            hits += int(result.stats["cache_hit"])
+        wall = time.perf_counter() - t0
+        stats = client.stats()
+    finally:
+        client.close()
+
+    hit_rate = hits / len(stream)
+    # Every hot repeat after its first occurrence can hit.
+    assert hits >= len(stream) // 2 - len(hot)
+
+    record = {
+        "stream_jobs": len(stream),
+        "distinct_programs": len(tasks),
+        "hot_set": len(hot),
+        "wall_s": round(wall, 4),
+        "throughput_jobs_per_s": round(len(stream) / wall, 1),
+        "cache_hits": hits,
+        "hit_rate": round(hit_rate, 3),
+        "server_stats": stats,
+    }
+    write_output("BENCH_service_mixed.json", json.dumps(record, indent=2))

@@ -4,6 +4,13 @@ Each paper table/figure has its own ``bench_*.py`` file; expensive engine
 grids are computed once per session here and shared.  Rendered tables are
 written to ``benchmarks/out/`` and printed (visible with ``-s`` /
 ``--capture=no``).
+
+With ``REPRO_SERVER=HOST:PORT`` pointing at a running ``repro serve``
+daemon, every serial task the harness runs is routed through the service
+(see :mod:`repro.api`), turning the bench suites into service traffic
+generators: repeat runs answer from the verdict cache, and the daemon's
+``stats`` op reports the hit rate.  ``benchmarks/bench_ext_service.py``
+measures the service itself (spawning its own private daemon).
 """
 
 from __future__ import annotations

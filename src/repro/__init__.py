@@ -29,21 +29,25 @@ from repro.verify import (
     Verdict,
     VerificationResult,
     VerifierConfig,
-    verify,
 )
 from repro.portfolio import (
     PortfolioResult,
-    verify_batch,
     verify_portfolio,
 )
+from repro import api
+from repro.api import analyze, connect, serve, verify, verify_batch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "parse",
+    "api",
     "verify",
     "verify_portfolio",
     "verify_batch",
+    "analyze",
+    "serve",
+    "connect",
     "Verdict",
     "VerifierConfig",
     "VerificationResult",

@@ -84,6 +84,34 @@ class RaceWarning:
             f"  {loc(self.pos_b)}: [{self.thread_b}] {self.source_b}"
         )
 
+    def to_dict(self) -> Dict:
+        """JSON-ready form (the ``analyze`` wire format of the service)."""
+        return {
+            "addr": self.addr,
+            "thread_a": self.thread_a,
+            "thread_b": self.thread_b,
+            "pos_a": None if self.pos_a is None else list(self.pos_a),
+            "pos_b": None if self.pos_b is None else list(self.pos_b),
+            "source_a": self.source_a,
+            "source_b": self.source_b,
+            "both_writes": self.both_writes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RaceWarning":
+        pos_a = data.get("pos_a")
+        pos_b = data.get("pos_b")
+        return cls(
+            addr=data["addr"],
+            thread_a=data["thread_a"],
+            thread_b=data["thread_b"],
+            pos_a=None if pos_a is None else (pos_a[0], pos_a[1]),
+            pos_b=None if pos_b is None else (pos_b[0], pos_b[1]),
+            source_a=data["source_a"],
+            source_b=data["source_b"],
+            both_writes=data["both_writes"],
+        )
+
 
 @dataclass
 class AnalysisReport:

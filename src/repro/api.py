@@ -1,0 +1,156 @@
+"""The documented public surface of the library.
+
+Five entry points, stable across releases:
+
+* :func:`verify` -- verify one program.  Dispatches on its arguments:
+  a ``portfolio=`` list races several engine presets
+  (:func:`repro.portfolio.verify_portfolio`), a ``server=`` address (or
+  the ``REPRO_SERVER`` environment variable) routes the job through a
+  running verification service (:mod:`repro.service`), and otherwise the
+  in-process pipeline runs directly.
+* :func:`verify_batch` -- a (tasks x configs) grid over a process pool.
+* :func:`analyze` -- the static race analysis, no solver involved.
+* :func:`serve` -- run a verification service daemon (blocking).
+* :func:`connect` -- open a client to a running service.
+
+Library users should import from here (or from :mod:`repro`, which
+re-exports the same names); ``repro.verify.verifier.verify`` is a
+deprecated spelling kept as a warning shim.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Union
+
+from repro.lang import ast
+from repro.verify import VerifierConfig
+from repro.verify.verifier import verify_one
+
+__all__ = [
+    "verify",
+    "verify_batch",
+    "analyze",
+    "serve",
+    "connect",
+]
+
+
+def verify(
+    program: Union[str, "ast.Program"],
+    config: Optional[VerifierConfig] = None,
+    *,
+    portfolio: Optional[Sequence[Union[str, VerifierConfig]]] = None,
+    jobs: Optional[int] = None,
+    server: Optional[str] = None,
+    measure_memory: bool = False,
+):
+    """Verify ``program``: the one front door.
+
+    Args:
+        program: source text or a parsed AST.
+        config: engine selection (see :class:`VerifierConfig`); defaults
+            to the Zord preset.  Ignored when ``portfolio`` is given.
+        portfolio: race these presets/configs instead of running one
+            engine; the first conclusive verdict wins.  Returns a
+            :class:`~repro.portfolio.runner.PortfolioResult`.
+        jobs: worker processes for ``portfolio`` (default: one per
+            member, capped at the CPU count).
+        server: ``HOST:PORT`` of a running verification service; the job
+            is submitted there (warm workers + verdict cache) instead of
+            solving in-process.  Defaults to the ``REPRO_SERVER``
+            environment variable; portfolio runs always stay local.
+        measure_memory: trace peak allocation (slower; in-process only).
+
+    Returns:
+        A :class:`VerificationResult` (or a ``PortfolioResult`` when
+        ``portfolio`` is given).  Service-routed results carry
+        ``stats["cache_hit"]`` / ``stats["queue_wait_s"]``.
+    """
+    if portfolio is not None:
+        from repro.portfolio import verify_portfolio
+
+        return verify_portfolio(program, portfolio, jobs=jobs)
+    if server is None:
+        server = os.environ.get("REPRO_SERVER") or None
+    if server is not None:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient.connect(server) as client:
+            return client.verify(program, config)
+    return verify_one(program, config, measure_memory=measure_memory)
+
+
+def verify_batch(
+    tasks,
+    configs,
+    jobs: Optional[int] = None,
+    time_limit_s: Optional[float] = 10.0,
+    measure_memory: bool = False,
+):
+    """Run a (tasks x configs) grid over a process pool; see
+    :func:`repro.portfolio.batch.verify_batch`."""
+    from repro.portfolio.batch import verify_batch as _verify_batch
+
+    return _verify_batch(
+        tasks, configs, jobs=jobs, time_limit_s=time_limit_s,
+        measure_memory=measure_memory,
+    )
+
+
+def analyze(
+    program: Union[str, "ast.Program"],
+    unwind: int = 8,
+    width: int = 8,
+):
+    """Static race analysis (MHP x locksets); returns an
+    :class:`~repro.analysis.races.AnalysisReport`, no solver involved."""
+    from repro.analysis import analyze_program
+
+    return analyze_program(program, unwind=unwind, width=width)
+
+
+def serve(
+    stdio: bool = False,
+    tcp: Optional[str] = None,
+    workers: Optional[int] = None,
+    recycle_after: int = 64,
+    max_queue: int = 64,
+    cache_size: int = 1024,
+    time_limit_s: Optional[float] = None,
+) -> int:
+    """Run a verification service daemon (blocking until EOF/shutdown).
+
+    Exactly one transport must be selected: ``stdio=True`` speaks JSONL
+    on stdin/stdout, ``tcp="HOST:PORT"`` listens on a socket.  See
+    ``docs/SERVICE.md`` for the protocol and lifecycle.
+    """
+    from repro.service.server import ServiceServer
+
+    server = ServiceServer(
+        workers=workers,
+        recycle_after=recycle_after,
+        max_queue=max_queue,
+        cache_size=cache_size,
+        default_time_limit_s=time_limit_s,
+    )
+    return server.run(stdio=stdio, tcp=tcp)
+
+
+def connect(address: Optional[str] = None):
+    """Open a synchronous client to a running service.
+
+    ``address`` defaults to the ``REPRO_SERVER`` environment variable.
+    Returns a :class:`~repro.service.client.ServiceClient` (usable as a
+    context manager).
+    """
+    from repro.service.client import ServiceClient
+
+    if address is None:
+        address = os.environ.get("REPRO_SERVER") or None
+    if address is None:
+        raise ValueError(
+            "no service address: pass connect(address=...) or set "
+            "the REPRO_SERVER environment variable"
+        )
+    return ServiceClient.connect(address)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.task import Task
-from repro.verify import Verdict, VerifierConfig, verify
+from repro.verify import Verdict, VerifierConfig
 
 __all__ = [
     "TaskResult",
@@ -61,7 +61,14 @@ def execute_task(
     measure_memory: bool = False,
 ) -> TaskResult:
     """Run one fully-instantiated configuration on one task (the picklable
-    grid cell shared with :func:`repro.portfolio.verify_batch`)."""
+    grid cell shared with :func:`repro.portfolio.verify_batch`).
+
+    Goes through :func:`repro.api.verify`, so exporting ``REPRO_SERVER``
+    points the whole benchmark harness at a running verification service
+    -- the suites then double as throughput/cache-hit traffic generators.
+    """
+    from repro.api import verify
+
     start = time.monotonic()
     try:
         result = verify(task.source, config, measure_memory=measure_memory)

@@ -1,11 +1,16 @@
 """Command-line interface: ``repro-verify FILE [options]``, the static
-race-report mode ``repro analyze FILE [options]``, and the differential
-fuzzing mode ``repro fuzz [options]``.
+race-report mode ``repro analyze FILE [options]``, the differential
+fuzzing mode ``repro fuzz [options]``, and the verification daemon
+``repro serve (--stdio | --tcp HOST:PORT) [options]``.
 
 Exit codes: 0 = SAFE (or, for ``analyze``, no races; for ``fuzz``, no
-findings), 10 = UNSAFE (or races reported), 2 = UNKNOWN (budget
-exhausted), 1 = input/usage error, contained engine crash (ERROR
-verdict), or ``fuzz`` findings.
+findings; for ``serve``, clean shutdown), 10 = UNSAFE (or races
+reported), 2 = UNKNOWN (budget exhausted), 1 = input/usage error,
+contained engine crash (ERROR verdict), or ``fuzz`` findings.
+
+With ``REPRO_SERVER=HOST:PORT`` set, single-engine ``repro-verify`` runs
+are routed through a running daemon instead of solving in-process (see
+:mod:`repro.api`).
 The engine choices are derived from the preset
 table in :mod:`repro.verify.config`, which is validated against the
 engine registry -- there is no second hand-maintained engine list here.
@@ -18,7 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.verify import VerifierConfig, Verdict, verify
+from repro.verify import Verdict
 from repro.verify.config import PRESETS
 
 #: Verdict -> process exit code.  UNSAFE is distinct from SAFE so shell
@@ -48,6 +53,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _analyze(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-verify",
         description="Verify a multi-threaded program under sequential "
@@ -269,6 +276,8 @@ def _print_result_details(result, args) -> None:
 
 
 def _verify(source: str, args) -> int:
+    from repro.api import verify
+
     config = _PRESETS[args.engine](
         trace_jsonl=args.trace_jsonl,
         fallbacks=tuple(args.fallback or ()),
@@ -454,6 +463,95 @@ def _fuzz(argv: List[str]) -> int:
         report.write_jsonl(args.out)
     print(report.format())
     return EXIT_SAFE if report.ok else EXIT_ERROR
+
+
+def _serve(argv: List[str]) -> int:
+    """``repro serve``: the long-lived verification daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the verification service: warm recycled worker "
+        "processes behind a content-addressed verdict cache, speaking "
+        "newline-delimited JSON (see docs/SERVICE.md).",
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve requests from stdin, answers on stdout (one JSON "
+        "object per line); exits at EOF",
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="listen for JSON-lines connections on HOST:PORT",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: half the CPUs, capped at 4)",
+    )
+    parser.add_argument(
+        "--recycle-after",
+        type=int,
+        default=64,
+        metavar="N",
+        help="retire and replace a worker after N jobs (default: 64); "
+        "memory-budget UNKNOWNs always recycle immediately",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission cap: with N jobs queued or running, new jobs are "
+        "shed as UNKNOWN/overloaded instead of waiting (default: 64)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="verdict cache capacity in entries, LRU-evicted (default: "
+        "1024)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-request deadline in seconds, applied when the "
+        "request carries neither a deadline nor a config time limit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log lifecycle events to stderr",
+    )
+    args = parser.parse_args(argv)
+    if args.stdio == bool(args.tcp):
+        print(
+            "error: pick exactly one transport: --stdio or --tcp HOST:PORT",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+
+    from repro.service import ServiceServer
+
+    try:
+        server = ServiceServer(
+            workers=args.workers,
+            recycle_after=args.recycle_after,
+            max_queue=args.max_queue,
+            cache_size=args.cache_size,
+            default_time_limit_s=args.time_limit,
+            verbose=args.verbose,
+        )
+        return server.run(stdio=args.stdio, tcp=args.tcp)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 def _dump(source: str, args) -> int:

@@ -47,8 +47,13 @@ def _run_spec(
     time_limit_s: Optional[float],
     audit: bool,
 ) -> Tuple[EngineOutcome, Optional[Trace]]:
-    """Run one engine spec; never raises (crashes surface as ERROR)."""
-    from repro.verify.verifier import verify
+    """Run one engine spec; never raises (crashes surface as ERROR).
+
+    Routed through :func:`repro.api.verify`, so setting ``REPRO_SERVER``
+    turns a fuzzing run into live traffic against a verification service
+    (witnesses still replay: the wire format round-trips them).
+    """
+    from repro.api import verify
 
     t0 = time.monotonic()
     witness: Optional[Trace] = None

@@ -1,0 +1,47 @@
+"""The verification service: a long-lived daemon in front of the verifier.
+
+The paper's pipeline is a one-shot CLI; this package turns it into
+infrastructure that can absorb sustained traffic:
+
+* :mod:`repro.service.server` -- an asyncio daemon (``repro serve``)
+  accepting verification jobs over stdin JSONL (``--stdio``) or a TCP
+  socket (``--tcp HOST:PORT``), with admission control (queue-depth
+  shedding to a structured UNKNOWN with ``reason=overloaded``) and
+  per-request deadlines riding the :mod:`repro.robustness` budget
+  machinery;
+* :mod:`repro.service.workers` -- a pool of **warm** worker processes:
+  solver modules are pre-imported once, workers are recycled after a job
+  quota or after a memory-budget-triggered UNKNOWN (so one pathological
+  program cannot bloat a resident worker forever);
+* :mod:`repro.service.cache` -- a content-addressed **verdict cache**
+  keyed on the canonical parse->unparse normal form of the program times
+  the config's encoding signature
+  (:func:`repro.portfolio.sharing.encoding_signature`): formula-shaping
+  knobs split entries, search-only knobs share them, and inconclusive
+  verdicts (UNKNOWN/ERROR) are never cached;
+* :mod:`repro.service.protocol` -- the versioned JSON-lines wire format
+  (requests, responses, error shapes);
+* :mod:`repro.service.client` -- typed sync (:class:`ServiceClient`) and
+  async (:class:`AsyncServiceClient`) clients.  ``REPRO_SERVER=HOST:PORT``
+  makes :func:`repro.api.verify` -- and through it the benchmark harness
+  and the fuzz oracle -- route jobs here.
+
+See ``docs/SERVICE.md`` for the protocol specification, cache semantics,
+worker lifecycle and backpressure behavior.
+"""
+
+from repro.service.cache import VerdictCache, cache_key, canonical_source
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.server import ServiceServer
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "ServiceServer",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServiceError",
+    "WorkerPool",
+    "VerdictCache",
+    "cache_key",
+    "canonical_source",
+]

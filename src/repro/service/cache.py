@@ -1,0 +1,152 @@
+"""The content-addressed verdict cache.
+
+Two requests hit the same cache entry iff
+
+* their programs have the same **canonical form** -- the parse->unparse
+  normal form already exercised by the round-trip tests: whitespace,
+  comments, and the unparser's global-declaration normalization all wash
+  out, so textually different spellings of the same program share an
+  entry; and
+* their configs have the same **semantic signature** -- for SMT-engine
+  configs exactly :func:`repro.portfolio.sharing.encoding_signature`
+  (theory, FR ablation, prune level, unwind, width, memory model,
+  schedule), so formula-shaping knobs split entries while search-only
+  knobs (cycle detector, unit-edge propagation, conflict caps, VSIDS
+  parameters) share them; for non-SMT engines the engine name plus its
+  verdict-shaping bounds.
+
+Only conclusive verdicts are stored: a SAFE/UNSAFE verdict at a given
+(program, signature) is deterministic across every sound engine and every
+search-knob setting, which is what makes sharing entries across search
+configurations sound.  UNKNOWN depends on the budget of the run that
+produced it and ERROR on a transient crash, so :meth:`VerdictCache.put`
+refuses both -- the cache cannot be poisoned by an exhausted or crashed
+run.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+from repro.lang import ast, parse
+from repro.lang.unparse import unparse
+from repro.portfolio.sharing import encoding_signature
+from repro.verify.config import VerifierConfig
+from repro.verify.result import Verdict
+
+__all__ = [
+    "canonical_source",
+    "config_signature",
+    "cache_key",
+    "VerdictCache",
+]
+
+#: Verdicts eligible for caching.
+_CACHEABLE = (Verdict.SAFE, Verdict.UNSAFE)
+
+CacheKey = Tuple[str, Tuple]
+
+
+def canonical_source(program: Union[str, ast.Program]) -> str:
+    """The parse->unparse normal form of ``program``.
+
+    Parse errors raise (callers decide how to surface input errors).
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    return unparse(program)
+
+
+def config_signature(config: VerifierConfig) -> Tuple:
+    """The config part of the cache key.
+
+    SMT configs reuse the portfolio sharing signature verbatim.  Non-SMT
+    engines have no CNF to sign; their verdict is shaped by the engine
+    itself and its exploration bounds, so those are the key.
+    """
+    sig = encoding_signature(config)
+    if sig is not None:
+        return sig
+    return (
+        "engine",
+        config.engine,
+        config.unwind,
+        config.width,
+        config.memory_model,
+        config.rounds,
+    )
+
+
+def cache_key(
+    program: Union[str, ast.Program], config: VerifierConfig
+) -> CacheKey:
+    """Content address of one verification job: (program digest, config
+    signature)."""
+    canonical = canonical_source(program)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return (digest, config_signature(config))
+
+
+class VerdictCache:
+    """Bounded LRU map from :func:`cache_key` to wire-format results.
+
+    Thread-safe; entries are deep-copied on both :meth:`put` and
+    :meth:`get`, so callers can annotate returned dicts (``cache_hit``,
+    queue timings) without corrupting the stored verdict.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, Dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Dict]:
+        """The cached wire result for ``key`` (a private copy), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return copy.deepcopy(entry)
+
+    def put(self, key: CacheKey, result: Dict) -> bool:
+        """Store a wire-format result; returns whether it was cached.
+
+        Inconclusive results are rejected: an UNKNOWN reflects the budget
+        of the run that produced it and an ERROR a (possibly transient)
+        crash -- serving either to future identical requests would poison
+        the cache with non-verdicts.
+        """
+        if result.get("verdict") not in _CACHEABLE:
+            return False
+        with self._lock:
+            self._entries[key] = copy.deepcopy(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for the server's ``stats`` op."""
+        with self._lock:
+            return {
+                "cache_entries": len(self._entries),
+                "cache_hits": self.hits,
+                "cache_misses": self.misses,
+                "cache_evictions": self.evictions,
+            }

@@ -1,0 +1,413 @@
+"""Typed clients for the verification service.
+
+:class:`ServiceClient` is the synchronous client -- either connected to a
+running TCP daemon (:meth:`ServiceClient.connect`) or owning a private
+stdio daemon it spawned as a subprocess (:meth:`ServiceClient.spawn`,
+handy for tests and one-off scripts: the server dies with the client).
+:class:`AsyncServiceClient` is the asyncio variant for TCP.
+
+Both speak the JSON-lines protocol of :mod:`repro.service.protocol` and
+translate wire results back into first-class
+:class:`~repro.verify.result.VerificationResult` objects, so calling
+``client.verify(...)`` is a drop-in for the in-process
+:func:`repro.api.verify` -- same type, same verdicts, same stats keys
+(plus ``cache_hit`` / ``queue_wait_s`` / ``worker_recycles``).
+
+Protocol-level failures (bad program text, bad config, malformed
+responses, a dead server) raise :class:`ServiceError`.  Engine-level
+outcomes (budget exhaustion, contained crashes, load shedding) do *not*
+raise -- they come back as UNKNOWN/ERROR verdicts, exactly like the
+library API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+import subprocess
+import sys
+from typing import Any, Dict, Optional, Union
+
+from repro.service import protocol
+from repro.verify.config import VerifierConfig
+from repro.verify.result import VerificationResult
+
+__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
+
+
+class ServiceError(Exception):
+    """The service answered ``ok: false`` or the transport failed."""
+
+
+def _prepare_verify_fields(
+    program: Union[str, Any],
+    config: Optional[Union[VerifierConfig, Dict]],
+    deadline_s: Optional[float],
+) -> Dict[str, Any]:
+    if not isinstance(program, str):
+        from repro.lang.unparse import unparse
+
+        program = unparse(program)
+    fields: Dict[str, Any] = {"source": program}
+    if config is not None:
+        fields["config"] = (
+            config.to_dict() if isinstance(config, VerifierConfig) else config
+        )
+    if deadline_s is not None:
+        fields["deadline_s"] = deadline_s
+    return fields
+
+
+def _result_from_response(response: Dict[str, Any]) -> VerificationResult:
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "unspecified service error"))
+    try:
+        return VerificationResult.from_dict(response["result"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed verify response: {exc}") from None
+
+
+def _checked(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "unspecified service error"))
+    return response
+
+
+class _RequestMatcher:
+    """Shared id-assignment and response-matching logic.
+
+    Responses arrive in completion order, not request order, so both
+    clients stash responses whose id is not the one currently awaited
+    (relevant once callers pipeline by issuing requests from several
+    threads/tasks over one client -- the protocol allows it).
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._stash: Dict[Any, Dict[str, Any]] = {}
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def take(self, request_id: int) -> Optional[Dict[str, Any]]:
+        return self._stash.pop(request_id, None)
+
+    def offer(self, response: Dict[str, Any], request_id: int) -> bool:
+        """True if ``response`` answers ``request_id``; else stash it."""
+        if response.get("id") == request_id:
+            return True
+        self._stash[response.get("id")] = response
+        return False
+
+
+def _decode_response(line: str) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed response from server: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            f"malformed response from server: expected object, "
+            f"got {type(obj).__name__}"
+        )
+    return obj
+
+
+class ServiceClient:
+    """Synchronous JSON-lines client (see module docstring)."""
+
+    def __init__(self, reader, writer, proc=None, sock=None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._proc = proc
+        self._sock = sock
+        self._matcher = _RequestMatcher()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(cls, address: str, timeout: float = 10.0) -> "ServiceClient":
+        """Connect to a running TCP daemon at ``"HOST:PORT"``."""
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(f"expected HOST:PORT, got {address!r}")
+        try:
+            sock = socket.create_connection((host, int(port_text)), timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to repro service at {address}: {exc}"
+            ) from None
+        sock.settimeout(None)
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        return cls(stream, stream, sock=sock)
+
+    @classmethod
+    def spawn(
+        cls,
+        workers: Optional[int] = None,
+        recycle_after: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        time_limit_s: Optional[float] = None,
+    ) -> "ServiceClient":
+        """Start a private ``repro serve --stdio`` daemon and connect to
+        it over its pipes.  The daemon exits when the client closes."""
+        cmd = [sys.executable, "-m", "repro.cli", "serve", "--stdio"]
+        if workers is not None:
+            cmd += ["--workers", str(workers)]
+        if recycle_after is not None:
+            cmd += ["--recycle-after", str(recycle_after)]
+        if max_queue is not None:
+            cmd += ["--max-queue", str(max_queue)]
+        if cache_size is not None:
+            cmd += ["--cache-size", str(cache_size)]
+        if time_limit_s is not None:
+            cmd += ["--time-limit", str(time_limit_s)]
+        proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,  # line-buffered pipes: one request/response per line
+        )
+        return cls(proc.stdout, proc.stdin, proc=proc)
+
+    # ------------------------------------------------------------------
+    # Core request/response
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, block for its (id-matched) response."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        request_id = self._matcher.next_id()
+        payload = {"id": request_id, "op": op}
+        payload.update(fields)
+        try:
+            self._writer.write(protocol.encode(payload))
+            self._writer.flush()
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise ServiceError(f"cannot send request: {exc}") from None
+        stashed = self._matcher.take(request_id)
+        if stashed is not None:
+            return stashed
+        while True:
+            try:
+                line = self._reader.readline()
+            except OSError as exc:
+                raise ServiceError(f"cannot read response: {exc}") from None
+            if not line:
+                raise ServiceError("server closed the connection")
+            if not line.strip():
+                continue
+            response = _decode_response(line)
+            if self._matcher.offer(response, request_id):
+                return response
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+
+    def verify(
+        self,
+        program: Union[str, Any],
+        config: Optional[Union[VerifierConfig, Dict]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> VerificationResult:
+        """Verify ``program`` (source text or AST) on the server.
+
+        Returns the same :class:`VerificationResult` the in-process API
+        would, with the service stats (``cache_hit``, ``queue_wait_s``,
+        ``worker_recycles``) merged into ``result.stats``.
+        """
+        fields = _prepare_verify_fields(program, config, deadline_s)
+        return _result_from_response(self.request("verify", **fields))
+
+    def analyze(
+        self, program: Union[str, Any], unwind: int = 8, width: int = 8
+    ) -> Dict[str, Any]:
+        """Static race report; ``races`` holds RaceWarning objects."""
+        fields = _prepare_verify_fields(program, None, None)
+        response = _checked(
+            self.request("analyze", unwind=unwind, width=width, **fields)
+        )
+        from repro.analysis.races import RaceWarning
+
+        report = dict(response["report"])
+        report["races"] = [RaceWarning.from_dict(w) for w in report["races"]]
+        return report
+
+    def ping(self) -> Dict[str, Any]:
+        return _checked(self.request("ping"))
+
+    def stats(self) -> Dict[str, Any]:
+        return _checked(self.request("stats"))["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to exit (tolerates it dying before answering)."""
+        try:
+            self.request("shutdown")
+        except ServiceError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._proc is not None:
+            # Closing stdin is the stdio server's EOF; it drains and exits.
+            try:
+                self._writer.close()
+            except OSError:
+                pass
+            try:
+                self._proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait(timeout=5.0)
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            return
+        for stream in {self._writer, self._reader}:
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio TCP client mirroring :class:`ServiceClient`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._matcher = _RequestMatcher()
+        self._read_lock = asyncio.Lock()
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, address: str) -> "AsyncServiceClient":
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(f"expected HOST:PORT, got {address!r}")
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, int(port_text)
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to repro service at {address}: {exc}"
+            ) from None
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self._closed:
+            raise ServiceError("client is closed")
+        request_id = self._matcher.next_id()
+        payload = {"id": request_id, "op": op}
+        payload.update(fields)
+        try:
+            self._writer.write(protocol.encode(payload).encode("utf-8"))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(f"cannot send request: {exc}") from None
+        while True:
+            stashed = self._matcher.take(request_id)
+            if stashed is not None:
+                return stashed
+            # One reader at a time; concurrent awaiters pick their own
+            # responses out of the stash on the next loop turn.
+            async with self._read_lock:
+                stashed = self._matcher.take(request_id)
+                if stashed is not None:
+                    return stashed
+                try:
+                    raw = await self._reader.readline()
+                except (ConnectionError, OSError) as exc:
+                    raise ServiceError(
+                        f"cannot read response: {exc}"
+                    ) from None
+                if not raw:
+                    raise ServiceError("server closed the connection")
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                response = _decode_response(line)
+                if self._matcher.offer(response, request_id):
+                    return response
+
+    async def verify(
+        self,
+        program: Union[str, Any],
+        config: Optional[Union[VerifierConfig, Dict]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> VerificationResult:
+        fields = _prepare_verify_fields(program, config, deadline_s)
+        return _result_from_response(await self.request("verify", **fields))
+
+    async def analyze(
+        self, program: Union[str, Any], unwind: int = 8, width: int = 8
+    ) -> Dict[str, Any]:
+        fields = _prepare_verify_fields(program, None, None)
+        response = _checked(
+            await self.request("analyze", unwind=unwind, width=width, **fields)
+        )
+        from repro.analysis.races import RaceWarning
+
+        report = dict(response["report"])
+        report["races"] = [RaceWarning.from_dict(w) for w in report["races"]]
+        return report
+
+    async def ping(self) -> Dict[str, Any]:
+        return _checked(await self.request("ping"))
+
+    async def stats(self) -> Dict[str, Any]:
+        return _checked(await self.request("stats"))["stats"]
+
+    async def shutdown(self) -> None:
+        try:
+            await self.request("shutdown")
+        except ServiceError:
+            pass
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,89 @@
+"""The service wire format: versioned JSON lines.
+
+Every request and every response is one JSON object on one line
+(newline-terminated, UTF-8).  Responses carry the ``id`` of the request
+they answer; within one connection requests may be pipelined and are
+answered in completion order, so clients must match on ``id``.
+
+Requests::
+
+    {"id": 1, "op": "verify", "source": "...",
+     "config": {"preset": "zord", "unwind": 8, ...} | null,
+     "deadline_s": 10.0 | null}
+    {"id": 2, "op": "analyze", "source": "...", "unwind": 8, "width": 8}
+    {"id": 3, "op": "ping"}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "shutdown"}
+
+Responses (``"ok": true``)::
+
+    verify   -> {"id", "ok", "result": VerificationResult.to_dict(),
+                 "cache_hit": bool, "queue_wait_s": float}
+    analyze  -> {"id", "ok", "report": {"races": [RaceWarning...],
+                 "pairs_total", "pairs_ordered", "pairs_protected",
+                 "pairs_racy"}}
+    ping     -> {"id", "ok", "pong": true, "protocol": PROTOCOL_VERSION}
+    stats    -> {"id", "ok", "stats": {...server counters...}}
+    shutdown -> {"id", "ok", "bye": true}
+
+Protocol errors -- malformed JSON, a missing/unknown ``op``, an
+unparseable program, a bad config -- come back as
+``{"id": ..., "ok": false, "error": "..."}`` (``id`` is null when the
+request line was not even valid JSON).  Engine-side failures are *not*
+protocol errors: budget exhaustion and contained crashes travel inside a
+normal ``verify`` response as UNKNOWN/ERROR verdicts, exactly like the
+library API.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "OPS",
+    "decode_line",
+    "encode",
+    "error_response",
+]
+
+#: Version of the request/response schema; ``ping`` reports it so clients
+#: can fail fast on a mismatch.
+PROTOCOL_VERSION = 1
+
+#: The operations a server must answer.
+OPS = ("verify", "analyze", "ping", "stats", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A request violated the wire format (answered with ok=false)."""
+
+
+def encode(obj: Dict[str, Any]) -> str:
+    """One compact JSON line, newline-terminated."""
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def decode_line(line: str) -> Dict[str, Any]:
+    """Parse one request line; raise :class:`ProtocolError` on anything
+    that is not a JSON object with a known ``op``."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; supported: {', '.join(OPS)}"
+        )
+    return obj
+
+
+def error_response(request_id: Optional[Any], message: str) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False, "error": message}

@@ -1,0 +1,505 @@
+"""The asyncio verification daemon.
+
+One :class:`ServiceServer` owns a :class:`~repro.service.workers.WorkerPool`
+(warm, recycled solver processes), a
+:class:`~repro.service.cache.VerdictCache` (content-addressed, conclusive
+verdicts only), and the service counters.  Transports are thin: both the
+stdin-JSONL mode (``repro serve --stdio``) and the TCP mode (``repro
+serve --tcp HOST:PORT``) read newline-delimited JSON requests
+(:mod:`repro.service.protocol`), handle each one as an independent asyncio
+task (so requests pipeline across the pool), and write one response line
+per request in completion order.
+
+Request lifecycle for ``verify``:
+
+1. the program is parsed and canonicalized; together with the config's
+   encoding signature this addresses the verdict cache -- a hit answers
+   immediately with ``cache_hit=true`` and no worker involved;
+2. single-flight coalescing: if an identical request (same cache key) is
+   already computing, the new one awaits that job's clean result instead
+   of submitting a second -- pipelined duplicates cost one worker job and
+   report ``cache_hit=true``;
+3. admission control: when queued+running jobs have reached ``max_queue``
+   the job is **shed** -- a structured UNKNOWN with ``reason=overloaded``
+   (and a diagnostic), never an open-ended wait.  Clients see bounded
+   latency under overload instead of timeouts;
+4. the per-request deadline (``deadline_s``, or the server's default) is
+   folded into the config's ``time_limit_s``, so it rides the existing
+   cooperative :class:`~repro.robustness.budget.Budget` machinery inside
+   the worker -- including fallback chains, which share the one deadline;
+5. the result comes back annotated with the service stats
+   (``cache_hit``, ``queue_wait_s``, ``worker_recycles``) on top of the
+   normalized telemetry every verification already carries, and
+   conclusive verdicts are inserted into the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+from repro.service.cache import VerdictCache, cache_key
+from repro.service.workers import WorkerPool
+from repro.verify.config import VerifierConfig
+from repro.verify.result import Verdict, VerificationResult
+from repro.verify.telemetry import normalize_stats
+
+__all__ = ["ServiceServer"]
+
+#: Extra seconds past the request deadline the server waits for a worker
+#: before answering UNKNOWN itself (the worker's own budget should have
+#: fired long before this).
+_DEADLINE_GRACE_S = 10.0
+
+
+class ServiceServer:
+    """The verification service daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        recycle_after: int = 64,
+        max_queue: int = 64,
+        cache_size: int = 1024,
+        default_time_limit_s: Optional[float] = None,
+        verbose: bool = False,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._workers = workers
+        self._recycle_after = recycle_after
+        self.max_queue = max_queue
+        self.cache = VerdictCache(cache_size)
+        self.default_time_limit_s = default_time_limit_s
+        self.verbose = verbose
+        self.pool: Optional[WorkerPool] = None
+        self.started_at = time.monotonic()
+        self.jobs_total = 0
+        self.jobs_shed = 0
+        self.jobs_coalesced = 0
+        self.protocol_errors = 0
+        self._shutdown: Optional[asyncio.Event] = None
+        # Single-flight table: cache key -> future resolving to the clean
+        # (conclusive) result of the in-flight job, or None.
+        self._inflight: Dict[Any, "asyncio.Future"] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start_pool(self) -> None:
+        """Spawn the worker pool (idempotent; ``run`` calls this)."""
+        if self.pool is None:
+            self.pool = WorkerPool(
+                size=self._workers, recycle_after=self._recycle_after
+            )
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+    def run(self, stdio: bool = False, tcp: Optional[str] = None) -> int:
+        """Run the daemon on exactly one transport; blocks until EOF (for
+        stdio), a ``shutdown`` request, or KeyboardInterrupt."""
+        if stdio == bool(tcp):
+            raise ValueError("select exactly one transport: stdio or tcp")
+        if tcp is not None:
+            host, _, port_text = tcp.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise ValueError(
+                    f"--tcp expects HOST:PORT, got {tcp!r}"
+                )
+            coro = self._amain_tcp(host, int(port_text))
+        else:
+            coro = self._amain_stdio()
+        try:
+            asyncio.run(coro)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+        return 0
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[repro-serve] {message}", file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    # Transports
+    # ------------------------------------------------------------------
+
+    async def _amain_stdio(self) -> None:
+        self.start_pool()
+        self._shutdown = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        write_lock = asyncio.Lock()
+        tasks = set()
+        self._log(f"serving on stdio, {self.pool.size} workers")
+
+        async def respond(line: str) -> None:
+            response = await self.handle_line(line)
+            if response is None:
+                return
+            async with write_lock:
+                sys.stdout.write(response)
+                sys.stdout.flush()
+
+        while not self._shutdown.is_set():
+            read = loop.run_in_executor(None, sys.stdin.readline)
+            stop = asyncio.ensure_future(self._shutdown.wait())
+            done, _ = await asyncio.wait(
+                {read, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if read in done:
+                stop.cancel()
+                line = read.result()
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            else:
+                # shutdown requested: the blocked readline is abandoned
+                # (the interpreter exits right after cleanup).
+                break
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._log("stdio transport closed")
+
+    async def _amain_tcp(self, host: str, port: int) -> None:
+        self.start_pool()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._on_connection, host, port)
+        addrs = ", ".join(
+            str(s.getsockname()) for s in server.sockets or ()
+        )
+        self._log(f"serving on {addrs}, {self.pool.size} workers")
+        # Readiness marker on stdout: scripts wait for this line.
+        print(f"repro-serve: listening on {host}:{port}", flush=True)
+        async with server:
+            await self._shutdown.wait()
+        self._log("tcp transport closed")
+
+    async def _on_connection(self, reader, writer) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def respond(line: str) -> None:
+            response = await self.handle_line(line)
+            if response is None:
+                return
+            async with write_lock:
+                try:
+                    writer.write(response.encode("utf-8"))
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass  # client went away mid-response
+
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except ConnectionError:
+                    break
+                except asyncio.CancelledError:
+                    break  # server shutting down with this connection open
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(respond(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def handle_line(self, line: str) -> Optional[str]:
+        """Decode one request line, dispatch it, encode the response."""
+        try:
+            req = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            self.protocol_errors += 1
+            return protocol.encode(protocol.error_response(None, str(exc)))
+        try:
+            response = await self.handle_request(req)
+        except Exception as exc:  # noqa: BLE001 - a bug, not a crash
+            response = protocol.error_response(
+                req.get("id"), f"internal error: {type(exc).__name__}: {exc}"
+            )
+        return protocol.encode(response)
+
+    async def handle_request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one decoded request to its op handler (the transport-
+        independent core; in-process tests call this directly)."""
+        op = req["op"]
+        request_id = req.get("id")
+        if op == "ping":
+            return {
+                "id": request_id,
+                "ok": True,
+                "pong": True,
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        if op == "stats":
+            return {"id": request_id, "ok": True, "stats": self.stats()}
+        if op == "shutdown":
+            if self._shutdown is not None:
+                self._shutdown.set()
+            return {"id": request_id, "ok": True, "bye": True}
+        if op == "analyze":
+            return self._op_analyze(req)
+        return await self._op_verify(req)
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "jobs_total": self.jobs_total,
+            "jobs_shed": self.jobs_shed,
+            "jobs_coalesced": self.jobs_coalesced,
+            "protocol_errors": self.protocol_errors,
+            "protocol": protocol.PROTOCOL_VERSION,
+        }
+        out.update(self.cache.snapshot())
+        if self.pool is not None:
+            out.update(
+                workers=self.pool.size,
+                worker_recycles=self.pool.recycles,
+                jobs_done=self.pool.jobs_done,
+                jobs_pending=self.pool.pending(),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    def _op_analyze(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = req.get("id")
+        source = req.get("source")
+        if not isinstance(source, str):
+            return protocol.error_response(
+                request_id, "analyze needs a string 'source'"
+            )
+        from repro.analysis import analyze_program
+        from repro.lang.lexer import LexError
+        from repro.lang.parser import ParseError
+        from repro.lang.sema import SemanticError
+
+        try:
+            report = analyze_program(
+                source,
+                unwind=int(req.get("unwind", 8)),
+                width=int(req.get("width", 8)),
+            )
+        except (LexError, ParseError, SemanticError, ValueError) as exc:
+            return protocol.error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+        return {
+            "id": request_id,
+            "ok": True,
+            "report": {
+                "races": [w.to_dict() for w in report.warnings],
+                "pairs_total": report.pairs_total,
+                "pairs_ordered": report.pairs_ordered,
+                "pairs_protected": report.pairs_protected,
+                "pairs_racy": report.pairs_racy,
+            },
+        }
+
+    async def _op_verify(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = req.get("id")
+        source = req.get("source")
+        if not isinstance(source, str):
+            return protocol.error_response(
+                request_id, "verify needs a string 'source'"
+            )
+        from repro.lang.lexer import LexError
+        from repro.lang.parser import ParseError
+
+        try:
+            config = (
+                VerifierConfig.from_dict(req["config"])
+                if req.get("config")
+                else VerifierConfig()
+            )
+        except ValueError as exc:
+            return protocol.error_response(request_id, f"bad config: {exc}")
+        try:
+            key = cache_key(source, config)
+        except (LexError, ParseError) as exc:
+            return protocol.error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+        self.jobs_total += 1
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._annotate(cached, cache_hit=True, queue_wait_s=0.0)
+            return self._verify_response(request_id, cached, cache_hit=True)
+
+        deadline_s = req.get("deadline_s")
+        if deadline_s is None:
+            deadline_s = self.default_time_limit_s
+
+        # Single-flight: an identical request is already computing -- await
+        # its clean result instead of submitting a duplicate job.
+        waiter = self._inflight.get(key)
+        if waiter is not None:
+            timeout = (
+                None if deadline_s is None else deadline_s + _DEADLINE_GRACE_S
+            )
+            try:
+                shared = await asyncio.wait_for(
+                    asyncio.shield(waiter), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                return self._verify_response(
+                    request_id,
+                    self._deadline_result(config, deadline_s),
+                    cache_hit=False,
+                )
+            if shared is not None:
+                self.jobs_coalesced += 1
+                result = copy.deepcopy(shared)
+                self._annotate(result, cache_hit=True, queue_wait_s=0.0)
+                return self._verify_response(request_id, result, cache_hit=True)
+            # The in-flight job ended without a shareable (conclusive)
+            # verdict; fall through and compute this request independently.
+
+        self.start_pool()
+        if self.pool.pending() >= self.max_queue:
+            self.jobs_shed += 1
+            return self._verify_response(
+                request_id,
+                self._shed_result(config),
+                cache_hit=False,
+            )
+
+        if deadline_s is not None:
+            limit = config.time_limit_s
+            limit = deadline_s if limit is None else min(limit, deadline_s)
+            config = config.with_(time_limit_s=limit)
+
+        waiter = asyncio.get_running_loop().create_future()
+        self._inflight[key] = waiter
+        clean: Optional[Dict] = None
+        try:
+            _, fut, _ = self.pool.submit(source, config.to_dict())
+            timeout = (
+                None if deadline_s is None else deadline_s + _DEADLINE_GRACE_S
+            )
+            try:
+                payload = await asyncio.wait_for(
+                    asyncio.wrap_future(fut), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                return self._verify_response(
+                    request_id,
+                    self._deadline_result(config, deadline_s),
+                    cache_hit=False,
+                )
+            except RuntimeError as exc:  # pool shut down under us
+                return protocol.error_response(request_id, str(exc))
+
+            if "input_error" in payload:
+                return protocol.error_response(
+                    request_id, payload["input_error"]
+                )
+            if "error" in payload:
+                result = VerificationResult(
+                    Verdict.ERROR,
+                    config.name,
+                    diagnostic=payload["error"],
+                    stats=normalize_stats({}),
+                ).to_dict()
+            else:
+                result = payload["result"]
+                # Conclusive verdicts are cached *before* annotation so the
+                # stored entry is a clean verdict, not this request's
+                # timings; the same clean copy resolves the single-flight
+                # waiter for any coalesced duplicates.
+                if self.cache.put(key, result):
+                    clean = copy.deepcopy(result)
+            self._annotate(
+                result,
+                cache_hit=False,
+                queue_wait_s=payload.get("queue_wait_s", 0.0),
+            )
+            return self._verify_response(request_id, result, cache_hit=False)
+        finally:
+            if self._inflight.get(key) is waiter:
+                del self._inflight[key]
+            if not waiter.done():
+                waiter.set_result(clean)
+
+    def _deadline_result(
+        self, config: VerifierConfig, deadline_s: float
+    ) -> Dict:
+        """The structured UNKNOWN for a request whose deadline expired
+        before its job (or the coalesced-onto job) answered."""
+        result = VerificationResult(
+            Verdict.UNKNOWN,
+            config.name,
+            wall_time_s=deadline_s or 0.0,
+            diagnostic=(
+                "service deadline exceeded: worker did not answer "
+                f"within {deadline_s:g}s (+{_DEADLINE_GRACE_S:g}s grace)"
+            ),
+            stats=normalize_stats({"reason": "deadline"}),
+        ).to_dict()
+        self._annotate(result, cache_hit=False, queue_wait_s=0.0)
+        return result
+
+    def _annotate(
+        self, result: Dict, cache_hit: bool, queue_wait_s: float
+    ) -> None:
+        """Stamp the service counters into a wire result's stats."""
+        stats = result.setdefault("stats", {})
+        stats["cache_hit"] = int(cache_hit)
+        stats["queue_wait_s"] = queue_wait_s
+        stats["worker_recycles"] = (
+            self.pool.recycles if self.pool is not None else 0
+        )
+
+    def _shed_result(self, config: VerifierConfig) -> Dict:
+        """Admission control: the structured UNKNOWN for a shed job."""
+        result = VerificationResult(
+            Verdict.UNKNOWN,
+            config.name,
+            diagnostic=(
+                f"admission control: {self.pool.pending()} jobs queued "
+                f">= cap {self.max_queue} (reason=overloaded)"
+            ),
+            stats=normalize_stats({"reason": "overloaded"}),
+        ).to_dict()
+        self._annotate(result, cache_hit=False, queue_wait_s=0.0)
+        return result
+
+    def _verify_response(
+        self, request_id: Any, result: Dict, cache_hit: bool
+    ) -> Dict[str, Any]:
+        return {
+            "id": request_id,
+            "ok": True,
+            "result": result,
+            "cache_hit": cache_hit,
+            "queue_wait_s": result.get("stats", {}).get("queue_wait_s", 0.0),
+        }

@@ -1,0 +1,322 @@
+"""The warm worker pool behind the verification service.
+
+Verification is CPU-bound pure Python, so concurrency comes from worker
+*processes*.  What makes them "warm" is lifecycle, not magic:
+
+* every worker **pre-imports the whole solver stack** on startup (parser,
+  SSA frontend, encoder, SAT core, T_ord theory, baselines), so no job
+  ever pays cold-import latency -- under the default ``fork`` start
+  method the import cost is paid exactly once, in the parent;
+* workers are **recycled** -- retired and replaced by a fresh process --
+  after ``recycle_after`` jobs, and immediately after any job that
+  exhausted its *memory* budget: CPython rarely returns freed heap to the
+  OS, so a worker that just built a pathological encoding stays bloated
+  forever unless replaced.  The pool's ``recycles`` counter is surfaced
+  as the ``worker_recycles`` service stat;
+* a worker that **dies mid-job** (OOM killer, segfault) is detected by
+  the collector; its in-flight jobs fail with an ERROR payload instead of
+  hanging their requests, and a replacement is spawned.
+
+Jobs are ``(source, config_dict)`` pairs submitted with
+:meth:`WorkerPool.submit`, which returns a
+:class:`concurrent.futures.Future` resolving to the wire-format result
+dict -- the asyncio server awaits these with ``asyncio.wrap_future``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+__all__ = ["WorkerPool"]
+
+#: Fallback pool size: half the machine for solving, capped -- the server
+#: process itself needs headroom for parsing/canonicalization.
+_DEFAULT_SIZE = max(1, min(4, (os.cpu_count() or 2) // 2))
+
+#: Message kinds on the result queue.
+_MSG_START = "start"
+_MSG_DONE = "done"
+
+
+def _warm_imports() -> None:
+    """Import every module a verification job touches.
+
+    Ordered roughly by import cost; the point is that the *first* job on
+    a fresh worker is as fast as the hundredth.
+    """
+    import repro.lang.parser  # noqa: F401
+    import repro.lang.sema  # noqa: F401
+    import repro.frontend.ssa  # noqa: F401
+    import repro.analysis.prune  # noqa: F401
+    import repro.encoding.encoder  # noqa: F401
+    import repro.encoding.bitblast  # noqa: F401
+    import repro.sat.solver  # noqa: F401
+    import repro.ordering.solver  # noqa: F401
+    import repro.ordering.icd  # noqa: F401
+    import repro.ordering.tarjan  # noqa: F401
+    import repro.baselines.closure  # noqa: F401
+    import repro.baselines.explicit  # noqa: F401
+    import repro.baselines.lazyseq  # noqa: F401
+    import repro.baselines.idl  # noqa: F401
+    import repro.smc.rfsc  # noqa: F401
+    import repro.smc.genmc  # noqa: F401
+    import repro.verify.verifier  # noqa: F401
+    import repro.verify.engines  # noqa: F401
+
+
+def _worker_main(wid: int, job_q, result_q, recycle_after: int) -> None:
+    """Worker process entry point: warm up, then serve jobs until retired.
+
+    Reports ``(job_id, wid, kind, payload, wall_ts)`` tuples: a ``start``
+    when a job is picked up (lets the parent attribute in-flight jobs and
+    measure queue wait) and a ``done`` with the result payload.  Retires
+    itself -- finishes the current job, announces why, and exits -- after
+    the job quota or a memory-budget-triggered UNKNOWN.
+    """
+    _warm_imports()
+    from repro.lang.lexer import LexError
+    from repro.lang.parser import ParseError
+    from repro.lang.sema import SemanticError
+    from repro.verify.config import VerifierConfig
+    from repro.verify.verifier import verify_one
+
+    jobs_done = 0
+    while True:
+        item = job_q.get()
+        if item is None:
+            return
+        job_id, source, config_dict = item
+        result_q.put((job_id, wid, _MSG_START, None, time.time()))
+        try:
+            config = (
+                VerifierConfig.from_dict(config_dict)
+                if config_dict
+                else VerifierConfig()
+            )
+            result = verify_one(source, config)
+            payload = {"result": result.to_dict()}
+        except (LexError, ParseError, SemanticError, ValueError) as exc:
+            # Input errors: bad program text or a bad config dict.
+            payload = {"input_error": f"{type(exc).__name__}: {exc}"}
+        except BaseException as exc:  # noqa: BLE001 - report, then retire
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        jobs_done += 1
+        retire = None
+        if "error" in payload:
+            retire = "crash"
+        elif jobs_done >= recycle_after:
+            retire = "jobs"
+        elif _hit_memory_budget(payload):
+            retire = "memory"
+        payload["retire"] = retire
+        result_q.put((job_id, wid, _MSG_DONE, payload, time.time()))
+        if retire is not None:
+            return
+
+
+def _hit_memory_budget(payload: Dict) -> bool:
+    """Did this job end as a memory-budget UNKNOWN?  The worker's heap is
+    then bloated with an encoding CPython will not return to the OS."""
+    result = payload.get("result")
+    if not result or result.get("verdict") != "unknown":
+        return False
+    return result.get("stats", {}).get("budget_limit") == "memory"
+
+
+class WorkerPool:
+    """A fixed-size pool of warm, recycled verification workers."""
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        recycle_after: int = 64,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if recycle_after < 1:
+            raise ValueError(f"recycle_after must be >= 1, got {recycle_after}")
+        self.size = size or _DEFAULT_SIZE
+        self.recycle_after = recycle_after
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._ctx = mp_context
+        self._job_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._futures: Dict[int, Future] = {}
+        self._submitted_at: Dict[int, float] = {}
+        self._queue_wait: Dict[int, float] = {}
+        self._assigned: Dict[int, int] = {}  # job_id -> wid
+        self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._job_ids = itertools.count(1)
+        self._wids = itertools.count(1)
+        #: Workers replaced so far (quota, memory recycle, or death).
+        self.recycles = 0
+        self.jobs_done = 0
+        self._closed = False
+        for _ in range(self.size):
+            self._spawn_worker()
+        self._collector = threading.Thread(
+            target=self._collect, name="service-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Parent-side API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, source: str, config_dict: Optional[Dict]
+    ) -> Tuple[int, Future, float]:
+        """Enqueue one job; returns ``(job_id, future, submitted_at)``.
+
+        The future resolves to the worker's payload dict:
+        ``{"result": ...}`` on a completed verification (any verdict),
+        ``{"input_error": ...}`` on bad input, or raises on worker death.
+        The payload also carries ``queue_wait_s`` once resolved.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is shut down")
+        fut: Future = Future()
+        submitted = time.time()
+        with self._lock:
+            job_id = next(self._job_ids)
+            self._futures[job_id] = fut
+            self._submitted_at[job_id] = submitted
+        self._job_q.put((job_id, source, config_dict))
+        return job_id, fut, submitted
+
+    def pending(self) -> int:
+        """Jobs submitted but not yet resolved (queued + in flight)."""
+        with self._lock:
+            return len(self._futures)
+
+    def shutdown(self, grace_s: float = 2.0) -> None:
+        """Stop the pool: sentinel every worker, then escalate."""
+        self._closed = True
+        for _ in range(len(self._procs)):
+            try:
+                self._job_q.put_nowait(None)
+            except Exception:
+                break
+        deadline = time.monotonic() + grace_s
+        for proc in list(self._procs.values()):
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+        with self._lock:
+            futures = list(self._futures.values())
+            self._futures.clear()
+            self._submitted_at.clear()
+            self._queue_wait.clear()
+            self._assigned.clear()
+        for fut in futures:
+            if not fut.done():
+                fut.set_exception(RuntimeError("worker pool shut down"))
+        self._job_q.close()
+        self._job_q.cancel_join_thread()
+        self._result_q.close()
+        self._result_q.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        wid = next(self._wids)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self._job_q, self._result_q, self.recycle_after),
+            daemon=True,
+            name=f"service-worker-{wid}",
+        )
+        proc.start()
+        self._procs[wid] = proc
+
+    def _collect(self) -> None:
+        """Collector thread: resolve futures, recycle retired workers,
+        reap the dead."""
+        while not self._closed:
+            try:
+                job_id, wid, kind, payload, wall_ts = self._result_q.get(
+                    timeout=0.2
+                )
+            except (queue_mod.Empty, OSError, EOFError):
+                self._reap_dead()
+                continue
+            if kind == _MSG_START:
+                # Wall-clock queue wait, measured across processes (same
+                # machine, same clock).
+                with self._lock:
+                    self._assigned[job_id] = wid
+                    submitted = self._submitted_at.pop(job_id, None)
+                    if submitted is not None:
+                        self._queue_wait[job_id] = max(0.0, wall_ts - submitted)
+                continue
+            with self._lock:
+                fut = self._futures.pop(job_id, None)
+                wait = self._queue_wait.pop(job_id, 0.0)
+                self._submitted_at.pop(job_id, None)
+                self._assigned.pop(job_id, None)
+            retire = payload.pop("retire", None) if payload else None
+            if fut is not None and not fut.done():
+                payload = payload or {}
+                payload["queue_wait_s"] = round(wait, 6)
+                self.jobs_done += 1
+                fut.set_result(payload)
+            if retire is not None:
+                self._retire(wid)
+        # Drain on shutdown: nothing to do, shutdown() fails leftovers.
+
+    def _retire(self, wid: int) -> None:
+        """A worker announced retirement: join it, spawn a replacement."""
+        proc = self._procs.pop(wid, None)
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+        self.recycles += 1
+        if not self._closed:
+            self._spawn_worker()
+
+    def _reap_dead(self) -> None:
+        """Detect workers that died without retiring; fail their jobs."""
+        dead = [w for w, p in self._procs.items() if not p.is_alive()]
+        for wid in dead:
+            proc = self._procs.pop(wid)
+            proc.join(timeout=0.5)
+            with self._lock:
+                lost = [
+                    j for j, w in self._assigned.items() if w == wid
+                ]
+                futures = []
+                for job_id in lost:
+                    fut = self._futures.pop(job_id, None)
+                    self._submitted_at.pop(job_id, None)
+                    self._queue_wait.pop(job_id, None)
+                    self._assigned.pop(job_id, None)
+                    if fut is not None:
+                        futures.append(fut)
+            for fut in futures:
+                if not fut.done():
+                    fut.set_result(
+                        {
+                            "error": "worker died mid-job "
+                            f"(exitcode {proc.exitcode})"
+                        }
+                    )
+            self.recycles += 1
+            if not self._closed:
+                self._spawn_worker()

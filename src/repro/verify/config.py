@@ -4,10 +4,10 @@ evaluation (Section 6)."""
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-__all__ = ["VerifierConfig", "PRESETS"]
+__all__ = ["VerifierConfig", "PRESETS", "ENV_VARS", "env_overrides"]
 
 
 def _schedule_from_env(unwind: int) -> Tuple[int, ...]:
@@ -239,6 +239,168 @@ class VerifierConfig:
 
     def with_(self, **kw) -> "VerifierConfig":
         return replace(self, **kw)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready field dict; the exact inverse of :meth:`from_dict`.
+
+        Env-resolved knobs (``prune_level``, ``audit``, ``unwind_schedule``)
+        are emitted in their *resolved* form, so a config shipped to a
+        verification server behaves identically there regardless of the
+        server's environment.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerifierConfig":
+        """Rebuild a config from :meth:`to_dict` output (JSON lists are
+        coerced back to tuples).
+
+        A ``"preset"`` key selects a factory from :data:`PRESETS` with the
+        remaining keys as overrides -- the wire form clients use to say
+        "zord, but with this unwind".  Unknown keys raise ``ValueError``
+        (a typoed knob silently ignored would verify the wrong thing).
+        """
+        kw = dict(data)
+        preset = kw.pop("preset", None)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kw) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown VerifierConfig field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        for key in ("fallbacks", "unwind_schedule"):
+            if kw.get(key) is not None:
+                kw[key] = tuple(kw[key])
+        if preset is not None:
+            if preset not in PRESETS:
+                raise ValueError(
+                    f"unknown preset {preset!r}; available: "
+                    f"{', '.join(sorted(PRESETS))}"
+                )
+            kw.pop("name", None)  # the factory owns the display name
+            try:
+                return PRESETS[preset](**kw)
+            except TypeError as exc:
+                # e.g. overriding a knob the preset factory pins itself
+                raise ValueError(f"preset {preset!r}: {exc}") from None
+        return cls(**kw)
+
+
+# ----------------------------------------------------------------------
+# Environment knob inventory
+# ----------------------------------------------------------------------
+
+#: Every ``REPRO_*`` environment variable the code base reads, with a
+#: one-line contract.  :func:`env_overrides` is the single documented
+#: reader; ``tests/service/test_env_overrides.py`` greps the source tree
+#: and fails when a knob ships without an inventory row here.
+ENV_VARS: Dict[str, str] = {
+    "REPRO_PRUNE": (
+        "static-analysis encoding pruning level 0..2 "
+        "(VerifierConfig.prune_level default; invalid -> 2)"
+    ),
+    "REPRO_UNWIND_SCHEDULE": (
+        "iterative-deepening BMC schedule: 1/true = doubling to the "
+        "unwind bound, comma list = explicit bounds, unset/0 = one-shot "
+        "(VerifierConfig.unwind_schedule default)"
+    ),
+    "REPRO_AUDIT": (
+        "1/true/yes/on arms the SAT-core/theory invariant auditor "
+        "(VerifierConfig.audit default; see repro.oracle.audit)"
+    ),
+    "REPRO_FAULTS": (
+        "deterministic fault injection, comma list of ACTION@CHECKPOINT"
+        "[:ARG] specs (see repro.robustness.faults; propagates to forked "
+        "workers)"
+    ),
+    "REPRO_BENCH_JOBS": (
+        "worker processes for the benchmark engine grids "
+        "(benchmarks/conftest.py; 1 = serial, the default)"
+    ),
+    "REPRO_SERVER": (
+        "address of a running verification service (HOST:PORT); when set, "
+        "repro.api.verify routes jobs through it instead of solving "
+        "in-process (see docs/SERVICE.md)"
+    ),
+}
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def env_overrides(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Read every documented ``REPRO_*`` knob from ``environ`` (default:
+    ``os.environ``) into one dict, parsed the way its consumer parses it.
+
+    Returns a dict with exactly the keys of :data:`ENV_VARS`; unset knobs
+    map to ``None``.  Parsed values:
+
+    * ``REPRO_PRUNE`` -> ``int`` (invalid text falls back to 2, matching
+      :class:`VerifierConfig`);
+    * ``REPRO_UNWIND_SCHEDULE`` -> ``"doubling"``, a bound tuple, or
+      ``None`` for off/unset;
+    * ``REPRO_AUDIT`` -> ``bool``;
+    * ``REPRO_FAULTS`` -> tuple of fault-spec strings;
+    * ``REPRO_BENCH_JOBS`` -> ``int``;
+    * ``REPRO_SERVER`` -> the address string, stripped.
+    """
+    env = os.environ if environ is None else environ
+
+    def raw(name: str) -> Optional[str]:
+        value = env.get(name)
+        if value is None or not value.strip():
+            return None
+        return value.strip()
+
+    out: Dict[str, Any] = dict.fromkeys(ENV_VARS)
+    prune = raw("REPRO_PRUNE")
+    if prune is not None:
+        try:
+            out["REPRO_PRUNE"] = int(prune)
+        except ValueError:
+            out["REPRO_PRUNE"] = 2
+    schedule = raw("REPRO_UNWIND_SCHEDULE")
+    if schedule is not None:
+        lowered = schedule.lower()
+        if lowered in ("0", "false"):
+            out["REPRO_UNWIND_SCHEDULE"] = None
+        elif lowered in ("1", "true"):
+            out["REPRO_UNWIND_SCHEDULE"] = "doubling"
+        else:
+            try:
+                out["REPRO_UNWIND_SCHEDULE"] = tuple(
+                    int(p) for p in schedule.split(",") if p.strip()
+                )
+            except ValueError:
+                out["REPRO_UNWIND_SCHEDULE"] = None
+    audit = raw("REPRO_AUDIT")
+    if audit is not None:
+        out["REPRO_AUDIT"] = audit.lower() in _TRUTHY
+    faults = raw("REPRO_FAULTS")
+    if faults is not None:
+        out["REPRO_FAULTS"] = tuple(
+            p.strip() for p in faults.split(",") if p.strip()
+        )
+    jobs = raw("REPRO_BENCH_JOBS")
+    if jobs is not None:
+        try:
+            out["REPRO_BENCH_JOBS"] = int(jobs)
+        except ValueError:
+            out["REPRO_BENCH_JOBS"] = 1
+    out["REPRO_SERVER"] = raw("REPRO_SERVER")
+    return out
 
 
 #: The named tool presets of the Section 6 evaluation, keyed by display

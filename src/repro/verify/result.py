@@ -7,7 +7,12 @@ from typing import Dict, Optional
 
 from repro.verify.witness import Trace
 
-__all__ = ["Verdict", "VerificationResult"]
+__all__ = ["Verdict", "VerificationResult", "SCHEMA_VERSION"]
+
+#: Version of the :meth:`VerificationResult.to_dict` wire schema.  Bump on
+#: any field addition/rename; :meth:`VerificationResult.from_dict` rejects
+#: versions it does not know rather than guessing.
+SCHEMA_VERSION = 1
 
 
 class Verdict:
@@ -55,6 +60,51 @@ class VerificationResult:
     @property
     def is_error(self) -> bool:
         return self.verdict == Verdict.ERROR
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (the service wire format).
+
+        The schema is versioned (``schema_version``); ``from_dict`` is the
+        exact inverse for every JSON-representable payload: verdict,
+        timing, stats, diagnostic, fallback attempts, the witness trace
+        (replayable, see :meth:`Trace.to_dict`) and SMC schedules all
+        survive a ``to_dict -> json -> from_dict`` round-trip.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "verdict": self.verdict,
+            "config_name": self.config_name,
+            "wall_time_s": self.wall_time_s,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "witness": None if self.witness is None else self.witness.to_dict(),
+            "schedule": self.schedule,
+            "stats": dict(self.stats),
+            "trace_path": self.trace_path,
+            "diagnostic": self.diagnostic,
+            "attempts": list(self.attempts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VerificationResult":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported VerificationResult schema version {version!r} "
+                f"(this library speaks version {SCHEMA_VERSION})"
+            )
+        witness = data.get("witness")
+        return cls(
+            verdict=data["verdict"],
+            config_name=data["config_name"],
+            wall_time_s=data.get("wall_time_s", 0.0),
+            peak_memory_bytes=data.get("peak_memory_bytes", 0),
+            witness=None if witness is None else Trace.from_dict(witness),
+            schedule=data.get("schedule"),
+            stats=dict(data.get("stats", {})),
+            trace_path=data.get("trace_path"),
+            diagnostic=data.get("diagnostic"),
+            attempts=list(data.get("attempts", ())),
+        )
 
     def __str__(self) -> str:
         out = f"[{self.config_name}] {self.verdict.upper()} in {self.wall_time_s:.3f}s"

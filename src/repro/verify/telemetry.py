@@ -79,6 +79,10 @@ STAT_KEYS = (
     "analysis_pairs_total",
     "analysis_pairs_pruned",
     "analysis_time_s",
+    # verification service (repro.service); zero for in-process runs
+    "cache_hit",
+    "queue_wait_s",
+    "worker_recycles",
 )
 
 

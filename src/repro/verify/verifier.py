@@ -37,12 +37,12 @@ from repro.verify.result import Verdict, VerificationResult
 from repro.verify.telemetry import TraceWriter, attach_telemetry, normalize_stats
 from repro.verify.witness import extract_trace
 
-__all__ = ["verify", "run_smt_engine"]
+__all__ = ["verify_one", "run_smt_engine"]
 
 _CONCLUSIVE = (Verdict.SAFE, Verdict.UNSAFE)
 
 
-def verify(
+def verify_one(
     program: Union[str, ast.Program],
     config: Optional[VerifierConfig] = None,
     measure_memory: bool = False,
@@ -111,6 +111,26 @@ def verify(
         result.attempts = [a.as_dict() for a in attempts]
         result.stats["fallback_attempts"] = len(attempts)
     return result
+
+
+def __getattr__(name: str):
+    # Legacy import path: ``from repro.verify.verifier import verify``.
+    # The supported spellings are ``repro.api.verify`` (the public facade,
+    # with portfolio dispatch and service routing) and ``repro.verify
+    # .verify`` (the in-process engine entry point, aliased to
+    # :func:`verify_one`).
+    if name == "verify":
+        import warnings
+
+        warnings.warn(
+            "importing verify from repro.verify.verifier is deprecated; "
+            "use repro.api.verify (public facade) or repro.verify.verify "
+            "(in-process engine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return verify_one
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _verify_attempt(

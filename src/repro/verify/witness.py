@@ -36,6 +36,27 @@ class TraceStep:
         op = "read" if self.kind == "R" else "write"
         return f"{self.thread}: {op} {self.addr} = {self.value}"
 
+    def to_dict(self) -> Dict:
+        return {
+            "thread": self.thread,
+            "kind": self.kind,
+            "addr": self.addr,
+            "value": self.value,
+            "label": self.label,
+            "eid": self.eid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceStep":
+        return cls(
+            thread=data["thread"],
+            kind=data["kind"],
+            addr=data["addr"],
+            value=data["value"],
+            label=data.get("label", ""),
+            eid=data.get("eid", -1),
+        )
+
 
 @dataclass
 class Trace:
@@ -53,6 +74,24 @@ class Trace:
 
     def values_of(self, addr: str) -> List[int]:
         return [s.value for s in self.steps if s.addr == addr]
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (the service wire format); exact inverse of
+        :meth:`from_dict` -- replayability of the witness survives the
+        round-trip because step event ids and nondet values are kept."""
+        return {
+            "steps": [s.to_dict() for s in self.steps],
+            "nondet_values": [list(t) for t in self.nondet_values],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Trace":
+        return cls(
+            steps=[TraceStep.from_dict(s) for s in data.get("steps", ())],
+            nondet_values=[
+                (t[0], t[1], t[2]) for t in data.get("nondet_values", ())
+            ],
+        )
 
 
 class _ModelEnv(dict):

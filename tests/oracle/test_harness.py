@@ -3,7 +3,7 @@
 import json
 
 from repro.oracle.harness import _consensus, fuzz, run_program
-from repro.verify import verifier as verifier_mod
+from repro import api as api_mod  # run_program verifies via the repro.api facade
 from repro.oracle.matrix import EngineSpec, build_matrix
 from repro.oracle.report import EngineOutcome, FuzzReport
 from repro.verify import Verdict
@@ -51,7 +51,7 @@ class TestRunProgram:
     def test_verdict_mismatch_detected(self, monkeypatch):
         answers = iter([Verdict.SAFE, Verdict.UNSAFE])
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(next(answers)),
         )
         specs = [fake_spec("a"), fake_spec("b")]
@@ -62,7 +62,7 @@ class TestRunProgram:
     def test_unknown_never_indicts(self, monkeypatch):
         answers = iter([Verdict.SAFE, Verdict.UNKNOWN])
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(next(answers)),
         )
         _, findings = run_program(RACY, [fake_spec("a"), fake_spec("b")], replay=False)
@@ -71,7 +71,7 @@ class TestRunProgram:
     def test_unsound_safe_engine_cannot_indict(self, monkeypatch):
         answers = iter([Verdict.SAFE, Verdict.UNSAFE])
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(next(answers)),
         )
         specs = [fake_spec("a", sound_safe=False), fake_spec("b")]
@@ -80,7 +80,7 @@ class TestRunProgram:
 
     def test_engine_error_classified(self, monkeypatch):
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(Verdict.ERROR, diagnostic="boom"),
         )
         _, findings = run_program(RACY, [fake_spec()], replay=False)
@@ -88,7 +88,7 @@ class TestRunProgram:
 
     def test_audit_violation_classified(self, monkeypatch):
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(
                 Verdict.ERROR, diagnostic="AuditError: ord not a permutation"
             ),
@@ -100,7 +100,7 @@ class TestRunProgram:
         # An UNSAFE verdict whose witness claims an impossible read.
         bogus = Trace(steps=[TraceStep("inc1", "R", "counter", 99, eid=0)])
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(Verdict.UNSAFE, witness=bogus),
         )
         specs = [fake_spec(replayable=True)]
@@ -132,7 +132,7 @@ class TestFuzz:
 
     def test_max_findings_stops_early(self, monkeypatch):
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(Verdict.ERROR, diagnostic="boom"),
         )
         report = fuzz(
@@ -147,7 +147,7 @@ class TestFuzz:
 
     def test_shrunk_finding_is_minimized(self, monkeypatch):
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(Verdict.ERROR, diagnostic="boom"),
         )
         report = fuzz(
@@ -170,7 +170,7 @@ class TestFuzz:
 
     def test_report_jsonl(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
-            verifier_mod, "verify",
+            api_mod, "verify",
             lambda src, cfg: FakeResult(Verdict.ERROR, diagnostic="boom"),
         )
         report = fuzz(

@@ -1,0 +1,125 @@
+"""Wire serialization: exact JSON round-trips for every result type.
+
+The service moves :class:`VerificationResult` (with witnesses),
+:class:`RaceWarning`, and :class:`VerifierConfig` across process
+boundaries as JSON.  These tests pin the invariant the protocol relies
+on: ``from_dict(json.loads(json.dumps(to_dict(x))))`` reconstructs an
+object whose re-serialization is *bit-identical* -- nothing is lost to
+tuples-vs-lists, enum coercion, or float formatting.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.verify import verify
+from repro.verify.config import PRESETS, VerifierConfig
+from repro.verify.result import SCHEMA_VERSION, Verdict, VerificationResult
+
+SAFE_PROGRAM = """
+int x = 0;
+thread t { x = x + 1; }
+main { start t; join t; assert(x == 1); }
+"""
+
+UNSAFE_PROGRAM = """
+int c = 0;
+thread a { int t; t = c; c = t + 1; }
+thread b { int t; t = c; c = t + 1; }
+main { start a; start b; join a; join b; assert(c == 2); }
+"""
+
+RACY_PROGRAM = """
+int x = 0;
+thread t1 { x = 1; }
+thread t2 { int a; a = x; }
+main { start t1; start t2; join t1; join t2; assert(x >= 0); }
+"""
+
+
+def roundtrip(result: VerificationResult) -> VerificationResult:
+    wire = json.dumps(result.to_dict())
+    return VerificationResult.from_dict(json.loads(wire))
+
+
+class TestVerificationResultRoundTrip:
+    def test_safe_result_exact(self):
+        result = verify(SAFE_PROGRAM, VerifierConfig(unwind=4))
+        again = roundtrip(result)
+        assert again.to_dict() == result.to_dict()
+        assert again.verdict == Verdict.SAFE
+
+    def test_unsafe_result_keeps_witness(self):
+        """The witness (trace steps, nondet values, schedule) survives,
+        so a round-tripped UNSAFE result is still replayable."""
+        result = verify(UNSAFE_PROGRAM, VerifierConfig(unwind=4))
+        assert result.verdict == Verdict.UNSAFE
+        assert result.witness is not None
+        again = roundtrip(result)
+        assert again.to_dict() == result.to_dict()
+        assert len(again.witness.steps) == len(result.witness.steps)
+        assert again.witness.nondet_values == result.witness.nondet_values
+        assert again.schedule == result.schedule
+
+    def test_fallback_attempts_survive(self):
+        config = PRESETS["zord"](unwind=4, fallbacks=("cbmc",))
+        result = verify(SAFE_PROGRAM, config)
+        again = roundtrip(result)
+        assert again.to_dict() == result.to_dict()
+        assert again.attempts == result.attempts
+
+    def test_stats_columns_survive(self):
+        result = verify(SAFE_PROGRAM, VerifierConfig(unwind=4))
+        again = roundtrip(result)
+        assert again.stats == result.stats
+
+    def test_schema_version_stamped(self):
+        wire = verify(SAFE_PROGRAM, VerifierConfig(unwind=4)).to_dict()
+        assert wire["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_schema_version_rejected(self):
+        wire = verify(SAFE_PROGRAM, VerifierConfig(unwind=4)).to_dict()
+        wire["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            VerificationResult.from_dict(wire)
+
+
+class TestRaceWarningRoundTrip:
+    def test_exact(self):
+        report = analyze_program(RACY_PROGRAM, unwind=4)
+        assert report.warnings, "corpus program must produce a warning"
+        from repro.analysis.races import RaceWarning
+
+        for warning in report.warnings:
+            wire = json.dumps(warning.to_dict())
+            again = RaceWarning.from_dict(json.loads(wire))
+            assert again == warning
+            assert again.to_dict() == warning.to_dict()
+
+
+class TestVerifierConfigRoundTrip:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_every_preset_exact(self, preset):
+        config = PRESETS[preset](unwind=4, time_limit_s=2.0)
+        wire = json.dumps(config.to_dict())
+        again = VerifierConfig.from_dict(json.loads(wire))
+        assert again == config
+        assert again.to_dict() == config.to_dict()
+
+    def test_tuple_fields_survive(self):
+        config = VerifierConfig(
+            unwind_schedule=(2, 4, 8), fallbacks=("cbmc", "dartagnan")
+        )
+        again = VerifierConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert again.unwind_schedule == (2, 4, 8)
+        assert again.fallbacks == ("cbmc", "dartagnan")
+
+    def test_preset_reference(self):
+        again = VerifierConfig.from_dict({"preset": "zord-tarjan", "unwind": 3})
+        assert again.detector == "tarjan"
+        assert again.unwind == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            VerifierConfig.from_dict({"not_a_knob": 1})
