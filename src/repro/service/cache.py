@@ -21,7 +21,11 @@ search-knob setting, which is what makes sharing entries across search
 configurations sound.  UNKNOWN depends on the budget of the run that
 produced it and ERROR on a transient crash, so :meth:`VerdictCache.put`
 refuses both -- the cache cannot be poisoned by an exhausted or crashed
-run.
+run.  :meth:`VerdictCache.put` also refuses verdicts produced by a
+*fallback* attempt: the cache key signs the request's primary config, but
+a fallback engine answers under its own signature -- e.g. a lazy-cseq
+SAFE only means "no violation within the round bound" and must never be
+served to future requests keyed on a full SMT encoding.
 """
 
 from __future__ import annotations
@@ -49,6 +53,22 @@ __all__ = [
 _CACHEABLE = (Verdict.SAFE, Verdict.UNSAFE)
 
 CacheKey = Tuple[str, Tuple]
+
+
+def _verdict_from_primary(result: Dict) -> bool:
+    """Did the result's verdict come from the request's own config?
+
+    With a fallback chain, ``attempts`` records every link in order; the
+    primary is always first and :func:`repro.verify.verify` stops at the
+    first conclusive attempt.  So the verdict belongs to the primary iff
+    no chain ran at all, or the first attempt is the conclusive one.  A
+    verdict from any later link was produced under the *fallback's*
+    signature, which is not the signature in the cache key.
+    """
+    attempts = result.get("attempts") or ()
+    if not attempts:
+        return True
+    return attempts[0].get("status") == "conclusive"
 
 
 def canonical_source(program: Union[str, ast.Program]) -> str:
@@ -129,9 +149,15 @@ class VerdictCache:
         Inconclusive results are rejected: an UNKNOWN reflects the budget
         of the run that produced it and an ERROR a (possibly transient)
         crash -- serving either to future identical requests would poison
-        the cache with non-verdicts.
+        the cache with non-verdicts.  Fallback verdicts are rejected too:
+        ``key`` signs the primary config, but a verdict from a fallback
+        attempt was produced under the fallback engine's own (different)
+        signature, so storing it would let e.g. a round-bounded baseline
+        SAFE answer for a full SMT solve.
         """
         if result.get("verdict") not in _CACHEABLE:
+            return False
+        if not _verdict_from_primary(result):
             return False
         with self._lock:
             self._entries[key] = copy.deepcopy(result)

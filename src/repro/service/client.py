@@ -28,6 +28,7 @@ import json
 import socket
 import subprocess
 import sys
+import threading
 from typing import Any, Dict, Optional, Union
 
 from repro.service import protocol
@@ -124,6 +125,8 @@ class ServiceClient:
         self._proc = proc
         self._sock = sock
         self._matcher = _RequestMatcher()
+        self._write_lock = threading.Lock()
+        self._read_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -189,25 +192,35 @@ class ServiceClient:
         payload = {"id": request_id, "op": op}
         payload.update(fields)
         try:
-            self._writer.write(protocol.encode(payload))
-            self._writer.flush()
+            with self._write_lock:
+                self._writer.write(protocol.encode(payload))
+                self._writer.flush()
         except (OSError, ValueError, BrokenPipeError) as exc:
             raise ServiceError(f"cannot send request: {exc}") from None
-        stashed = self._matcher.take(request_id)
-        if stashed is not None:
-            return stashed
         while True:
-            try:
-                line = self._reader.readline()
-            except OSError as exc:
-                raise ServiceError(f"cannot read response: {exc}") from None
-            if not line:
-                raise ServiceError("server closed the connection")
-            if not line.strip():
-                continue
-            response = _decode_response(line)
-            if self._matcher.offer(response, request_id):
-                return response
+            stashed = self._matcher.take(request_id)
+            if stashed is not None:
+                return stashed
+            # One reader at a time; a pipelining thread whose response was
+            # read (and stashed) by another thread picks it up on the next
+            # loop turn instead of blocking in readline() forever.
+            with self._read_lock:
+                stashed = self._matcher.take(request_id)
+                if stashed is not None:
+                    return stashed
+                try:
+                    line = self._reader.readline()
+                except OSError as exc:
+                    raise ServiceError(
+                        f"cannot read response: {exc}"
+                    ) from None
+                if not line:
+                    raise ServiceError("server closed the connection")
+                if not line.strip():
+                    continue
+                response = _decode_response(line)
+                if self._matcher.offer(response, request_id):
+                    return response
 
     # ------------------------------------------------------------------
     # Typed operations

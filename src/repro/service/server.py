@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import copy
 import sys
+import threading
 import time
 from typing import Any, Dict, Optional
 
@@ -136,7 +137,7 @@ class ServiceServer:
     async def _amain_stdio(self) -> None:
         self.start_pool()
         self._shutdown = asyncio.Event()
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         write_lock = asyncio.Lock()
         tasks = set()
         self._log(f"serving on stdio, {self.pool.size} workers")
@@ -149,8 +150,26 @@ class ServiceServer:
                 sys.stdout.write(response)
                 sys.stdout.flush()
 
+        # Stdin is read on a dedicated *daemon* thread, not the default
+        # executor: asyncio.run()'s cleanup joins executor threads, so a
+        # readline still blocked there after a ``shutdown`` op would hang
+        # the process until the peer closed stdin.  A daemon thread is
+        # simply abandoned at interpreter exit.
+        line_q: "asyncio.Queue[str]" = asyncio.Queue()
+
+        def _pump_stdin() -> None:
+            while True:
+                line = sys.stdin.readline()
+                loop.call_soon_threadsafe(line_q.put_nowait, line)
+                if not line:
+                    return  # EOF ('' is the sentinel the loop below sees)
+
+        threading.Thread(
+            target=_pump_stdin, name="service-stdin-reader", daemon=True
+        ).start()
+
         while not self._shutdown.is_set():
-            read = loop.run_in_executor(None, sys.stdin.readline)
+            read = asyncio.ensure_future(line_q.get())
             stop = asyncio.ensure_future(self._shutdown.wait())
             done, _ = await asyncio.wait(
                 {read, stop}, return_when=asyncio.FIRST_COMPLETED
@@ -166,8 +185,10 @@ class ServiceServer:
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             else:
-                # shutdown requested: the blocked readline is abandoned
-                # (the interpreter exits right after cleanup).
+                # shutdown requested: stop consuming; the reader thread
+                # stays parked in readline() but, being a daemon thread
+                # outside the executor, never blocks loop cleanup or exit.
+                read.cancel()
                 break
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)

@@ -250,35 +250,38 @@ class WorkerPool:
         reap the dead."""
         while not self._closed:
             try:
-                job_id, wid, kind, payload, wall_ts = self._result_q.get(
-                    timeout=0.2
-                )
-            except (queue_mod.Empty, OSError, EOFError):
+                message = self._result_q.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, EOFError, ValueError):
+                # ValueError: shutdown() closed the queue under us.
                 self._reap_dead()
                 continue
-            if kind == _MSG_START:
-                # Wall-clock queue wait, measured across processes (same
-                # machine, same clock).
-                with self._lock:
-                    self._assigned[job_id] = wid
-                    submitted = self._submitted_at.pop(job_id, None)
-                    if submitted is not None:
-                        self._queue_wait[job_id] = max(0.0, wall_ts - submitted)
-                continue
-            with self._lock:
-                fut = self._futures.pop(job_id, None)
-                wait = self._queue_wait.pop(job_id, 0.0)
-                self._submitted_at.pop(job_id, None)
-                self._assigned.pop(job_id, None)
-            retire = payload.pop("retire", None) if payload else None
-            if fut is not None and not fut.done():
-                payload = payload or {}
-                payload["queue_wait_s"] = round(wait, 6)
-                self.jobs_done += 1
-                fut.set_result(payload)
-            if retire is not None:
-                self._retire(wid)
+            self._handle_message(*message)
         # Drain on shutdown: nothing to do, shutdown() fails leftovers.
+
+    def _handle_message(self, job_id, wid, kind, payload, wall_ts) -> None:
+        """Process one worker message (a job START or DONE)."""
+        if kind == _MSG_START:
+            # Wall-clock queue wait, measured across processes (same
+            # machine, same clock).
+            with self._lock:
+                self._assigned[job_id] = wid
+                submitted = self._submitted_at.pop(job_id, None)
+                if submitted is not None:
+                    self._queue_wait[job_id] = max(0.0, wall_ts - submitted)
+            return
+        with self._lock:
+            fut = self._futures.pop(job_id, None)
+            wait = self._queue_wait.pop(job_id, 0.0)
+            self._submitted_at.pop(job_id, None)
+            self._assigned.pop(job_id, None)
+        retire = payload.pop("retire", None) if payload else None
+        if fut is not None and not fut.done():
+            payload = payload or {}
+            payload["queue_wait_s"] = round(wait, 6)
+            self.jobs_done += 1
+            fut.set_result(payload)
+        if retire is not None:
+            self._retire(wid)
 
     def _retire(self, wid: int) -> None:
         """A worker announced retirement: join it, spawn a replacement."""
@@ -294,8 +297,23 @@ class WorkerPool:
     def _reap_dead(self) -> None:
         """Detect workers that died without retiring; fail their jobs."""
         dead = [w for w, p in self._procs.items() if not p.is_alive()]
+        if not dead:
+            return
+        # A retiring worker exits right after queueing its DONE message,
+        # so "process dead" can be observed before the message is read.
+        # Drain everything already queued first: a completed job's real
+        # payload must win over (and its retirement replace) the
+        # died-mid-job diagnosis below.
+        while True:
+            try:
+                message = self._result_q.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError, ValueError):
+                break  # ValueError: shutdown() closed the queue under us
+            self._handle_message(*message)
         for wid in dead:
-            proc = self._procs.pop(wid)
+            proc = self._procs.pop(wid, None)
+            if proc is None:
+                continue  # retired cleanly via its drained DONE message
             proc.join(timeout=0.5)
             with self._lock:
                 lost = [

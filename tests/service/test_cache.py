@@ -113,6 +113,21 @@ def _result(verdict) -> dict:
     return VerificationResult(verdict, "zord", wall_time_s=0.1).to_dict()
 
 
+def _chained_result(verdict, *statuses) -> dict:
+    """A wire result whose fallback chain ran with the given per-attempt
+    statuses (the verdict belongs to the last non-skipped attempt)."""
+    from repro.robustness.fallback import Attempt
+
+    result = VerificationResult(verdict, "zord", wall_time_s=0.1)
+    result.attempts = [
+        Attempt(f"cfg{i}", "smt/ord" if i == 0 else "lazyseq", status,
+                verdict=verdict if status == "conclusive" else "unknown")
+        .as_dict()
+        for i, status in enumerate(statuses)
+    ]
+    return result.to_dict()
+
+
 class TestVerdictCache:
     def test_miss_then_hit(self):
         cache = VerdictCache()
@@ -132,6 +147,29 @@ class TestVerdictCache:
         assert not cache.put(key, _result(verdict))
         assert len(cache) == 0
         assert cache.get(key) is None
+
+    def test_fallback_verdicts_never_cached(self):
+        """Poisoning guard: the cache key signs the *primary* config, but
+        a verdict from a fallback attempt was produced under the fallback
+        engine's own signature -- e.g. a round-bounded lazy-cseq SAFE must
+        never answer for a full SMT solve."""
+        cache = VerdictCache()
+        key = cache_key(PROGRAM, VerifierConfig())
+        fallback_safe = _chained_result(
+            Verdict.SAFE, "unknown", "conclusive"
+        )
+        assert not cache.put(key, fallback_safe)
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+    def test_primary_verdict_with_chain_is_cached(self):
+        """A chain that concluded on its *first* link answered under the
+        request's own signature; caching it is sound."""
+        cache = VerdictCache()
+        key = cache_key(PROGRAM, VerifierConfig())
+        primary_safe = _chained_result(Verdict.SAFE, "conclusive")
+        assert cache.put(key, primary_safe)
+        assert cache.get(key)["verdict"] == Verdict.SAFE
 
     def test_returned_entry_is_a_private_copy(self):
         cache = VerdictCache()

@@ -12,6 +12,8 @@ import asyncio
 import glob
 import json
 import os
+import socket
+import threading
 
 import pytest
 
@@ -247,6 +249,66 @@ class TestProtocolErrors:
              "config": {"warp_speed": 9}},
         )
         assert not response["ok"] and "bad config" in response["error"]
+
+
+class TestSyncClientPipelining:
+    def test_threads_share_one_connection(self):
+        """Two threads pipeline over one sync client while the server
+        answers out of request order -- whichever thread reads the other's
+        response must stash it, and the owner must find it in the stash
+        instead of blocking in readline() forever."""
+        ours, theirs = socket.socketpair()
+        stream = ours.makefile("rw", encoding="utf-8", newline="\n")
+        client = ServiceClient(stream, stream, sock=ours)
+        peer = theirs.makefile("rw", encoding="utf-8", newline="\n")
+
+        def fake_server():
+            requests = [json.loads(peer.readline()) for _ in range(2)]
+            # Both requests are in before any response goes out, answered
+            # in reverse id order: at least one thread reads a response
+            # that is not its own.
+            for req in sorted(requests, key=lambda r: -r["id"]):
+                peer.write(json.dumps({"id": req["id"], "ok": True}) + "\n")
+            peer.flush()
+
+        responses = {}
+
+        def caller():
+            response = client.request("ping")
+            responses[response["id"]] = response
+
+        server = threading.Thread(target=fake_server, daemon=True)
+        callers = [threading.Thread(target=caller, daemon=True)
+                   for _ in range(2)]
+        server.start()
+        try:
+            for t in callers:
+                t.start()
+            for t in callers:
+                t.join(timeout=10.0)
+            assert not any(t.is_alive() for t in callers), (
+                "pipelined sync request deadlocked"
+            )
+            assert set(responses) == {1, 2}
+            assert all(r["ok"] for r in responses.values())
+        finally:
+            client.close()
+            peer.close()
+            theirs.close()
+
+
+class TestStdioShutdown:
+    def test_shutdown_op_exits_daemon(self):
+        """The 'shutdown' op alone must terminate the daemon -- the
+        stdin reader must not keep the process alive until the peer
+        closes the pipe."""
+        client = ServiceClient.spawn(workers=1)
+        try:
+            assert client.ping()["pong"]
+            client.shutdown()
+            assert client._proc.wait(timeout=30.0) == 0
+        finally:
+            client.close()
 
 
 @pytest.fixture(scope="module")

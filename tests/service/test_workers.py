@@ -1,0 +1,84 @@
+"""Worker-pool unit tests for the collector's reaping logic.
+
+The end-to-end pool behavior (recycling, death recovery) is exercised in
+``test_service_e2e.py``; here we pin down the *race* between a retiring
+worker's final DONE message and the reaper observing its process dead --
+the completed job's real payload must win over the death diagnosis.
+"""
+
+import itertools
+import queue
+import threading
+from concurrent.futures import Future
+
+from repro.service.workers import WorkerPool
+
+
+class _DeadProc:
+    """Stands in for a worker process that has already exited."""
+
+    exitcode = 0
+
+    def is_alive(self):
+        return False
+
+    def join(self, timeout=None):
+        pass
+
+
+def _bare_pool() -> WorkerPool:
+    """A WorkerPool shell with no real processes or collector thread --
+    just the state ``_reap_dead`` / ``_handle_message`` operate on."""
+    pool = WorkerPool.__new__(WorkerPool)
+    pool._lock = threading.Lock()
+    pool._futures = {}
+    pool._submitted_at = {}
+    pool._queue_wait = {}
+    pool._assigned = {}
+    pool._procs = {}
+    pool._result_q = queue.Queue()
+    pool._wids = itertools.count(100)
+    pool.recycles = 0
+    pool.jobs_done = 0
+    pool._closed = False
+    pool._spawn_worker = lambda: None  # no real replacements in this test
+    return pool
+
+
+class TestReapDead:
+    def test_queued_done_message_wins_over_death_diagnosis(self):
+        """A retiring worker exits right after queueing its DONE; if the
+        reaper runs before the collector read that message, the job must
+        still resolve with its real result, not 'worker died mid-job'."""
+        pool = _bare_pool()
+        fut = Future()
+        pool._futures[7] = fut
+        pool._assigned[7] = 1
+        pool._procs[1] = _DeadProc()
+        payload = {"result": {"verdict": "safe"}, "retire": "jobs"}
+        pool._result_q.put((7, 1, "done", payload, 0.0))
+
+        pool._reap_dead()
+
+        assert fut.done()
+        assert fut.result()["result"]["verdict"] == "safe"
+        assert "error" not in fut.result()
+        # The retirement was honored exactly once (via the DONE message,
+        # not a second time via the death path).
+        assert pool.recycles == 1
+        assert pool._futures == {} and pool._assigned == {}
+
+    def test_truly_dead_worker_still_fails_its_job(self):
+        """With nothing queued, a dead worker's in-flight job resolves to
+        the died-mid-job error as before."""
+        pool = _bare_pool()
+        fut = Future()
+        pool._futures[9] = fut
+        pool._assigned[9] = 2
+        pool._procs[2] = _DeadProc()
+
+        pool._reap_dead()
+
+        assert fut.done()
+        assert "worker died mid-job" in fut.result()["error"]
+        assert pool.recycles == 1
