@@ -1,0 +1,152 @@
+"""Extension benchmark: service durability.
+
+Measured and recorded to ``out/BENCH_durability*.json``:
+
+1. **Journal recovery.**  The SV-COMP-like suite is run against a daemon
+   with a persistent cache dir, the daemon is shut down, and a *fresh*
+   daemon is started on the same dir.  Every conclusive verdict from the
+   first daemon must answer as a cache hit in the second -- the journal
+   recovered hit rate is asserted at 100% -- and the recovered pass is
+   timed against the cold one.
+2. **Checkpoint resume.**  A deep ``unwind_schedule`` job is solved from
+   scratch and again from a seeded checkpoint past most of the schedule.
+   The resumed run must return the same verdict while skipping the
+   completed bounds; both wall times are recorded.
+
+Together these put numbers on what the chaos suite proves qualitatively:
+restart cost is a journal replay, not a recomputation, and a retried
+deep job pays only for the bounds it had not finished.
+"""
+
+import json
+import time
+
+from conftest import write_output
+
+from repro.bench import svcomp_suite
+from repro.service.cache import cache_key, key_token
+from repro.service.checkpoints import CheckpointStore
+from repro.service.client import ServiceClient
+from repro.service.workers import WorkerPool
+from repro.verify import Verdict
+from repro.verify.checkpoint import Checkpoint
+from repro.verify.config import VerifierConfig
+
+LOOP_PROGRAM = """
+int x = 0;
+thread t { int i; i = 0; while (i < 8) { x = x + 1; i = i + 1; } }
+main { start t; join t; assert(x <= 8); }
+"""
+
+SCHEDULE = (1, 2, 4, 8)
+
+
+def _run_pass(client, tasks):
+    wall = 0.0
+    outcomes = []
+    for task in tasks:
+        config = {"preset": "zord", "unwind": task.unwind}
+        t0 = time.perf_counter()
+        result = client.verify(task.source, config)
+        wall += time.perf_counter() - t0
+        outcomes.append((task, result))
+    return wall, outcomes
+
+
+def test_journal_recovery_hit_rate_and_speedup(tmp_path):
+    tasks = svcomp_suite(scale=1)
+    cache_dir = str(tmp_path / "cache")
+
+    client = ServiceClient.spawn(workers=2, cache_dir=cache_dir)
+    try:
+        cold_wall, cold = _run_pass(client, tasks)
+        client.shutdown()
+    finally:
+        client.close()
+
+    # A brand-new daemon on the same dir: its only knowledge of the
+    # suite is what the journal preserved.
+    client = ServiceClient.spawn(workers=2, cache_dir=cache_dir)
+    try:
+        recovered_wall, recovered = _run_pass(client, tasks)
+        stats = client.stats()
+    finally:
+        client.close()
+
+    # Verdict fidelity on both passes.
+    mismatches = []
+    for pass_name, outcomes in (("cold", cold), ("recovered", recovered)):
+        for task, result in outcomes:
+            expected = Verdict.SAFE if task.expected_safe else Verdict.UNSAFE
+            if result.verdict != expected:
+                mismatches.append((pass_name, task.name, result.verdict))
+    assert not mismatches, mismatches
+
+    # Every conclusive cold verdict (all of them, per the fidelity
+    # check) must have survived the restart: recovered hit rate 100%.
+    conclusive = sum(
+        1 for _, r in cold if r.verdict in (Verdict.SAFE, Verdict.UNSAFE)
+    )
+    recovered_hits = sum(r.stats["cache_hit"] for _, r in recovered)
+    hit_rate = recovered_hits / conclusive if conclusive else 0.0
+    assert hit_rate == 1.0, (
+        f"journal recovery served {recovered_hits}/{conclusive} verdicts"
+    )
+    # Distinct journal entries (duplicate tasks share a key) -- all clean.
+    assert stats["persist_recovered"] > 0
+    assert stats["persist_discarded"] == 0
+
+    speedup = cold_wall / recovered_wall if recovered_wall > 0 else float("inf")
+    record = {
+        "tasks": len(tasks),
+        "cold_wall_s": round(cold_wall, 4),
+        "recovered_wall_s": round(recovered_wall, 4),
+        "recovery_speedup": round(speedup, 1),
+        "recovered_hit_rate": round(hit_rate, 3),
+        "journal_entries_recovered": stats["persist_recovered"],
+        "journal_discarded": stats["persist_discarded"],
+        "server_stats": stats,
+    }
+    write_output("BENCH_durability.json", json.dumps(record, indent=2))
+
+
+def test_checkpoint_resume_vs_from_scratch(tmp_path):
+    config = VerifierConfig(unwind=SCHEDULE[-1], unwind_schedule=SCHEDULE)
+    token = key_token(cache_key(LOOP_PROGRAM, config))
+
+    pool = WorkerPool(size=1, checkpoint_dir=str(tmp_path))
+    try:
+        t0 = time.perf_counter()
+        _, fut, _ = pool.submit(LOOP_PROGRAM, config.to_dict(), "tok-scratch")
+        scratch = fut.result(timeout=300)["result"]
+        scratch_wall = time.perf_counter() - t0
+        assert scratch["verdict"] == "safe"
+
+        # Seed the checkpoint a retried job would have left behind:
+        # everything but the last bound already completed.
+        store = CheckpointStore(str(tmp_path))
+        store.save(token, Checkpoint(schedule=SCHEDULE,
+                                     completed=SCHEDULE[:-1]))
+        t0 = time.perf_counter()
+        _, fut, _ = pool.submit(LOOP_PROGRAM, config.to_dict(), token)
+        resumed = fut.result(timeout=300)["result"]
+        resumed_wall = time.perf_counter() - t0
+    finally:
+        pool.shutdown()
+
+    # Same verdict, most of the schedule skipped.
+    assert resumed["verdict"] == scratch["verdict"] == "safe"
+    assert resumed["stats"]["resumed_from_bound"] == SCHEDULE[-2]
+    assert resumed["stats"]["bounds_skipped"] == len(SCHEDULE) - 1
+    assert resumed["stats"]["unwind_schedule"] == [SCHEDULE[-1]]
+
+    record = {
+        "schedule": list(SCHEDULE),
+        "scratch_wall_s": round(scratch_wall, 4),
+        "resumed_wall_s": round(resumed_wall, 4),
+        "bounds_skipped": resumed["stats"]["bounds_skipped"],
+        "resumed_from_bound": resumed["stats"]["resumed_from_bound"],
+        "scratch_conflicts": scratch["stats"].get("conflicts"),
+        "resumed_conflicts": resumed["stats"].get("conflicts"),
+    }
+    write_output("BENCH_durability_resume.json", json.dumps(record, indent=2))

@@ -118,31 +118,52 @@ def serve(
     max_queue: int = 64,
     cache_size: int = 1024,
     time_limit_s: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    drain_timeout_s: float = 10.0,
 ) -> int:
     """Run a verification service daemon (blocking until EOF/shutdown).
 
     Exactly one transport must be selected: ``stdio=True`` speaks JSONL
-    on stdin/stdout, ``tcp="HOST:PORT"`` listens on a socket.  See
-    ``docs/SERVICE.md`` for the protocol and lifecycle.
+    on stdin/stdout, ``tcp="HOST:PORT"`` listens on a socket.
+    ``cache_dir`` (default: the ``REPRO_CACHE_DIR`` environment
+    variable) makes the verdict cache persistent and enables job
+    checkpoint/resume; ``drain_timeout_s`` bounds the graceful SIGTERM/
+    SIGINT drain.  See ``docs/SERVICE.md`` for the protocol and
+    lifecycle.
     """
     from repro.service.server import ServiceServer
 
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     server = ServiceServer(
         workers=workers,
         recycle_after=recycle_after,
         max_queue=max_queue,
         cache_size=cache_size,
         default_time_limit_s=time_limit_s,
+        cache_dir=cache_dir,
+        drain_timeout_s=drain_timeout_s,
     )
     return server.run(stdio=stdio, tcp=tcp)
 
 
-def connect(address: Optional[str] = None):
+def connect(
+    address: Optional[str] = None,
+    timeout: float = 10.0,
+    request_timeout_s: Optional[float] = None,
+    retry=None,
+    hedge_after_s: Optional[float] = None,
+):
     """Open a synchronous client to a running service.
 
     ``address`` defaults to the ``REPRO_SERVER`` environment variable.
-    Returns a :class:`~repro.service.client.ServiceClient` (usable as a
-    context manager).
+    ``timeout`` bounds the connection attempt, ``request_timeout_s``
+    each response read; ``retry`` (a
+    :class:`~repro.service.client.RetryPolicy`) tunes idempotent-op
+    retries and ``hedge_after_s`` enables tail-latency hedging of
+    ``verify``.  Returns a
+    :class:`~repro.service.client.ServiceClient` (usable as a context
+    manager).
     """
     from repro.service.client import ServiceClient
 
@@ -153,4 +174,10 @@ def connect(address: Optional[str] = None):
             "no service address: pass connect(address=...) or set "
             "the REPRO_SERVER environment variable"
         )
-    return ServiceClient.connect(address)
+    return ServiceClient.connect(
+        address,
+        timeout=timeout,
+        request_timeout_s=request_timeout_s,
+        retry=retry,
+        hedge_after_s=hedge_after_s,
+    )

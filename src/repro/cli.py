@@ -6,7 +6,9 @@ fuzzing mode ``repro fuzz [options]``, and the verification daemon
 Exit codes: 0 = SAFE (or, for ``analyze``, no races; for ``fuzz``, no
 findings; for ``serve``, clean shutdown), 10 = UNSAFE (or races
 reported), 2 = UNKNOWN (budget exhausted), 1 = input/usage error,
-contained engine crash (ERROR verdict), or ``fuzz`` findings.
+contained engine crash (ERROR verdict), or ``fuzz`` findings, 3 =
+``serve`` stopped by a drain signal (SIGTERM/SIGINT: new work shed,
+in-flight jobs finished, journal fsynced).
 
 With ``REPRO_SERVER=HOST:PORT`` set, single-engine ``repro-verify`` runs
 are routed through a running daemon instead of solving in-process (see
@@ -525,6 +527,22 @@ def _serve(argv: List[str]) -> int:
         "request carries neither a deadline nor a config time limit",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the verdict cache (crash-safe journal) and job "
+        "checkpoints under DIR; entries survive restarts (default: "
+        "$REPRO_CACHE_DIR, else in-memory only)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="on SIGTERM/SIGINT: shed new work, give in-flight jobs up "
+        "to S seconds, fsync the journal, exit with code 3 (default: 10)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="log lifecycle events to stderr",
@@ -539,6 +557,10 @@ def _serve(argv: List[str]) -> int:
 
     from repro.service import ServiceServer
 
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+
     try:
         server = ServiceServer(
             workers=args.workers,
@@ -547,6 +569,8 @@ def _serve(argv: List[str]) -> int:
             cache_size=args.cache_size,
             default_time_limit_s=args.time_limit,
             verbose=args.verbose,
+            cache_dir=cache_dir,
+            drain_timeout_s=args.drain_timeout,
         )
         return server.run(stdio=args.stdio, tcp=args.tcp)
     except ValueError as exc:

@@ -24,7 +24,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.verify.config import VerifierConfig
 
-__all__ = ["encoding_signature", "share_groups"]
+__all__ = ["SIGNATURE_VERSION", "encoding_signature", "share_groups"]
+
+#: Version of the signature *shape* produced by :func:`encoding_signature`.
+#: Bump whenever the tuple layout changes (a field added, removed, or
+#: reordered): persisted verdict-cache entries record it, and entries
+#: written under an older shape are refused on recovery instead of being
+#: mis-matched against new keys (see :mod:`repro.service.persist`).
+SIGNATURE_VERSION = 1
 
 Signature = Tuple[Union[str, int, bool, Tuple[int, ...]], ...]
 

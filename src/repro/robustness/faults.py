@@ -18,11 +18,22 @@ Spec syntax -- a comma-separated list of ``action@checkpoint[:arg]``::
     REPRO_FAULTS="ignoreterm@portfolio_worker" # ignore SIGTERM (escalation)
     REPRO_FAULTS="oom@engine"              # raise MemoryError
     REPRO_FAULTS="crash@encode,delay@solve:0.1"   # multiple faults
+    REPRO_FAULTS="kill@service_worker"     # kill a service worker mid-job
+    REPRO_FAULTS="drop@service_response"   # close the connection, no answer
+    REPRO_FAULTS="delay@service_response:0.2"  # slow every response
+    REPRO_FAULTS="torn@cache_write"        # write half a journal record
+    REPRO_FAULTS="crash@cache_compact"     # die between snapshot and rotate
 
 Checkpoint names in the shipped pipeline: ``frontend``, ``encode``,
 ``theory``, ``solve``, ``engine``, ``explore``, ``portfolio_worker``.
-Faults fire on *every* hit of their checkpoint (checkpoints in hot loops
-are throttled by the caller), so behaviour is reproducible run-to-run.
+The verification service adds its own daemon-side checkpoints:
+``service_worker`` (a pool worker, right after picking a job up),
+``service_response`` (the server, right before writing a response line),
+``cache_write`` (the persistent verdict cache, before appending a journal
+record) and ``cache_compact`` (between writing the compaction snapshot
+and rotating the journal).  Faults fire on *every* hit of their
+checkpoint (checkpoints in hot loops are throttled by the caller), so
+behaviour is reproducible run-to-run.
 """
 
 from __future__ import annotations
@@ -35,6 +46,8 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "ENV_VAR",
     "FaultInjected",
+    "DropConnection",
+    "TornWrite",
     "parse_faults",
     "install_faults",
     "clear_faults",
@@ -55,6 +68,8 @@ _ACTIONS = (
     "kill",
     "sigstop",
     "ignoreterm",
+    "drop",
+    "torn",
 )
 
 
@@ -65,6 +80,18 @@ class FaultInjected(RuntimeError):
     def __init__(self, checkpoint: str) -> None:
         self.checkpoint = checkpoint
         super().__init__(f"injected fault at checkpoint {checkpoint!r}")
+
+
+class DropConnection(FaultInjected):
+    """Raised by ``drop`` faults: the service transport interprets it as
+    "sever this connection without answering" (chaos testing of client
+    reconnect/retry paths)."""
+
+
+class TornWrite(FaultInjected):
+    """Raised by ``torn`` faults: the persistent cache interprets it as
+    "write a partial journal record, as if the process died mid-write"
+    (chaos testing of crash recovery)."""
 
 
 # Programmatic override (takes precedence over the environment variable).
@@ -152,6 +179,10 @@ def fault_point(checkpoint: str) -> None:
 def _fire(action: str, arg: Optional[str], checkpoint: str) -> None:
     if action in ("crash", "raise"):
         raise FaultInjected(checkpoint)
+    if action == "drop":
+        raise DropConnection(checkpoint)
+    if action == "torn":
+        raise TornWrite(checkpoint)
     if action in ("delay", "hang"):
         time.sleep(float(arg) if arg else 1.0)
     elif action == "memspike":

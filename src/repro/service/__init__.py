@@ -19,29 +19,55 @@ infrastructure that can absorb sustained traffic:
   (:func:`repro.portfolio.sharing.encoding_signature`): formula-shaping
   knobs split entries, search-only knobs share them, and inconclusive
   verdicts (UNKNOWN/ERROR) are never cached;
+* :mod:`repro.service.persist` + :mod:`repro.service.checkpoints` --
+  opt-in durability (``--cache-dir`` / ``REPRO_CACHE_DIR``): a crash-safe
+  append-only journal makes cached verdicts survive restarts, and
+  per-bound job checkpoints let interrupted iterative-deepening runs
+  resume past their last completed bound;
 * :mod:`repro.service.protocol` -- the versioned JSON-lines wire format
-  (requests, responses, error shapes);
+  (requests, responses, error shapes, the request-size cap);
 * :mod:`repro.service.client` -- typed sync (:class:`ServiceClient`) and
-  async (:class:`AsyncServiceClient`) clients.  ``REPRO_SERVER=HOST:PORT``
-  makes :func:`repro.api.verify` -- and through it the benchmark harness
-  and the fuzz oracle -- route jobs here.
+  async (:class:`AsyncServiceClient`) clients with connect/request
+  timeouts, idempotent retries across reconnects (:class:`RetryPolicy`)
+  and optional tail-latency hedging.  ``REPRO_SERVER=HOST:PORT`` makes
+  :func:`repro.api.verify` -- and through it the benchmark harness and
+  the fuzz oracle -- route jobs here.
 
 See ``docs/SERVICE.md`` for the protocol specification, cache semantics,
-worker lifecycle and backpressure behavior.
+worker lifecycle, durability and drain behavior.
 """
 
-from repro.service.cache import VerdictCache, cache_key, canonical_source
-from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
-from repro.service.server import ServiceServer
+from repro.service.cache import (
+    VerdictCache,
+    cache_key,
+    canonical_source,
+    key_token,
+)
+from repro.service.checkpoints import CheckpointStore
+from repro.service.client import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.service.server import DRAIN_EXIT_CODE, ServiceServer
 from repro.service.workers import WorkerPool
 
 __all__ = [
     "ServiceServer",
+    "DRAIN_EXIT_CODE",
     "ServiceClient",
     "AsyncServiceClient",
     "ServiceError",
+    "ServiceTimeout",
+    "ServiceUnavailable",
+    "RetryPolicy",
     "WorkerPool",
     "VerdictCache",
+    "CheckpointStore",
     "cache_key",
     "canonical_source",
+    "key_token",
 ]

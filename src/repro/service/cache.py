@@ -26,6 +26,14 @@ run.  :meth:`VerdictCache.put` also refuses verdicts produced by a
 a fallback engine answers under its own signature -- e.g. a lazy-cseq
 SAFE only means "no violation within the round bound" and must never be
 served to future requests keyed on a full SMT encoding.
+
+With a ``cache_dir`` the cache is **persistent**: every put is journaled
+to a crash-safe append-only log and recovered on the next startup (see
+:mod:`repro.service.persist` for the framing, guard, and compaction
+story).  Persistence is strictly additive -- the in-memory behaviour,
+the key discipline, and the conclusive-only rule are identical either
+way, and a cache that cannot reach its disk degrades to in-memory
+operation instead of failing requests.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ import copy
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.lang import ast, parse
 from repro.lang.unparse import unparse
@@ -46,6 +54,7 @@ __all__ = [
     "canonical_source",
     "config_signature",
     "cache_key",
+    "key_token",
     "VerdictCache",
 ]
 
@@ -111,15 +120,35 @@ def cache_key(
     return (digest, config_signature(config))
 
 
+def key_token(key: CacheKey) -> str:
+    """A short filesystem-safe token naming one cache key (checkpoint
+    files are keyed by it)."""
+    from repro.service.persist import key_token as _key_token
+
+    return _key_token(key)
+
+
 class VerdictCache:
     """Bounded LRU map from :func:`cache_key` to wire-format results.
 
     Thread-safe; entries are deep-copied on both :meth:`put` and
     :meth:`get`, so callers can annotate returned dicts (``cache_hit``,
     queue timings) without corrupting the stored verdict.
+
+    With ``cache_dir`` set, entries additionally live in a crash-safe
+    journal under that directory and survive restarts: construction
+    replays the journal (refusing torn and stale records), every
+    successful :meth:`put` appends (fsynced), and the journal is
+    periodically compacted into a snapshot.  See
+    :mod:`repro.service.persist`.
     """
 
-    def __init__(self, max_entries: int = 1024) -> None:
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        cache_dir: Optional[str] = None,
+        compact_every: int = 256,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
@@ -128,6 +157,23 @@ class VerdictCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store = None
+        if cache_dir:
+            from repro.service.persist import CacheStore
+
+            self.store = CacheStore(cache_dir, compact_every=compact_every)
+            for key, result in self.store.recover():
+                if result.get("verdict") not in _CACHEABLE:
+                    # Belt and braces: only conclusive verdicts are ever
+                    # journaled, but a hand-edited journal must not
+                    # poison the cache either.
+                    self.store.discarded_records += 1
+                    continue
+                with self._lock:
+                    self._entries[key] = result
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,14 +211,45 @@ class VerdictCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+        if self.store is not None:
+            # Outside the entry lock: an fsync must not stall readers.
+            self.store.append(key, result, cache=self)
         return True
+
+    def entries_for_snapshot(self) -> List[Tuple[CacheKey, Dict]]:
+        """A point-in-time copy of the live table, LRU order preserved
+        (compaction input)."""
+        with self._lock:
+            return [
+                (key, copy.deepcopy(result))
+                for key, result in self._entries.items()
+            ]
+
+    def compact(self) -> bool:
+        """Force a journal compaction now (no-op without persistence)."""
+        if self.store is None:
+            return False
+        return self.store.compact(self.entries_for_snapshot())
+
+    def flush(self) -> None:
+        """fsync the journal (drain path; no-op without persistence)."""
+        if self.store is not None:
+            self.store.flush()
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
 
     def snapshot(self) -> Dict[str, int]:
         """Counters for the server's ``stats`` op."""
         with self._lock:
-            return {
+            out = {
                 "cache_entries": len(self._entries),
                 "cache_hits": self.hits,
                 "cache_misses": self.misses,
                 "cache_evictions": self.evictions,
+                "cache_persistent": int(self.store is not None),
             }
+        if self.store is not None:
+            out.update(self.store.counters())
+        return out

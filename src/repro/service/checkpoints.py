@@ -1,0 +1,103 @@
+"""Durable job checkpoints for the verification service.
+
+One file per cache key under ``<cache-dir>/checkpoints/``, named by the
+key's :func:`~repro.service.persist.key_token`.  Workers save a
+checkpoint after every completed unwinding bound (atomic
+write-tmp-then-rename, so a crash mid-save leaves the previous
+checkpoint intact), load-and-validate it when the same job is
+re-dispatched, and discard it once the job concludes -- a concluded
+job's durable form is the verdict cache entry, not a checkpoint.
+
+Validation on load is strict: the schema version must match
+(:data:`repro.verify.checkpoint.CHECKPOINT_SCHEMA_VERSION`) and the
+stored schedule must equal the re-dispatched config's schedule (the
+token already pins program digest and encoding signature, the schedule
+check additionally catches a config whose schedule knob changed while
+hashing to the same signature-relevant shape).  Anything invalid or
+unreadable is treated as "no checkpoint": resume is an optimization,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional, Sequence
+
+from repro.verify.checkpoint import Checkpoint
+
+__all__ = ["CHECKPOINT_DIR_NAME", "CheckpointStore"]
+
+CHECKPOINT_DIR_NAME = "checkpoints"
+
+
+class CheckpointStore:
+    """Filesystem store of per-job resume checkpoints (see module
+    docstring).  Safe for concurrent use by several worker processes:
+    each key maps to its own file, saves are atomic renames, and
+    concurrent saves of the same key last-writer-wins (both writers hold
+    a correct checkpoint -- UNSAT proofs do not conflict)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, token: str) -> str:
+        return os.path.join(self.root, f"{token}.ckpt.json")
+
+    def save(self, token: str, checkpoint: Checkpoint) -> bool:
+        """Persist ``checkpoint`` for ``token``; False on I/O trouble
+        (contained -- a failed save only costs future resumability)."""
+        tmp_path = None
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=f"{token}.", suffix=".tmp", dir=self.root
+            )
+            with os.fdopen(fd, "w") as f:
+                json.dump(checkpoint.to_dict(), f, separators=(",", ":"))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, self.path(token))
+            return True
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            return False
+
+    def load(
+        self, token: str, schedule: Sequence[int]
+    ) -> Optional[Checkpoint]:
+        """The stored checkpoint for ``token``, validated against the
+        job's ``schedule``; ``None`` when absent, unreadable, stale, or
+        mismatched."""
+        try:
+            with open(self.path(token)) as f:
+                data = json.load(f)
+            checkpoint = Checkpoint.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if checkpoint.schedule != tuple(schedule):
+            return None
+        if not checkpoint.completed or not checkpoint.remaining():
+            return None
+        return checkpoint
+
+    def discard(self, token: str) -> None:
+        try:
+            os.unlink(self.path(token))
+        except OSError:
+            pass
+
+    def count(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.root)
+                if name.endswith(".ckpt.json")
+            )
+        except OSError:
+            return 0

@@ -18,6 +18,29 @@ responses, a dead server) raise :class:`ServiceError`.  Engine-level
 outcomes (budget exhaustion, contained crashes, load shedding) do *not*
 raise -- they come back as UNKNOWN/ERROR verdicts, exactly like the
 library API.
+
+**Resilience** (TCP clients): connection attempts honour a connect
+timeout (a dead or blackholed target fails fast instead of hanging),
+reads honour an optional ``request_timeout_s``, and transport-level
+failures -- refused/ dropped connections, mid-request disconnects, read
+timeouts -- are retried on a fresh connection with capped exponential
+backoff and jitter (:class:`RetryPolicy`).  Only *idempotent* operations
+are retried: every op except ``shutdown`` qualifies (``verify`` is
+content-addressed and coalesced server-side, the rest are read-only).
+Distinct failures stay distinguishable: :class:`ServiceTimeout` for
+deadlines, :class:`ServiceUnavailable` for transport trouble, plain
+:class:`ServiceError` for a delivered ``ok: false`` answer -- delivered
+answers are never retried.  ``hedge_after_s`` additionally enables
+tail-latency hedging of ``verify``: when the primary connection has not
+answered in time, the same request is raced on a second connection and
+the first answer wins -- safe because the server coalesces identical
+in-flight requests, so a hedge costs one duplicate line, not one
+duplicate solve.
+
+Spawned stdio daemons (:meth:`ServiceClient.spawn`) are reaped even when
+the client is never closed: a ``weakref.finalize`` hook closes the
+daemon's stdin and waits for it (escalating to kill) when the client is
+garbage-collected, so leaked clients cannot strand daemon processes.
 """
 
 from __future__ import annotations
@@ -25,21 +48,90 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import queue as queue_mod
+import random
 import socket
 import subprocess
 import sys
 import threading
+import time
+import weakref
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from repro.service import protocol
 from repro.verify.config import VerifierConfig
 from repro.verify.result import VerificationResult
 
-__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
+__all__ = [
+    "ServiceError",
+    "ServiceTimeout",
+    "ServiceUnavailable",
+    "RetryPolicy",
+    "ServiceClient",
+    "AsyncServiceClient",
+]
 
 
 class ServiceError(Exception):
     """The service answered ``ok: false`` or the transport failed."""
+
+
+class ServiceTimeout(ServiceError):
+    """A connect or request deadline expired client-side."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Transport-level failure: connection refused, dropped, or closed
+    mid-request.  Retried automatically for idempotent ops."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter for idempotent retries.
+
+    ``attempts`` counts total tries (1 = no retry).  The delay before
+    retry *n* (0-based) is ``base_delay_s * 2**n`` capped at
+    ``max_delay_s``, scaled by a uniform random factor in
+    ``[1 - jitter, 1]`` so synchronized clients do not reconnect in
+    lockstep after a daemon restart.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, retry_index: int) -> float:
+        raw = min(self.max_delay_s, self.base_delay_s * (2.0 ** retry_index))
+        return raw * (1.0 - self.jitter * random.random())
+
+
+def _reap_spawned_daemon(proc: "subprocess.Popen") -> None:
+    """Finalizer for spawned stdio daemons: EOF its stdin (the server's
+    clean-exit signal), wait, escalate to kill.  Module-level so the
+    weakref.finalize hook holds no reference to the client."""
+    if proc.poll() is not None:
+        return
+    try:
+        if proc.stdin is not None and not proc.stdin.closed:
+            proc.stdin.close()
+    except OSError:
+        pass
+    try:
+        proc.wait(timeout=5.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            pass
 
 
 def _prepare_verify_fields(
@@ -119,35 +211,93 @@ def _decode_response(line: str) -> Dict[str, Any]:
 class ServiceClient:
     """Synchronous JSON-lines client (see module docstring)."""
 
-    def __init__(self, reader, writer, proc=None, sock=None) -> None:
+    def __init__(
+        self,
+        reader,
+        writer,
+        proc=None,
+        sock=None,
+        address: Optional[str] = None,
+        connect_timeout_s: float = 10.0,
+        request_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        hedge_after_s: Optional[float] = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._proc = proc
         self._sock = sock
+        self._address = address
+        self._connect_timeout_s = connect_timeout_s
+        self._request_timeout_s = request_timeout_s
+        self._retry = retry or RetryPolicy()
+        self._hedge_after_s = hedge_after_s
         self._matcher = _RequestMatcher()
         self._write_lock = threading.Lock()
         self._read_lock = threading.Lock()
         self._closed = False
+        self._broken = False
+        self._finalizer = (
+            weakref.finalize(self, _reap_spawned_daemon, proc)
+            if proc is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
 
-    @classmethod
-    def connect(cls, address: str, timeout: float = 10.0) -> "ServiceClient":
-        """Connect to a running TCP daemon at ``"HOST:PORT"``."""
+    @staticmethod
+    def _open_socket(address: str, timeout: float, read_timeout):
         host, _, port_text = address.rpartition(":")
         if not host or not port_text.isdigit():
             raise ValueError(f"expected HOST:PORT, got {address!r}")
         try:
             sock = socket.create_connection((host, int(port_text)), timeout)
+        except socket.timeout:
+            raise ServiceTimeout(
+                f"connect to repro service at {address} timed out "
+                f"after {timeout:g}s"
+            ) from None
         except OSError as exc:
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"cannot connect to repro service at {address}: {exc}"
             ) from None
-        sock.settimeout(None)
+        # The read timeout stays on the socket: a response that does not
+        # arrive in time raises through the buffered stream, the client
+        # discards the (now unframed) connection and reconnects.
+        sock.settimeout(read_timeout)
         stream = sock.makefile("rw", encoding="utf-8", newline="\n")
-        return cls(stream, stream, sock=sock)
+        return sock, stream
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        timeout: float = 10.0,
+        request_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        hedge_after_s: Optional[float] = None,
+    ) -> "ServiceClient":
+        """Connect to a running TCP daemon at ``"HOST:PORT"``.
+
+        ``timeout`` bounds the connection attempt (a dead target raises
+        :class:`ServiceTimeout`/:class:`ServiceUnavailable` instead of
+        hanging); ``request_timeout_s`` bounds each response read;
+        ``retry`` configures idempotent-op retries across reconnects;
+        ``hedge_after_s`` enables tail-latency hedging of ``verify``.
+        """
+        sock, stream = cls._open_socket(address, timeout, request_timeout_s)
+        return cls(
+            stream,
+            stream,
+            sock=sock,
+            address=address,
+            connect_timeout_s=timeout,
+            request_timeout_s=request_timeout_s,
+            retry=retry,
+            hedge_after_s=hedge_after_s,
+        )
 
     @classmethod
     def spawn(
@@ -157,9 +307,12 @@ class ServiceClient:
         max_queue: Optional[int] = None,
         cache_size: Optional[int] = None,
         time_limit_s: Optional[float] = None,
+        cache_dir: Optional[str] = None,
     ) -> "ServiceClient":
         """Start a private ``repro serve --stdio`` daemon and connect to
-        it over its pipes.  The daemon exits when the client closes."""
+        it over its pipes.  The daemon exits when the client closes (or,
+        failing that, when the client is garbage-collected -- a
+        finalizer reaps it)."""
         cmd = [sys.executable, "-m", "repro.cli", "serve", "--stdio"]
         if workers is not None:
             cmd += ["--workers", str(workers)]
@@ -171,6 +324,8 @@ class ServiceClient:
             cmd += ["--cache-size", str(cache_size)]
         if time_limit_s is not None:
             cmd += ["--time-limit", str(time_limit_s)]
+        if cache_dir is not None:
+            cmd += ["--cache-dir", cache_dir]
         proc = subprocess.Popen(
             cmd,
             stdin=subprocess.PIPE,
@@ -184,8 +339,54 @@ class ServiceClient:
     # Core request/response
     # ------------------------------------------------------------------
 
+    def _reconnect(self) -> None:
+        """Replace a broken TCP connection (the old one's framing is
+        unusable after a timeout or mid-response failure)."""
+        if self._address is None:
+            raise ServiceUnavailable("connection lost (not reconnectable)")
+        with self._write_lock:
+            for closer in (self._reader, self._sock):
+                try:
+                    if closer is not None:
+                        closer.close()
+                except OSError:
+                    pass
+            sock, stream = self._open_socket(
+                self._address, self._connect_timeout_s, self._request_timeout_s
+            )
+            self._sock = sock
+            self._reader = stream
+            self._writer = stream
+            self._broken = False
+
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request, block for its (id-matched) response."""
+        """Send one request, block for its (id-matched) response.
+
+        Idempotent ops (everything but ``shutdown``) are retried with
+        backoff across reconnects on transport failures when the client
+        was built from :meth:`connect`.
+        """
+        retryable = op != "shutdown" and self._address is not None
+        attempts = self._retry.attempts if retryable else 1
+        last_exc: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._retry.delay(attempt - 1))
+            if self._broken and self._address is not None:
+                try:
+                    self._reconnect()
+                except ServiceError as exc:
+                    last_exc = exc
+                    continue
+            try:
+                return self._request_once(op, fields)
+            except (ServiceTimeout, ServiceUnavailable) as exc:
+                self._broken = True
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
+
+    def _request_once(self, op: str, fields: Dict[str, Any]) -> Dict[str, Any]:
         if self._closed:
             raise ServiceError("client is closed")
         request_id = self._matcher.next_id()
@@ -195,8 +396,12 @@ class ServiceClient:
             with self._write_lock:
                 self._writer.write(protocol.encode(payload))
                 self._writer.flush()
+        except socket.timeout:
+            raise ServiceTimeout(
+                f"request send timed out after {self._request_timeout_s:g}s"
+            ) from None
         except (OSError, ValueError, BrokenPipeError) as exc:
-            raise ServiceError(f"cannot send request: {exc}") from None
+            raise ServiceUnavailable(f"cannot send request: {exc}") from None
         while True:
             stashed = self._matcher.take(request_id)
             if stashed is not None:
@@ -210,12 +415,17 @@ class ServiceClient:
                     return stashed
                 try:
                     line = self._reader.readline()
+                except socket.timeout:
+                    raise ServiceTimeout(
+                        "no response within "
+                        f"{self._request_timeout_s:g}s"
+                    ) from None
                 except OSError as exc:
-                    raise ServiceError(
+                    raise ServiceUnavailable(
                         f"cannot read response: {exc}"
                     ) from None
                 if not line:
-                    raise ServiceError("server closed the connection")
+                    raise ServiceUnavailable("server closed the connection")
                 if not line.strip():
                     continue
                 response = _decode_response(line)
@@ -237,9 +447,63 @@ class ServiceClient:
         Returns the same :class:`VerificationResult` the in-process API
         would, with the service stats (``cache_hit``, ``queue_wait_s``,
         ``worker_recycles``) merged into ``result.stats``.
+
+        With ``hedge_after_s`` configured (TCP only), a primary answer
+        slower than the hedge delay races a duplicate of the request on
+        a second connection; the first answer wins.  Safe: the server
+        coalesces identical in-flight requests, so the duplicate shares
+        the primary's job instead of spawning a second solve.
         """
         fields = _prepare_verify_fields(program, config, deadline_s)
-        return _result_from_response(self.request("verify", **fields))
+        if self._hedge_after_s is None or self._address is None:
+            return _result_from_response(self.request("verify", **fields))
+        return _result_from_response(self._hedged_request(fields))
+
+    def _hedged_request(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        """Race the primary connection against a late second connection
+        carrying the same request; first answer wins."""
+        answers: "queue_mod.Queue" = queue_mod.Queue()
+
+        def _primary() -> None:
+            try:
+                answers.put((self.request("verify", **fields), None))
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                answers.put((None, exc))
+
+        def _hedge() -> None:
+            try:
+                hedge_client = ServiceClient.connect(
+                    self._address,
+                    timeout=self._connect_timeout_s,
+                    request_timeout_s=self._request_timeout_s,
+                    retry=self._retry,
+                )
+                try:
+                    answers.put(
+                        (hedge_client.request("verify", **fields), None)
+                    )
+                finally:
+                    hedge_client.close()
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                answers.put((None, exc))
+
+        threading.Thread(
+            target=_primary, name="service-client-primary", daemon=True
+        ).start()
+        try:
+            response, exc = answers.get(timeout=self._hedge_after_s)
+        except queue_mod.Empty:
+            threading.Thread(
+                target=_hedge, name="service-client-hedge", daemon=True
+            ).start()
+            response, exc = answers.get()
+            if exc is not None:
+                # First finisher failed; the race is still two-horse, so
+                # wait for the other leg before giving up.
+                response, exc = answers.get()
+        if exc is not None:
+            raise exc
+        return response
 
     def analyze(
         self, program: Union[str, Any], unwind: int = 8, width: int = 8
@@ -261,6 +525,15 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return _checked(self.request("stats"))["stats"]
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe: draining state, queue depth, worker liveness,
+        cache counters."""
+        return _checked(self.request("health"))["health"]
+
+    def ready(self) -> bool:
+        """Admission probe: should new work be routed to this daemon?"""
+        return bool(_checked(self.request("ready"))["ready"])
+
     def shutdown(self) -> None:
         """Ask the server to exit (tolerates it dying before answering)."""
         try:
@@ -276,6 +549,10 @@ class ServiceClient:
         if self._closed:
             return
         self._closed = True
+        if self._finalizer is not None:
+            # close() does the reaping itself; the GC hook would only
+            # re-wait on an already-dead process.
+            self._finalizer.detach()
         if self._proc is not None:
             # Closing stdin is the stdio server's EOF; it drains and exits.
             try:
@@ -311,35 +588,109 @@ class ServiceClient:
 
 
 class AsyncServiceClient:
-    """Asyncio TCP client mirroring :class:`ServiceClient`."""
+    """Asyncio TCP client mirroring :class:`ServiceClient`, including
+    connect/request timeouts, idempotent retries, and hedging."""
 
     def __init__(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        address: Optional[str] = None,
+        connect_timeout_s: float = 10.0,
+        request_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        hedge_after_s: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._address = address
+        self._connect_timeout_s = connect_timeout_s
+        self._request_timeout_s = request_timeout_s
+        self._retry = retry or RetryPolicy()
+        self._hedge_after_s = hedge_after_s
         self._matcher = _RequestMatcher()
         self._read_lock = asyncio.Lock()
         self._closed = False
+        self._broken = False
 
-    @classmethod
-    async def connect(cls, address: str) -> "AsyncServiceClient":
+    @staticmethod
+    async def _open_streams(address: str, timeout: float):
         host, _, port_text = address.rpartition(":")
         if not host or not port_text.isdigit():
             raise ValueError(f"expected HOST:PORT, got {address!r}")
         try:
-            reader, writer = await asyncio.open_connection(
-                host, int(port_text)
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, int(port_text)),
+                timeout=timeout,
             )
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"connect to repro service at {address} timed out "
+                f"after {timeout:g}s"
+            ) from None
         except OSError as exc:
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"cannot connect to repro service at {address}: {exc}"
             ) from None
-        return cls(reader, writer)
+
+    @classmethod
+    async def connect(
+        cls,
+        address: str,
+        timeout: float = 10.0,
+        request_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        hedge_after_s: Optional[float] = None,
+    ) -> "AsyncServiceClient":
+        reader, writer = await cls._open_streams(address, timeout)
+        return cls(
+            reader,
+            writer,
+            address=address,
+            connect_timeout_s=timeout,
+            request_timeout_s=request_timeout_s,
+            retry=retry,
+            hedge_after_s=hedge_after_s,
+        )
+
+    async def _reconnect(self) -> None:
+        if self._address is None:
+            raise ServiceUnavailable("connection lost (not reconnectable)")
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._reader, self._writer = await self._open_streams(
+            self._address, self._connect_timeout_s
+        )
+        self._broken = False
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`ServiceClient.request`: idempotent ops retry with
+        backoff across reconnects on transport failures."""
+        retryable = op != "shutdown" and self._address is not None
+        attempts = self._retry.attempts if retryable else 1
+        last_exc: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(self._retry.delay(attempt - 1))
+            if self._broken and self._address is not None:
+                try:
+                    await self._reconnect()
+                except ServiceError as exc:
+                    last_exc = exc
+                    continue
+            try:
+                return await self._request_once(op, fields)
+            except (ServiceTimeout, ServiceUnavailable) as exc:
+                self._broken = True
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
+
+    async def _request_once(
+        self, op: str, fields: Dict[str, Any]
+    ) -> Dict[str, Any]:
         if self._closed:
             raise ServiceError("client is closed")
         request_id = self._matcher.next_id()
@@ -349,7 +700,7 @@ class AsyncServiceClient:
             self._writer.write(protocol.encode(payload).encode("utf-8"))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
-            raise ServiceError(f"cannot send request: {exc}") from None
+            raise ServiceUnavailable(f"cannot send request: {exc}") from None
         while True:
             stashed = self._matcher.take(request_id)
             if stashed is not None:
@@ -361,13 +712,21 @@ class AsyncServiceClient:
                 if stashed is not None:
                     return stashed
                 try:
-                    raw = await self._reader.readline()
+                    raw = await asyncio.wait_for(
+                        self._reader.readline(),
+                        timeout=self._request_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    raise ServiceTimeout(
+                        "no response within "
+                        f"{self._request_timeout_s:g}s"
+                    ) from None
                 except (ConnectionError, OSError) as exc:
-                    raise ServiceError(
+                    raise ServiceUnavailable(
                         f"cannot read response: {exc}"
                     ) from None
                 if not raw:
-                    raise ServiceError("server closed the connection")
+                    raise ServiceUnavailable("server closed the connection")
                 line = raw.decode("utf-8", errors="replace")
                 if not line.strip():
                     continue
@@ -382,7 +741,49 @@ class AsyncServiceClient:
         deadline_s: Optional[float] = None,
     ) -> VerificationResult:
         fields = _prepare_verify_fields(program, config, deadline_s)
-        return _result_from_response(await self.request("verify", **fields))
+        if self._hedge_after_s is None or self._address is None:
+            return _result_from_response(
+                await self.request("verify", **fields)
+            )
+        return _result_from_response(await self._hedged_request(fields))
+
+    async def _hedged_request(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        """Race the primary connection against a late second connection
+        carrying the same request; first answer wins (see
+        :meth:`ServiceClient.verify` for why this is safe)."""
+
+        async def _hedge() -> Dict[str, Any]:
+            hedge_client = await AsyncServiceClient.connect(
+                self._address,
+                timeout=self._connect_timeout_s,
+                request_timeout_s=self._request_timeout_s,
+                retry=self._retry,
+            )
+            try:
+                return await hedge_client.request("verify", **fields)
+            finally:
+                await hedge_client.close()
+
+        primary = asyncio.ensure_future(self.request("verify", **fields))
+        done, _ = await asyncio.wait({primary}, timeout=self._hedge_after_s)
+        if primary in done:
+            return primary.result()
+        pending = {primary, asyncio.ensure_future(_hedge())}
+        last_exc: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                if task.cancelled():
+                    continue
+                if task.exception() is None:
+                    for other in pending:
+                        other.cancel()
+                    return task.result()
+                last_exc = task.exception()
+        assert last_exc is not None
+        raise last_exc
 
     async def analyze(
         self, program: Union[str, Any], unwind: int = 8, width: int = 8
@@ -402,6 +803,12 @@ class AsyncServiceClient:
 
     async def stats(self) -> Dict[str, Any]:
         return _checked(await self.request("stats"))["stats"]
+
+    async def health(self) -> Dict[str, Any]:
+        return _checked(await self.request("health"))["health"]
+
+    async def ready(self) -> bool:
+        return bool(_checked(await self.request("ready"))["ready"])
 
     async def shutdown(self) -> None:
         try:

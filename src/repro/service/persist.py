@@ -1,0 +1,443 @@
+"""Crash-safe persistence for the verdict cache.
+
+A verdict earned by minutes of solving must survive daemon restarts, OOM
+kills, and ``kill -9``.  This module gives :class:`~repro.service.cache
+.VerdictCache` a disk representation designed around one rule: **a torn
+or stale record is refused, never misread** -- recovery can lose the very
+last (unacknowledged) append, but it can never resurrect a corrupted or
+semantically outdated verdict.
+
+Layout of a cache directory (``--cache-dir`` / ``REPRO_CACHE_DIR``)::
+
+    <cache-dir>/
+        journal.jsonl      append-only framed records, fsynced per append
+        snapshot.json      periodic compaction of the journal
+        checkpoints/       per-job resume checkpoints (repro.service
+                           .checkpoints; journal/snapshot never reference
+                           them)
+
+**Framing.**  Each journal line is one JSON object::
+
+    {"len": <bytes>, "sha": "<sha256 hex>", "rec": {...}}
+
+``len``/``sha`` are computed over the canonical serialization of ``rec``
+(``json.dumps(rec, sort_keys=True, separators=(",", ":"))``), so a
+record is accepted only when it deserializes *and* re-serializes to
+exactly the bytes that were hashed at write time.  A torn write -- the
+process died mid-``write`` -- leaves a partial last line that fails JSON
+parsing, or a frame whose length/hash does not match; either way the
+record is discarded and counted, and replay continues with the next
+line (a torn record in the middle, e.g. from a disk-full gap, does not
+poison the rest of the journal).
+
+**Record guards.**  Every entry record carries the cache schema version
+(:data:`CACHE_SCHEMA_VERSION`), the wire schema version of the stored
+result (:data:`repro.verify.result.SCHEMA_VERSION`), and the encoding
+signature shape version
+(:data:`repro.portfolio.sharing.SIGNATURE_VERSION`).  A mismatch on any
+of the three means the entry was written by an incompatible build --
+its key or payload could silently mean something different now -- so it
+is refused on recovery and counted as stale, never served.
+
+**Compaction.**  Every ``compact_every`` appends the store writes the
+full live table to ``snapshot.json.tmp``, fsyncs, atomically renames it
+over ``snapshot.json``, and only then truncates the journal.  A crash
+at any point leaves a recoverable state: before the rename the old
+snapshot + full journal are intact; after the rename but before the
+truncate, replaying the journal over the new snapshot merely rewrites
+identical entries.  The ``cache_compact`` fault checkpoint sits exactly
+in that window so the chaos suite can prove it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.portfolio.sharing import SIGNATURE_VERSION
+from repro.robustness.faults import TornWrite, fault_point
+from repro.verify.result import SCHEMA_VERSION as RESULT_SCHEMA_VERSION
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "JOURNAL_NAME",
+    "SNAPSHOT_NAME",
+    "CacheStore",
+    "key_to_wire",
+    "key_from_wire",
+    "key_token",
+]
+
+#: Version of the on-disk cache format (journal framing + record shape +
+#: snapshot shape).  Bump on any change; old files are refused, not
+#: migrated -- a verdict cache is always re-earnable.
+CACHE_SCHEMA_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+
+def _canonical(rec: Dict[str, Any]) -> bytes:
+    return json.dumps(rec, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def key_to_wire(key: Tuple) -> List:
+    """A cache key (nested tuples) as JSON-ready nested lists."""
+
+    def conv(value):
+        if isinstance(value, tuple):
+            return [conv(v) for v in value]
+        return value
+
+    return [conv(part) for part in key]
+
+
+def key_from_wire(wire: List) -> Tuple:
+    """The exact inverse of :func:`key_to_wire`."""
+
+    def conv(value):
+        if isinstance(value, list):
+            return tuple(conv(v) for v in value)
+        return value
+
+    return tuple(conv(part) for part in wire)
+
+
+def key_token(key: Tuple) -> str:
+    """A short filesystem-safe token naming one cache key (used to key
+    checkpoint files; collision-safe via sha256)."""
+    return hashlib.sha256(_canonical({"key": key_to_wire(key)})).hexdigest()[
+        :32
+    ]
+
+
+def _frame(rec: Dict[str, Any]) -> bytes:
+    payload = _canonical(rec)
+    header = {
+        "len": len(payload),
+        "sha": hashlib.sha256(payload).hexdigest(),
+        "rec": rec,
+    }
+    return _canonical(header) + b"\n"
+
+
+def _unframe(line: bytes) -> Optional[Dict[str, Any]]:
+    """Decode one journal line; ``None`` for torn/corrupted frames."""
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict):
+        return None
+    rec = obj.get("rec")
+    if not isinstance(rec, dict):
+        return None
+    payload = _canonical(rec)
+    if obj.get("len") != len(payload):
+        return None
+    if obj.get("sha") != hashlib.sha256(payload).hexdigest():
+        return None
+    return rec
+
+
+class CacheStore:
+    """The disk half of a persistent verdict cache.
+
+    Thread-safe.  :meth:`recover` is called once on startup and returns
+    the surviving entries in append order; :meth:`append` journals one
+    entry (fsynced) and triggers compaction every ``compact_every``
+    appends.  All I/O failures are contained: a cache that cannot
+    persist degrades to in-memory behaviour and counts the failure,
+    because losing durability must never lose a request.
+    """
+
+    def __init__(self, cache_dir: str, compact_every: int = 256) -> None:
+        if compact_every < 1:
+            raise ValueError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
+        self.cache_dir = cache_dir
+        self.compact_every = compact_every
+        self.journal_path = os.path.join(cache_dir, JOURNAL_NAME)
+        self.snapshot_path = os.path.join(cache_dir, SNAPSHOT_NAME)
+        self._lock = threading.Lock()
+        self._journal = None
+        # True when the journal may end mid-line (a torn write, or a
+        # pre-existing file that does not end in a newline): the next
+        # append must resynchronize framing first.
+        self._dirty_line = False
+        self._appends_since_compact = 0
+        # Counters surfaced through the cache's snapshot()/health stats.
+        self.recovered_entries = 0
+        self.discarded_records = 0
+        self.stale_records = 0
+        self.appends = 0
+        self.torn_writes = 0
+        self.compactions = 0
+        self.compaction_failures = 0
+        self.io_errors = 0
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+
+    def _entry_record(self, key: Tuple, result: Dict) -> Dict[str, Any]:
+        return {
+            "kind": "entry",
+            "v": CACHE_SCHEMA_VERSION,
+            "sigv": SIGNATURE_VERSION,
+            "key": key_to_wire(key),
+            "result": result,
+        }
+
+    def _accept_record(self, rec: Dict[str, Any]) -> Optional[Tuple]:
+        """Validate one recovered record; the decoded key, or ``None``.
+
+        Structure errors count as discarded (corruption), version
+        mismatches as stale (written by an incompatible build).
+        """
+        if rec.get("kind") != "entry" or not isinstance(
+            rec.get("key"), list
+        ):
+            self.discarded_records += 1
+            return None
+        result = rec.get("result")
+        if not isinstance(result, dict):
+            self.discarded_records += 1
+            return None
+        if (
+            rec.get("v") != CACHE_SCHEMA_VERSION
+            or rec.get("sigv") != SIGNATURE_VERSION
+            or result.get("schema_version") != RESULT_SCHEMA_VERSION
+        ):
+            self.stale_records += 1
+            return None
+        return key_from_wire(rec["key"])
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> List[Tuple[Tuple, Dict]]:
+        """Load snapshot + journal; the surviving entries in write order
+        (later journal entries override the snapshot on key collisions --
+        the caller's insert loop gets that for free)."""
+        entries: List[Tuple[Tuple, Dict]] = []
+        entries.extend(self._recover_snapshot())
+        entries.extend(self._recover_journal())
+        self.recovered_entries = len(entries)
+        return entries
+
+    def _recover_snapshot(self) -> List[Tuple[Tuple, Dict]]:
+        try:
+            with open(self.snapshot_path, "rb") as f:
+                obj = json.load(f)
+        except FileNotFoundError:
+            return []
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # A torn snapshot can only come from a pre-rename crash of a
+            # *previous* format (renames are atomic); refuse it whole.
+            self.discarded_records += 1
+            return []
+        if (
+            not isinstance(obj, dict)
+            or obj.get("v") != CACHE_SCHEMA_VERSION
+            or obj.get("sigv") != SIGNATURE_VERSION
+        ):
+            self.stale_records += 1
+            return []
+        out = []
+        for item in obj.get("entries", ()):
+            if not (isinstance(item, list) and len(item) == 2):
+                self.discarded_records += 1
+                continue
+            rec = {
+                "kind": "entry",
+                "v": CACHE_SCHEMA_VERSION,
+                "sigv": SIGNATURE_VERSION,
+                "key": item[0],
+                "result": item[1],
+            }
+            key = self._accept_record(rec)
+            if key is not None:
+                out.append((key, item[1]))
+        return out
+
+    def _recover_journal(self) -> List[Tuple[Tuple, Dict]]:
+        out = []
+        try:
+            with open(self.journal_path, "rb") as f:
+                lines = f.read().split(b"\n")
+        except FileNotFoundError:
+            return []
+        except OSError:
+            self.io_errors += 1
+            return []
+        for line in lines:
+            if not line.strip():
+                continue
+            rec = _unframe(line)
+            if rec is None:
+                self.discarded_records += 1
+                continue
+            key = self._accept_record(rec)
+            if key is not None:
+                out.append((key, rec["result"]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _open_journal(self):
+        if self._journal is None or self._journal.closed:
+            # A crash mid-append leaves the file ending mid-line; appends
+            # from this (re)opened handle must not glue a fresh frame onto
+            # that partial record and lose both.
+            try:
+                with open(self.journal_path, "rb") as f:
+                    f.seek(0, os.SEEK_END)
+                    if f.tell() > 0:
+                        f.seek(-1, os.SEEK_END)
+                        self._dirty_line = f.read(1) != b"\n"
+            except FileNotFoundError:
+                pass
+            self._journal = open(self.journal_path, "ab")
+        return self._journal
+
+    def append(self, key: Tuple, result: Dict, cache=None) -> bool:
+        """Journal one entry (fsynced); True when it hit the disk whole.
+
+        The ``cache_write`` fault checkpoint fires before the write; a
+        ``torn`` fault makes this write *half* the frame -- simulating a
+        crash mid-append -- and report failure, which is exactly what a
+        real crash would have acknowledged: nothing.  Framing then
+        resynchronizes: the next append terminates the partial line
+        before writing its own frame, so only the torn record is lost.
+        """
+        frame = _frame(self._entry_record(key, result))
+        with self._lock:
+            try:
+                f = self._open_journal()
+                if self._dirty_line:
+                    f.write(b"\n")
+                    self._dirty_line = False
+                try:
+                    fault_point("cache_write")
+                except TornWrite:
+                    f.write(frame[: max(1, len(frame) // 2)])
+                    f.flush()
+                    os.fsync(f.fileno())
+                    self.torn_writes += 1
+                    self._dirty_line = True
+                    return False
+                f.write(frame)
+                f.flush()
+                os.fsync(f.fileno())
+            except OSError:
+                self.io_errors += 1
+                return False
+            self.appends += 1
+            self._appends_since_compact += 1
+            should_compact = (
+                self._appends_since_compact >= self.compact_every
+            )
+        if should_compact and cache is not None:
+            self.compact(cache.entries_for_snapshot())
+        return True
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, entries: List[Tuple[Tuple, Dict]]) -> bool:
+        """Write ``entries`` as the new snapshot, then rotate the journal.
+
+        Crash-safe by construction (see module docstring); any failure
+        leaves the previous snapshot+journal authoritative and counts as
+        a ``compaction_failure``.
+        """
+        obj = {
+            "v": CACHE_SCHEMA_VERSION,
+            "sigv": SIGNATURE_VERSION,
+            "entries": [
+                [key_to_wire(key), result] for key, result in entries
+            ],
+        }
+        with self._lock:
+            tmp_path = None
+            try:
+                fd, tmp_path = tempfile.mkstemp(
+                    prefix=SNAPSHOT_NAME + ".", dir=self.cache_dir
+                )
+                with os.fdopen(fd, "w") as f:
+                    json.dump(obj, f, separators=(",", ":"))
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp_path, self.snapshot_path)
+                tmp_path = None
+                # Crash window under test: the snapshot is live but the
+                # journal still holds every entry -- replay over the
+                # snapshot is idempotent.
+                fault_point("cache_compact")
+                if self._journal is not None and not self._journal.closed:
+                    self._journal.close()
+                self._journal = None
+                with open(self.journal_path, "wb") as f:
+                    f.flush()
+                    os.fsync(f.fileno())
+                self._dirty_line = False
+                self._appends_since_compact = 0
+                self.compactions += 1
+                return True
+            except Exception:  # noqa: BLE001 - degrade, never lose a put
+                self.compaction_failures += 1
+                if tmp_path is not None:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                return False
+
+    # ------------------------------------------------------------------
+    # Lifecycle / stats
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """fsync the journal (drain calls this before exiting)."""
+        with self._lock:
+            if self._journal is not None and not self._journal.closed:
+                try:
+                    self._journal.flush()
+                    os.fsync(self._journal.fileno())
+                except OSError:
+                    self.io_errors += 1
+
+    def close(self) -> None:
+        self.flush()
+        with self._lock:
+            if self._journal is not None and not self._journal.closed:
+                try:
+                    self._journal.close()
+                except OSError:
+                    self.io_errors += 1
+            self._journal = None
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "persist_recovered": self.recovered_entries,
+            "persist_discarded": self.discarded_records,
+            "persist_stale": self.stale_records,
+            "persist_appends": self.appends,
+            "persist_torn_writes": self.torn_writes,
+            "persist_compactions": self.compactions,
+            "persist_compaction_failures": self.compaction_failures,
+            "persist_io_errors": self.io_errors,
+        }

@@ -13,7 +13,9 @@ Requests::
     {"id": 2, "op": "analyze", "source": "...", "unwind": 8, "width": 8}
     {"id": 3, "op": "ping"}
     {"id": 4, "op": "stats"}
-    {"id": 5, "op": "shutdown"}
+    {"id": 5, "op": "health"}
+    {"id": 6, "op": "ready"}
+    {"id": 7, "op": "shutdown"}
 
 Responses (``"ok": true``)::
 
@@ -24,15 +26,27 @@ Responses (``"ok": true``)::
                  "pairs_racy"}}
     ping     -> {"id", "ok", "pong": true, "protocol": PROTOCOL_VERSION}
     stats    -> {"id", "ok", "stats": {...server counters...}}
+    health   -> {"id", "ok", "health": {"status": "ok"|"draining",
+                 "draining", "queue_depth", "workers", "workers_alive",
+                 ...cache counters...}}
+    ready    -> {"id", "ok", "ready": bool, "reason": str|null}
     shutdown -> {"id", "ok", "bye": true}
 
-Protocol errors -- malformed JSON, a missing/unknown ``op``, an
-unparseable program, a bad config -- come back as
-``{"id": ..., "ok": false, "error": "..."}`` (``id`` is null when the
-request line was not even valid JSON).  Engine-side failures are *not*
-protocol errors: budget exhaustion and contained crashes travel inside a
-normal ``verify`` response as UNKNOWN/ERROR verdicts, exactly like the
-library API.
+``health`` is a liveness probe (always answered, even mid-drain);
+``ready`` is an admission probe -- false while draining or while the
+worker pool has no live workers, so load balancers and wrapper scripts
+can stop routing before requests start getting shed.
+
+Protocol errors -- malformed JSON, a missing/unknown ``op``, a request
+line over :data:`MAX_REQUEST_BYTES`, an unparseable program, a bad
+config -- come back as ``{"id": ..., "ok": false, "error": "..."}``
+(``id`` is null when the request line was not even valid JSON).  A line
+so oversized the transport cannot even buffer it (more than twice the
+cap) is answered with a final error, then the connection is closed --
+framing cannot be resynchronized mid-line.  Engine-side failures are
+*not* protocol errors: budget exhaustion and contained crashes travel
+inside a normal ``verify`` response as UNKNOWN/ERROR verdicts, exactly
+like the library API.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_REQUEST_BYTES",
     "ProtocolError",
     "OPS",
     "decode_line",
@@ -53,8 +68,14 @@ __all__ = [
 #: can fail fast on a mismatch.
 PROTOCOL_VERSION = 1
 
+#: Upper bound on one request line (bytes of UTF-8).  Far above any real
+#: program (the benchmark suite tops out around 10 KB of source) but low
+#: enough that a garbage or hostile sender cannot balloon the daemon's
+#: heap through a single unbounded line.
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
 #: The operations a server must answer.
-OPS = ("verify", "analyze", "ping", "stats", "shutdown")
+OPS = ("verify", "analyze", "ping", "stats", "health", "ready", "shutdown")
 
 
 class ProtocolError(Exception):
@@ -68,7 +89,11 @@ def encode(obj: Dict[str, Any]) -> str:
 
 def decode_line(line: str) -> Dict[str, Any]:
     """Parse one request line; raise :class:`ProtocolError` on anything
-    that is not a JSON object with a known ``op``."""
+    that is not a reasonably-sized JSON object with a known ``op``."""
+    if len(line) > MAX_REQUEST_BYTES:
+        raise ProtocolError(
+            f"request too large: {len(line)} bytes > cap {MAX_REQUEST_BYTES}"
+        )
     try:
         obj = json.loads(line)
     except json.JSONDecodeError as exc:

@@ -31,30 +31,56 @@ Request lifecycle for ``verify``:
    (``cache_hit``, ``queue_wait_s``, ``worker_recycles``) on top of the
    normalized telemetry every verification already carries, and
    conclusive verdicts are inserted into the cache.
+
+**Durability** (opt-in via ``cache_dir``): the verdict cache journals
+every conclusive verdict to a crash-safe log under that directory and
+recovers it on the next startup (:mod:`repro.service.persist`), and
+workers checkpoint iterative-deepening progress per cache key under
+``<cache_dir>/checkpoints/`` so a job interrupted by a worker death or a
+daemon restart resumes past its last completed bound
+(:mod:`repro.service.checkpoints`).
+
+**Graceful drain**: SIGTERM or SIGINT puts the daemon into *draining*
+mode -- new ``verify`` admissions are shed with a structured UNKNOWN
+(``reason=draining``), in-flight jobs get up to ``drain_timeout_s`` to
+finish, the journal is fsynced, the pool is reaped, and the process
+exits with the distinct code :data:`DRAIN_EXIT_CODE` so wrappers can
+tell a drain from a crash.  A second signal skips the grace period.
+``health`` (always answered, even mid-drain) and ``ready`` (false while
+draining or with no live workers) expose the state to probes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import copy
+import os
+import signal
 import sys
 import threading
 import time
 from typing import Any, Dict, Optional
 
+from repro.robustness.faults import DropConnection, fault_point
 from repro.service import protocol
-from repro.service.cache import VerdictCache, cache_key
+from repro.service.cache import VerdictCache, cache_key, key_token
+from repro.service.checkpoints import CHECKPOINT_DIR_NAME
 from repro.service.workers import WorkerPool
 from repro.verify.config import VerifierConfig
 from repro.verify.result import Verdict, VerificationResult
 from repro.verify.telemetry import normalize_stats
 
-__all__ = ["ServiceServer"]
+__all__ = ["DRAIN_EXIT_CODE", "ServiceServer"]
 
 #: Extra seconds past the request deadline the server waits for a worker
 #: before answering UNKNOWN itself (the worker's own budget should have
 #: fired long before this).
 _DEADLINE_GRACE_S = 10.0
+
+#: Exit code of a daemon stopped by a drain signal (vs 0 for a clean
+#: ``shutdown`` op / EOF) -- wrapper scripts distinguish "we asked it to
+#: stop and it drained" from crashes.
+DRAIN_EXIT_CODE = 3
 
 
 class ServiceServer:
@@ -68,14 +94,25 @@ class ServiceServer:
         cache_size: int = 1024,
         default_time_limit_s: Optional[float] = None,
         verbose: bool = False,
+        cache_dir: Optional[str] = None,
+        drain_timeout_s: float = 10.0,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if drain_timeout_s < 0:
+            raise ValueError(
+                f"drain_timeout_s must be >= 0, got {drain_timeout_s}"
+            )
         self._workers = workers
         self._recycle_after = recycle_after
         self.max_queue = max_queue
-        self.cache = VerdictCache(cache_size)
+        self.cache_dir = cache_dir
+        self._checkpoint_dir = (
+            os.path.join(cache_dir, CHECKPOINT_DIR_NAME) if cache_dir else None
+        )
+        self.cache = VerdictCache(cache_size, cache_dir=cache_dir)
         self.default_time_limit_s = default_time_limit_s
+        self.drain_timeout_s = drain_timeout_s
         self.verbose = verbose
         self.pool: Optional[WorkerPool] = None
         self.started_at = time.monotonic()
@@ -83,6 +120,10 @@ class ServiceServer:
         self.jobs_shed = 0
         self.jobs_coalesced = 0
         self.protocol_errors = 0
+        self.draining = False
+        self._drained_by_signal = False
+        #: Bound TCP port once listening (useful with port 0 in tests).
+        self.tcp_port: Optional[int] = None
         self._shutdown: Optional[asyncio.Event] = None
         # Single-flight table: cache key -> future resolving to the clean
         # (conclusive) result of the in-flight job, or None.
@@ -96,17 +137,24 @@ class ServiceServer:
         """Spawn the worker pool (idempotent; ``run`` calls this)."""
         if self.pool is None:
             self.pool = WorkerPool(
-                size=self._workers, recycle_after=self._recycle_after
+                size=self._workers,
+                recycle_after=self._recycle_after,
+                checkpoint_dir=self._checkpoint_dir,
             )
 
     def close(self) -> None:
         if self.pool is not None:
             self.pool.shutdown()
             self.pool = None
+        self.cache.flush()
+        self.cache.close()
 
     def run(self, stdio: bool = False, tcp: Optional[str] = None) -> int:
         """Run the daemon on exactly one transport; blocks until EOF (for
-        stdio), a ``shutdown`` request, or KeyboardInterrupt."""
+        stdio), a ``shutdown`` request, a drain signal, or
+        KeyboardInterrupt.  Returns the process exit code: 0 for a clean
+        stop, :data:`DRAIN_EXIT_CODE` when stopped by SIGTERM/SIGINT via
+        the drain path."""
         if stdio == bool(tcp):
             raise ValueError("select exactly one transport: stdio or tcp")
         if tcp is not None:
@@ -121,10 +169,52 @@ class ServiceServer:
         try:
             asyncio.run(coro)
         except KeyboardInterrupt:
-            pass
+            # Signal handlers normally drain first; a KeyboardInterrupt
+            # that still escapes (e.g. during loop startup) stops us too.
+            self._drained_by_signal = True
         finally:
             self.close()
-        return 0
+        return DRAIN_EXIT_CODE if self._drained_by_signal else 0
+
+    def _install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into the drain path (best-effort: not
+        every loop/platform supports add_signal_handler)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+    def _begin_drain(self) -> None:
+        """First signal: shed new work, let in-flight finish, then stop.
+        Second signal: stop now."""
+        self._drained_by_signal = True
+        if self.draining:
+            self._log("drain: second signal, stopping immediately")
+            if self._shutdown is not None:
+                self._shutdown.set()
+            return
+        self.draining = True
+        self._log(
+            "drain: signal received, shedding new admissions "
+            f"(up to {self.drain_timeout_s:g}s for in-flight jobs)"
+        )
+        asyncio.ensure_future(self._drain_then_stop())
+
+    async def _drain_then_stop(self) -> None:
+        deadline = time.monotonic() + self.drain_timeout_s
+        while self.pool is not None and self.pool.pending() > 0:
+            if time.monotonic() >= deadline:
+                self._log(
+                    f"drain: timeout with {self.pool.pending()} jobs "
+                    "still in flight"
+                )
+                break
+            await asyncio.sleep(0.05)
+        self.cache.flush()
+        if self._shutdown is not None:
+            self._shutdown.set()
 
     def _log(self, message: str) -> None:
         if self.verbose:
@@ -137,13 +227,17 @@ class ServiceServer:
     async def _amain_stdio(self) -> None:
         self.start_pool()
         self._shutdown = asyncio.Event()
+        self._install_signal_handlers()
         loop = asyncio.get_running_loop()
         write_lock = asyncio.Lock()
         tasks = set()
         self._log(f"serving on stdio, {self.pool.size} workers")
 
         async def respond(line: str) -> None:
-            response = await self.handle_line(line)
+            try:
+                response = await self.handle_line(line)
+            except DropConnection:
+                return  # injected fault: swallow the response line
             if response is None:
                 return
             async with write_lock:
@@ -197,13 +291,28 @@ class ServiceServer:
     async def _amain_tcp(self, host: str, port: int) -> None:
         self.start_pool()
         self._shutdown = asyncio.Event()
-        server = await asyncio.start_server(self._on_connection, host, port)
+        self._install_signal_handlers()
+        # The buffer limit is twice the protocol cap: lines between the
+        # two get a structured "request too large" error from
+        # decode_line; only lines the transport cannot even frame force
+        # the connection closed.
+        server = await asyncio.start_server(
+            self._on_connection,
+            host,
+            port,
+            limit=2 * protocol.MAX_REQUEST_BYTES,
+        )
+        if server.sockets:
+            self.tcp_port = server.sockets[0].getsockname()[1]
         addrs = ", ".join(
             str(s.getsockname()) for s in server.sockets or ()
         )
         self._log(f"serving on {addrs}, {self.pool.size} workers")
         # Readiness marker on stdout: scripts wait for this line.
-        print(f"repro-serve: listening on {host}:{port}", flush=True)
+        print(
+            f"repro-serve: listening on {host}:{self.tcp_port or port}",
+            flush=True,
+        )
         async with server:
             await self._shutdown.wait()
         self._log("tcp transport closed")
@@ -213,7 +322,16 @@ class ServiceServer:
         tasks = set()
 
         async def respond(line: str) -> None:
-            response = await self.handle_line(line)
+            try:
+                response = await self.handle_line(line)
+            except DropConnection:
+                # Injected fault: sever the connection unanswered, the
+                # way a daemon crash mid-response would.
+                try:
+                    writer.transport.abort()
+                except Exception:
+                    pass
+                return
             if response is None:
                 return
             async with write_lock:
@@ -231,6 +349,26 @@ class ServiceServer:
                     break
                 except asyncio.CancelledError:
                     break  # server shutting down with this connection open
+                except ValueError:
+                    # Line exceeded the stream buffer (2x the protocol
+                    # cap): answer once, then close -- newline framing
+                    # cannot be resynchronized mid-line.
+                    self.protocol_errors += 1
+                    err = protocol.encode(
+                        protocol.error_response(
+                            None,
+                            "request line exceeds transport buffer "
+                            f"({2 * protocol.MAX_REQUEST_BYTES} bytes); "
+                            "closing connection",
+                        )
+                    )
+                    async with write_lock:
+                        try:
+                            writer.write(err.encode("utf-8"))
+                            await writer.drain()
+                        except (ConnectionError, RuntimeError):
+                            pass
+                    break
                 if not raw:
                     break
                 line = raw.decode("utf-8", errors="replace")
@@ -252,7 +390,13 @@ class ServiceServer:
     # ------------------------------------------------------------------
 
     async def handle_line(self, line: str) -> Optional[str]:
-        """Decode one request line, dispatch it, encode the response."""
+        """Decode one request line, dispatch it, encode the response.
+
+        Raises :class:`~repro.robustness.faults.DropConnection` when a
+        ``drop@service_response`` fault is installed -- the transport
+        severs the connection unanswered (chaos testing of client
+        retry).
+        """
         try:
             req = protocol.decode_line(line)
         except protocol.ProtocolError as exc:
@@ -264,6 +408,9 @@ class ServiceServer:
             response = protocol.error_response(
                 req.get("id"), f"internal error: {type(exc).__name__}: {exc}"
             )
+        # Chaos hook: delay@service_response slows every answer,
+        # drop@service_response propagates to the transport.
+        fault_point("service_response")
         return protocol.encode(response)
 
     async def handle_request(self, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -280,6 +427,10 @@ class ServiceServer:
             }
         if op == "stats":
             return {"id": request_id, "ok": True, "stats": self.stats()}
+        if op == "health":
+            return self._op_health(request_id)
+        if op == "ready":
+            return self._op_ready(request_id)
         if op == "shutdown":
             if self._shutdown is not None:
                 self._shutdown.set()
@@ -296,6 +447,7 @@ class ServiceServer:
             "jobs_coalesced": self.jobs_coalesced,
             "protocol_errors": self.protocol_errors,
             "protocol": protocol.PROTOCOL_VERSION,
+            "draining": int(self.draining),
         }
         out.update(self.cache.snapshot())
         if self.pool is not None:
@@ -310,6 +462,36 @@ class ServiceServer:
     # ------------------------------------------------------------------
     # Ops
     # ------------------------------------------------------------------
+
+    def _op_health(self, request_id: Any) -> Dict[str, Any]:
+        """Liveness probe: answered even mid-drain."""
+        pool = self.pool
+        health: Dict[str, Any] = {
+            "status": "draining" if self.draining else "ok",
+            "draining": self.draining,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": pool.pending() if pool is not None else 0,
+            "workers": pool.size if pool is not None else 0,
+            "workers_alive": pool.alive() if pool is not None else 0,
+        }
+        health.update(self.cache.snapshot())
+        return {"id": request_id, "ok": True, "health": health}
+
+    def _op_ready(self, request_id: Any) -> Dict[str, Any]:
+        """Admission probe: should new work be routed here?"""
+        reason: Optional[str] = None
+        if self.draining:
+            reason = "draining"
+        elif self.pool is None:
+            reason = "worker pool not started"
+        elif self.pool.alive() == 0:
+            reason = "no live workers"
+        return {
+            "id": request_id,
+            "ok": True,
+            "ready": reason is None,
+            "reason": reason,
+        }
 
     def _op_analyze(self, req: Dict[str, Any]) -> Dict[str, Any]:
         request_id = req.get("id")
@@ -371,6 +553,16 @@ class ServiceServer:
             )
         self.jobs_total += 1
 
+        if self.draining:
+            # New admissions are shed during a drain; in-flight jobs are
+            # the only work the daemon will still finish.
+            self.jobs_shed += 1
+            return self._verify_response(
+                request_id,
+                self._shed_result(config, reason="draining"),
+                cache_hit=False,
+            )
+
         cached = self.cache.get(key)
         if cached is not None:
             self._annotate(cached, cache_hit=True, queue_wait_s=0.0)
@@ -423,7 +615,12 @@ class ServiceServer:
         self._inflight[key] = waiter
         clean: Optional[Dict] = None
         try:
-            _, fut, _ = self.pool.submit(source, config.to_dict())
+            ckpt_token = (
+                key_token(key) if self._checkpoint_dir is not None else None
+            )
+            _, fut, _ = self.pool.submit(
+                source, config.to_dict(), ckpt_token=ckpt_token
+            )
             timeout = (
                 None if deadline_s is None else deadline_s + _DEADLINE_GRACE_S
             )
@@ -500,16 +697,25 @@ class ServiceServer:
             self.pool.recycles if self.pool is not None else 0
         )
 
-    def _shed_result(self, config: VerifierConfig) -> Dict:
+    def _shed_result(
+        self, config: VerifierConfig, reason: str = "overloaded"
+    ) -> Dict:
         """Admission control: the structured UNKNOWN for a shed job."""
+        if reason == "draining":
+            diagnostic = (
+                "admission control: server is draining after a stop "
+                "signal (reason=draining); retry against a live instance"
+            )
+        else:
+            diagnostic = (
+                f"admission control: {self.pool.pending()} jobs queued "
+                f">= cap {self.max_queue} (reason={reason})"
+            )
         result = VerificationResult(
             Verdict.UNKNOWN,
             config.name,
-            diagnostic=(
-                f"admission control: {self.pool.pending()} jobs queued "
-                f">= cap {self.max_queue} (reason=overloaded)"
-            ),
-            stats=normalize_stats({"reason": "overloaded"}),
+            diagnostic=diagnostic,
+            stats=normalize_stats({"reason": reason}),
         ).to_dict()
         self._annotate(result, cache_hit=False, queue_wait_s=0.0)
         return result

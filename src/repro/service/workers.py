@@ -17,10 +17,13 @@ Verification is CPU-bound pure Python, so concurrency comes from worker
   the collector; its in-flight jobs fail with an ERROR payload instead of
   hanging their requests, and a replacement is spawned.
 
-Jobs are ``(source, config_dict)`` pairs submitted with
+Jobs are ``(source, config_dict, ckpt_token)`` triples submitted with
 :meth:`WorkerPool.submit`, which returns a
 :class:`concurrent.futures.Future` resolving to the wire-format result
 dict -- the asyncio server awaits these with ``asyncio.wrap_future``.
+With a ``checkpoint_dir`` configured, jobs that carry a token get
+durable per-bound checkpoint/resume through the iterative-deepening
+loop (see :mod:`repro.service.checkpoints`).
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ import queue as queue_mod
 import threading
 import time
 from concurrent.futures import Future
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["WorkerPool"]
 
@@ -71,7 +74,14 @@ def _warm_imports() -> None:
     import repro.verify.engines  # noqa: F401
 
 
-def _worker_main(wid: int, job_q, result_q, recycle_after: int) -> None:
+def _worker_main(
+    wid: int,
+    job_q,
+    result_q,
+    recycle_after: int,
+    checkpoint_dir: Optional[str] = None,
+    job_slot=None,
+) -> None:
     """Worker process entry point: warm up, then serve jobs until retired.
 
     Reports ``(job_id, wid, kind, payload, wall_ts)`` tuples: a ``start``
@@ -79,28 +89,62 @@ def _worker_main(wid: int, job_q, result_q, recycle_after: int) -> None:
     measure queue wait) and a ``done`` with the result payload.  Retires
     itself -- finishes the current job, announces why, and exits -- after
     the job quota or a memory-budget-triggered UNKNOWN.
+
+    With a ``checkpoint_dir``, jobs carrying a checkpoint token get
+    durable per-bound progress: an iterative-deepening run saves a
+    checkpoint after every completed bound, a re-dispatched job resumes
+    its schedule past the last completed bound (stamping
+    ``resumed_from_bound`` / ``bounds_skipped`` into the result stats),
+    and a conclusive verdict discards the checkpoint -- the verdict
+    cache takes over as the durable record.
     """
     _warm_imports()
     from repro.lang.lexer import LexError
     from repro.lang.parser import ParseError
     from repro.lang.sema import SemanticError
+    from repro.robustness.faults import fault_point
+    from repro.service.checkpoints import CheckpointStore
+    from repro.verify.checkpoint import Checkpoint, checkpoint_sink
     from repro.verify.config import VerifierConfig
     from repro.verify.verifier import verify_one
 
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     jobs_done = 0
     while True:
         item = job_q.get()
         if item is None:
             return
-        job_id, source, config_dict = item
+        job_id, source, config_dict, ckpt_token = item
+        # Claim the job in shared memory BEFORE the queue message: queue
+        # puts are flushed by a feeder thread, so a worker killed right
+        # after pickup may die with the START still buffered -- the slot
+        # write is immediate and survives SIGKILL, letting the parent
+        # fail this job instead of hanging its request.
+        if job_slot is not None:
+            job_slot.value = job_id
         result_q.put((job_id, wid, _MSG_START, None, time.time()))
         try:
+            # Chaos hook: kill@service_worker dies here, mid-job from the
+            # parent's point of view (START reported, no DONE coming).
+            fault_point("service_worker")
             config = (
                 VerifierConfig.from_dict(config_dict)
                 if config_dict
                 else VerifierConfig()
             )
-            result = verify_one(source, config)
+            config, sink, resumed_from, skipped = _prepare_resume(
+                store, ckpt_token, config, Checkpoint
+            )
+            with checkpoint_sink(sink):
+                result = verify_one(source, config)
+            if resumed_from is not None:
+                result.stats["resumed_from_bound"] = resumed_from
+                result.stats["bounds_skipped"] = skipped
+            if store is not None and ckpt_token and result.verdict in (
+                "safe",
+                "unsafe",
+            ):
+                store.discard(ckpt_token)
             payload = {"result": result.to_dict()}
         except (LexError, ParseError, SemanticError, ValueError) as exc:
             # Input errors: bad program text or a bad config dict.
@@ -117,8 +161,54 @@ def _worker_main(wid: int, job_q, result_q, recycle_after: int) -> None:
             retire = "memory"
         payload["retire"] = retire
         result_q.put((job_id, wid, _MSG_DONE, payload, time.time()))
+        # Release the claim only after the DONE is queued: dying between
+        # the two leaves the slot set, and the parent's drain-then-reap
+        # order resolves the future from whichever record survived.
+        if job_slot is not None:
+            job_slot.value = 0
         if retire is not None:
             return
+
+
+def _prepare_resume(store, token, config, checkpoint_cls):
+    """Resume plumbing for one job: ``(config, sink, resumed_from,
+    bounds_skipped)``.
+
+    With a prior checkpoint, the returned config's ``unwind_schedule`` is
+    trimmed to the bounds past the last completed one and ``resumed_from``
+    is that bound (else ``None``).  The returned sink persists every
+    checkpoint the engine emits -- rewritten against the job's *original*
+    schedule, with the prior run's completed bounds and solver effort
+    merged in, so a twice-interrupted job validates and resumes correctly
+    on its third dispatch (the engine only ever sees trimmed schedules).
+    """
+    schedule = config.unwind_schedule
+    if store is None or not token or not schedule:
+        return config, None, None, 0
+    prior = store.load(token, schedule)
+    resumed_from = None
+    skipped = 0
+    if prior is not None:
+        config = config.with_(unwind_schedule=prior.remaining())
+        resumed_from = prior.completed[-1]
+        skipped = len(prior.completed)
+    prior_completed = prior.completed if prior is not None else ()
+    prior_conflicts = prior.conflicts if prior is not None else 0
+    prior_elapsed = prior.elapsed_s if prior is not None else 0.0
+
+    def sink(cp) -> None:
+        store.save(
+            token,
+            checkpoint_cls(
+                schedule=tuple(schedule),
+                completed=tuple(prior_completed) + tuple(cp.completed),
+                conflicts=prior_conflicts + cp.conflicts,
+                clauses_retained=cp.clauses_retained,
+                elapsed_s=round(prior_elapsed + cp.elapsed_s, 6),
+            ),
+        )
+
+    return config, sink, resumed_from, skipped
 
 
 def _hit_memory_budget(payload: Dict) -> bool:
@@ -138,11 +228,13 @@ class WorkerPool:
         size: Optional[int] = None,
         recycle_after: int = 64,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         if recycle_after < 1:
             raise ValueError(f"recycle_after must be >= 1, got {recycle_after}")
         self.size = size or _DEFAULT_SIZE
         self.recycle_after = recycle_after
+        self.checkpoint_dir = checkpoint_dir
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = multiprocessing.get_context(
@@ -157,6 +249,11 @@ class WorkerPool:
         self._queue_wait: Dict[int, float] = {}
         self._assigned: Dict[int, int] = {}  # job_id -> wid
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        # wid -> shared int64: the job the worker is holding right now
+        # (0 = idle).  Written by the worker before its START message can
+        # even flush, so a SIGKILL mid-pickup still tells us which job
+        # died with it.
+        self._slots: Dict[int, Any] = {}
         self._job_ids = itertools.count(1)
         self._wids = itertools.count(1)
         #: Workers replaced so far (quota, memory recycle, or death).
@@ -175,7 +272,10 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def submit(
-        self, source: str, config_dict: Optional[Dict]
+        self,
+        source: str,
+        config_dict: Optional[Dict],
+        ckpt_token: Optional[str] = None,
     ) -> Tuple[int, Future, float]:
         """Enqueue one job; returns ``(job_id, future, submitted_at)``.
 
@@ -183,6 +283,10 @@ class WorkerPool:
         ``{"result": ...}`` on a completed verification (any verdict),
         ``{"input_error": ...}`` on bad input, or raises on worker death.
         The payload also carries ``queue_wait_s`` once resolved.
+
+        ``ckpt_token`` (the job's cache-key token) enables durable
+        checkpoint/resume for this job when the pool has a
+        ``checkpoint_dir``.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is shut down")
@@ -192,8 +296,12 @@ class WorkerPool:
             job_id = next(self._job_ids)
             self._futures[job_id] = fut
             self._submitted_at[job_id] = submitted
-        self._job_q.put((job_id, source, config_dict))
+        self._job_q.put((job_id, source, config_dict, ckpt_token))
         return job_id, fut, submitted
+
+    def alive(self) -> int:
+        """Workers currently alive (health/readiness probes)."""
+        return sum(1 for p in self._procs.values() if p.is_alive())
 
     def pending(self) -> int:
         """Jobs submitted but not yet resolved (queued + in flight)."""
@@ -236,14 +344,23 @@ class WorkerPool:
 
     def _spawn_worker(self) -> None:
         wid = next(self._wids)
+        slot = self._ctx.Value("q", 0, lock=False)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(wid, self._job_q, self._result_q, self.recycle_after),
+            args=(
+                wid,
+                self._job_q,
+                self._result_q,
+                self.recycle_after,
+                self.checkpoint_dir,
+                slot,
+            ),
             daemon=True,
             name=f"service-worker-{wid}",
         )
         proc.start()
         self._procs[wid] = proc
+        self._slots[wid] = slot
 
     def _collect(self) -> None:
         """Collector thread: resolve futures, recycle retired workers,
@@ -286,6 +403,7 @@ class WorkerPool:
     def _retire(self, wid: int) -> None:
         """A worker announced retirement: join it, spawn a replacement."""
         proc = self._procs.pop(wid, None)
+        self._slots.pop(wid, None)
         if proc is not None:
             proc.join(timeout=5.0)
             if proc.is_alive():
@@ -312,6 +430,7 @@ class WorkerPool:
             self._handle_message(*message)
         for wid in dead:
             proc = self._procs.pop(wid, None)
+            slot = self._slots.pop(wid, None)
             if proc is None:
                 continue  # retired cleanly via its drained DONE message
             proc.join(timeout=0.5)
@@ -319,6 +438,12 @@ class WorkerPool:
                 lost = [
                     j for j, w in self._assigned.items() if w == wid
                 ]
+                # The worker may have died between consuming a job and
+                # flushing its START message (queue puts go through a
+                # feeder thread): the shared slot it wrote synchronously
+                # at pickup is the authoritative claim.
+                if slot is not None and slot.value and slot.value not in lost:
+                    lost.append(slot.value)
                 futures = []
                 for job_id in lost:
                     fut = self._futures.pop(job_id, None)

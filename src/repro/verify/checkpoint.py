@@ -1,0 +1,141 @@
+"""Per-bound progress checkpoints for the iterative-deepening BMC loop.
+
+The deepening schedule (``VerifierConfig.unwind_schedule``) gives long
+verification jobs a natural unit of durable progress: every completed
+bound is an UNSAT proof that no violation exists *within* that bound,
+established once and valid forever for the same (program, encoding
+signature).  :class:`Checkpoint` records exactly that -- which bounds of
+which schedule are done, plus the solver effort spent -- so a job that is
+retried after a worker death, a budget UNKNOWN, or a daemon restart can
+resume its schedule from the last completed bound instead of bound 1.
+
+Resuming is sound by construction: skipping a bound only skips re-proving
+an UNSAT that was already proven, and the final bound -- whose query is
+exactly the one-shot problem -- is always solved.  The resumed run loses
+the learned clauses of the skipped bounds (they died with the old
+process), so resumption is a *latency* optimization with an identical
+verdict, which ``tests/service/test_checkpoint.py`` enforces on every
+example program.
+
+The engine does not know where checkpoints go.  A host (the service
+worker) installs a sink around the run with :func:`checkpoint_sink`; the
+deepening loop calls :func:`emit_checkpoint` after each completed bound.
+Sink failures are contained -- durability must never fail a
+verification.  With no sink installed, emission is a no-op, so the
+in-process API pays nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "checkpoint_sink",
+    "emit_checkpoint",
+]
+
+#: Version of the checkpoint wire shape; stale files are refused by the
+#: store, never half-understood.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Durable progress of one iterative-deepening run.
+
+    Attributes:
+        schedule: the full normalized bound schedule of the run.
+        completed: the prefix of ``schedule`` proven UNSAT so far.
+        verdict_so_far: always ``"no-violation-within-bound"`` -- a
+            checkpoint only exists while every solved bound came back
+            UNSAT (any other answer concludes the job).
+        conflicts: CDCL conflicts spent through the last completed bound.
+        clauses_retained: learned clauses alive when the checkpoint was
+            cut (diagnostic only; they do not survive a resume).
+        elapsed_s: wall-clock spent through the last completed bound.
+    """
+
+    schedule: Tuple[int, ...]
+    completed: Tuple[int, ...]
+    verdict_so_far: str = "no-violation-within-bound"
+    conflicts: int = 0
+    clauses_retained: int = 0
+    elapsed_s: float = 0.0
+    schema_version: int = field(default=CHECKPOINT_SCHEMA_VERSION)
+
+    def remaining(self) -> Tuple[int, ...]:
+        """The schedule bounds still to solve (empty iff nothing to
+        resume -- then the checkpoint is useless and a fresh run is
+        correct anyway)."""
+        if not self.completed:
+            return self.schedule
+        last = self.completed[-1]
+        return tuple(b for b in self.schedule if b > last)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "schedule": list(self.schedule),
+            "completed": list(self.completed),
+            "verdict_so_far": self.verdict_so_far,
+            "conflicts": self.conflicts,
+            "clauses_retained": self.clauses_retained,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Checkpoint":
+        version = data.get("schema_version")
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint schema version {version!r} "
+                f"(this library speaks {CHECKPOINT_SCHEMA_VERSION})"
+            )
+        return cls(
+            schedule=tuple(int(b) for b in data["schedule"]),
+            completed=tuple(int(b) for b in data["completed"]),
+            verdict_so_far=data.get(
+                "verdict_so_far", "no-violation-within-bound"
+            ),
+            conflicts=int(data.get("conflicts", 0)),
+            clauses_retained=int(data.get("clauses_retained", 0)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+# One slot per process: service workers run one job at a time, and the
+# in-process API never installs a sink.
+_sink: Optional[Callable[[Checkpoint], None]] = None
+
+
+@contextlib.contextmanager
+def checkpoint_sink(sink: Optional[Callable[[Checkpoint], None]]):
+    """Install ``sink`` as this process's checkpoint receiver for the
+    duration of the block (``None`` is allowed and is a no-op sink)."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    try:
+        yield
+    finally:
+        _sink = previous
+
+
+def emit_checkpoint(checkpoint: Checkpoint) -> None:
+    """Deliver one checkpoint to the installed sink, if any.
+
+    Sink exceptions are swallowed: persistence trouble (disk full, a
+    vanished cache dir) degrades to checkpoint-less operation, it never
+    turns a solvable job into an ERROR.
+    """
+    sink = _sink
+    if sink is None:
+        return
+    try:
+        sink(checkpoint)
+    except Exception:  # noqa: BLE001 - durability is best-effort
+        pass

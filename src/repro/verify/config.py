@@ -333,6 +333,11 @@ ENV_VARS: Dict[str, str] = {
         "repro.api.verify routes jobs through it instead of solving "
         "in-process (see docs/SERVICE.md)"
     ),
+    "REPRO_CACHE_DIR": (
+        "directory for the service's persistent verdict cache and job "
+        "checkpoints (repro serve --cache-dir default; unset = in-memory "
+        "cache only, see docs/SERVICE.md)"
+    ),
 }
 
 _TRUTHY = ("1", "true", "yes", "on")
@@ -354,7 +359,8 @@ def env_overrides(
     * ``REPRO_AUDIT`` -> ``bool``;
     * ``REPRO_FAULTS`` -> tuple of fault-spec strings;
     * ``REPRO_BENCH_JOBS`` -> ``int``;
-    * ``REPRO_SERVER`` -> the address string, stripped.
+    * ``REPRO_SERVER`` -> the address string, stripped;
+    * ``REPRO_CACHE_DIR`` -> the directory path, stripped.
     """
     env = os.environ if environ is None else environ
 
@@ -400,6 +406,7 @@ def env_overrides(
         except ValueError:
             out["REPRO_BENCH_JOBS"] = 1
     out["REPRO_SERVER"] = raw("REPRO_SERVER")
+    out["REPRO_CACHE_DIR"] = raw("REPRO_CACHE_DIR")
     return out
 
 

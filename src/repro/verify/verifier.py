@@ -290,15 +290,23 @@ def _solve_schedule(encoded, config, telemetry):
     assumptions, so the formula itself (a subset of the deepest problem)
     is UNSAT and the program is SAFE.
 
+    After every completed (UNSAT, non-final) bound a
+    :class:`~repro.verify.checkpoint.Checkpoint` is emitted to the
+    process's installed checkpoint sink, if any -- the durable-progress
+    hook the verification service uses for job resume (see
+    :mod:`repro.verify.checkpoint`).
+
     Returns ``(final SolveResult, per-bound stats list)``.
     """
     from repro.encoding.encoder import add_unwind_bound
+    from repro.verify.checkpoint import Checkpoint, emit_checkpoint
 
     solver = encoded.solver
     schedule = config.unwind_schedule
     start = time.monotonic()
     conflicts_base = solver.stats.conflicts
     per_bound = []
+    completed = []
     answer = SolveResult.UNSAT
     for bound in schedule:
         u = add_unwind_bound(encoded, bound)
@@ -335,6 +343,17 @@ def _solve_schedule(encoded, config, telemetry):
             telemetry.emit("bound", **entry)
         if answer != SolveResult.UNSAT:
             break
+        completed.append(bound)
+        if bound != schedule[-1]:
+            emit_checkpoint(
+                Checkpoint(
+                    schedule=tuple(schedule),
+                    completed=tuple(completed),
+                    conflicts=solver.stats.conflicts - conflicts_base,
+                    clauses_retained=solver.stats.clauses_retained,
+                    elapsed_s=round(time.monotonic() - start, 6),
+                )
+            )
         if u is not None and not solver.unsat_core:
             # Root-level UNSAT: holds independent of the bound assumption.
             break

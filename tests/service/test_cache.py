@@ -198,4 +198,6 @@ class TestVerdictCache:
             "cache_hits",
             "cache_misses",
             "cache_evictions",
+            "cache_persistent",
         }
+        assert snap["cache_persistent"] == 0

@@ -1,0 +1,280 @@
+"""Job checkpoint/resume through the iterative-deepening loop.
+
+Layers: the :class:`Checkpoint` value type, engine-side emission from
+``_solve_schedule``, the durable :class:`CheckpointStore`, the worker's
+resume plumbing (``_prepare_resume``), and the end-to-end property the
+whole feature rests on -- a resumed run returns the *same verdict* as a
+fresh run, on every example program.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.service.cache import cache_key, key_token
+from repro.service.checkpoints import CheckpointStore
+from repro.service.workers import WorkerPool, _prepare_resume
+from repro.verify.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    checkpoint_sink,
+    emit_checkpoint,
+)
+from repro.verify.config import VerifierConfig
+from repro.verify.verifier import verify_one
+
+pytestmark = pytest.mark.timeout(300)
+
+EXAMPLES = sorted(glob.glob(
+    os.path.join(os.path.dirname(__file__), "..", "..",
+                 "examples", "programs", "*.c")
+))
+
+SAFE_PROGRAM = """
+int x = 0;
+thread t { x = x + 1; }
+main { start t; join t; assert(x == 1); }
+"""
+
+LOOP_PROGRAM = """
+int x = 0;
+thread t { int i; i = 0; while (i < 3) { x = x + 1; i = i + 1; } }
+main { start t; join t; assert(x <= 3); }
+"""
+
+
+def _checkpoint(schedule=(1, 2, 4), completed=(1,)):
+    return Checkpoint(schedule=schedule, completed=completed)
+
+
+class TestCheckpointType:
+    def test_remaining(self):
+        cp = _checkpoint(schedule=(1, 2, 4, 8), completed=(1, 2))
+        assert cp.remaining() == (4, 8)
+        assert _checkpoint(completed=()).remaining() == (1, 2, 4)
+
+    def test_dict_roundtrip(self):
+        cp = Checkpoint(
+            schedule=(1, 4), completed=(1,), conflicts=7,
+            clauses_retained=3, elapsed_s=0.5,
+        )
+        assert Checkpoint.from_dict(cp.to_dict()) == cp
+
+    def test_schema_version_guard(self):
+        data = _checkpoint().to_dict()
+        data["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            Checkpoint.from_dict(data)
+
+    def test_sink_contains_failures(self):
+        """A throwing sink must not fail the verification."""
+        def bad_sink(cp):
+            raise OSError("disk full")
+
+        with checkpoint_sink(bad_sink):
+            emit_checkpoint(_checkpoint())  # must not raise
+
+    def test_no_sink_is_noop(self):
+        emit_checkpoint(_checkpoint())  # must not raise
+
+
+class TestEngineEmission:
+    def test_emits_after_completed_bounds(self):
+        seen = []
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        with checkpoint_sink(seen.append):
+            result = verify_one(LOOP_PROGRAM, config)
+        assert result.verdict == "safe"
+        # One checkpoint per completed non-final bound (the root-level-
+        # UNSAT shortcut may legitimately end the schedule early), each
+        # a strict prefix extension of the previous.
+        assert seen, "expected at least one checkpoint"
+        assert seen[0].completed == (1,)
+        for prev, cur in zip(seen, seen[1:]):
+            assert cur.completed[: len(prev.completed)] == prev.completed
+            assert len(cur.completed) == len(prev.completed) + 1
+        assert all(cp.schedule == (1, 2, 4) for cp in seen)
+        assert all(
+            cp.verdict_so_far == "no-violation-within-bound" for cp in seen
+        )
+
+    def test_one_shot_emits_nothing(self):
+        seen = []
+        with checkpoint_sink(seen.append):
+            verify_one(SAFE_PROGRAM, VerifierConfig(unwind=4))
+        assert seen == []
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        cp = _checkpoint()
+        assert store.save("tok", cp)
+        assert store.load("tok", (1, 2, 4)) == cp
+        assert store.count() == 1
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load("nope", (1, 2)) is None
+
+    def test_load_schedule_mismatch_is_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("tok", _checkpoint(schedule=(1, 2, 4)))
+        assert store.load("tok", (1, 2, 8)) is None
+
+    def test_load_corrupt_is_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.path("tok"), "w") as f:
+            f.write('{"schema_version":')  # torn write
+        assert store.load("tok", (1, 2, 4)) is None
+
+    def test_load_nothing_remaining_is_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("tok", _checkpoint(completed=(1, 2, 4)))
+        assert store.load("tok", (1, 2, 4)) is None
+
+    def test_discard(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("tok", _checkpoint())
+        store.discard("tok")
+        assert store.count() == 0
+        store.discard("tok")  # idempotent
+
+
+class TestPrepareResume:
+    def test_no_store_or_token_passthrough(self):
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        out, sink, resumed, skipped = _prepare_resume(
+            None, "tok", config, Checkpoint
+        )
+        assert out is config and sink is None
+        assert resumed is None and skipped == 0
+
+    def test_resume_trims_schedule(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        store.save("tok", _checkpoint(schedule=(1, 2, 4), completed=(1,)))
+        out, sink, resumed, skipped = _prepare_resume(
+            store, "tok", config, Checkpoint
+        )
+        assert out.unwind_schedule == (2, 4)
+        assert resumed == 1 and skipped == 1
+        assert sink is not None
+
+    def test_sink_merges_against_original_schedule(self, tmp_path):
+        """A twice-interrupted job must still validate: checkpoints from
+        a *resumed* run (whose engine saw the trimmed schedule) are
+        persisted against the original schedule with prior completed
+        bounds and effort merged in."""
+        store = CheckpointStore(str(tmp_path))
+        config = VerifierConfig(unwind=8, unwind_schedule=(1, 2, 4, 8))
+        store.save(
+            "tok",
+            Checkpoint(
+                schedule=(1, 2, 4, 8), completed=(1,),
+                conflicts=10, elapsed_s=1.0,
+            ),
+        )
+        _, sink, _, _ = _prepare_resume(store, "tok", config, Checkpoint)
+        # The resumed engine emits against its trimmed schedule (2, 4, 8).
+        sink(Checkpoint(
+            schedule=(2, 4, 8), completed=(2, 4), conflicts=5, elapsed_s=0.5,
+        ))
+        merged = store.load("tok", (1, 2, 4, 8))
+        assert merged is not None
+        assert merged.completed == (1, 2, 4)
+        assert merged.conflicts == 15
+        assert merged.elapsed_s == pytest.approx(1.5)
+        # And a second resume trims past the merged prefix.
+        out, _, resumed, skipped = _prepare_resume(
+            store, "tok", config, Checkpoint
+        )
+        assert out.unwind_schedule == (8,)
+        assert resumed == 4 and skipped == 3
+
+    def test_fresh_run_with_token_still_persists(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        out, sink, resumed, skipped = _prepare_resume(
+            store, "tok", config, Checkpoint
+        )
+        assert out.unwind_schedule == (1, 2, 4) and resumed is None
+        sink(Checkpoint(schedule=(1, 2, 4), completed=(1,)))
+        assert store.load("tok", (1, 2, 4)).completed == (1,)
+
+
+class TestResumeEquivalence:
+    """The soundness property: resuming from any completed bound returns
+    the same verdict as the fresh run."""
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+    )
+    def test_resumed_verdict_equals_fresh(self, path):
+        with open(path) as f:
+            source = f.read()
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        seen = []
+        with checkpoint_sink(seen.append):
+            fresh = verify_one(source, config)
+        # Resume from every checkpoint the fresh run emitted.
+        for cp in seen:
+            resumed = verify_one(
+                source, config.with_(unwind_schedule=cp.remaining())
+            )
+            assert resumed.verdict == fresh.verdict, (
+                f"resume from bound {cp.completed[-1]} changed the verdict"
+            )
+
+    def test_unsafe_at_shallow_bound_never_checkpoints_wrong(self):
+        """A SAT (UNSAFE) bound concludes the job; no checkpoint may
+        claim it was completed."""
+        unsafe = """
+        int c = 0;
+        thread a { int t; t = c; c = t + 1; }
+        thread b { int t; t = c; c = t + 1; }
+        main { start a; start b; join a; join b; assert(c == 2); }
+        """
+        seen = []
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        with checkpoint_sink(seen.append):
+            result = verify_one(unsafe, config)
+        assert result.verdict == "unsafe"
+        final_bounds = [cp.completed[-1] for cp in seen]
+        # The bound where the bug was found is never in any checkpoint.
+        stats_bounds = result.stats["bounds"]
+        sat_bound = stats_bounds[-1]["bound"]
+        assert sat_bound not in final_bounds
+
+
+class TestWorkerResume:
+    @pytest.fixture()
+    def pool(self, tmp_path):
+        pool = WorkerPool(size=1, checkpoint_dir=str(tmp_path))
+        yield pool
+        pool.shutdown()
+
+    def test_seeded_checkpoint_resumes_and_discards(self, pool, tmp_path):
+        config = VerifierConfig(unwind=4, unwind_schedule=(1, 2, 4))
+        key = cache_key(LOOP_PROGRAM, config)
+        token = key_token(key)
+        store = CheckpointStore(str(tmp_path))
+        store.save("%s" % token, _checkpoint(schedule=(1, 2, 4)))
+
+        _, fut, _ = pool.submit(LOOP_PROGRAM, config.to_dict(), token)
+        payload = fut.result(timeout=120)
+        result = payload["result"]
+        assert result["verdict"] == "safe"
+        assert result["stats"]["resumed_from_bound"] == 1
+        assert result["stats"]["bounds_skipped"] == 1
+        # The resumed run solved only the remaining bounds.
+        assert result["stats"]["unwind_schedule"] == [2, 4]
+        # Conclusive verdict: the checkpoint is gone.
+        assert store.count() == 0
+
+    def test_fresh_job_unannotated(self, pool):
+        config = VerifierConfig(unwind=2, unwind_schedule=(1, 2))
+        _, fut, _ = pool.submit(LOOP_PROGRAM, config.to_dict(), "tok-fresh")
+        result = fut.result(timeout=120)["result"]
+        assert result["verdict"] == "safe"
+        assert "resumed_from_bound" not in result["stats"]

@@ -1,0 +1,195 @@
+"""Transport-level protocol robustness.
+
+What the daemon must survive without degrading other traffic: oversized
+request lines (structured error while the line is bufferable, answered-
+then-closed when it is not), malformed and non-object JSON, and peers
+that vanish mid-line or mid-request.  These run against the real asyncio
+TCP transport (``_amain_tcp``) in-process, so connection lifecycle --
+not just ``handle_request`` dispatch -- is what is under test.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, decode_line
+from repro.service.server import ServiceServer
+
+pytestmark = pytest.mark.timeout(120)
+
+SAFE_PROGRAM = """
+int x = 0;
+thread t { x = x + 1; }
+main { start t; join t; assert(x == 1); }
+"""
+
+
+class TestDecodeLine:
+    def test_oversized_line_refused(self):
+        line = '{"op": "ping", "pad": "' + "x" * protocol.MAX_REQUEST_BYTES
+        with pytest.raises(ProtocolError, match="request too large"):
+            decode_line(line)
+
+    @pytest.mark.parametrize(
+        "line",
+        ["[1, 2, 3]", '"just a string"', "42", "null"],
+        ids=["array", "string", "number", "null"],
+    )
+    def test_non_object_refused(self, line):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(line)
+
+    def test_missing_op_refused(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_line('{"id": 1}')
+
+    def test_all_documented_ops_accepted(self):
+        for op in protocol.OPS:
+            assert decode_line(json.dumps({"id": 1, "op": op}))["op"] == op
+
+
+def _run_tcp(scenario, **server_kw):
+    """Run ``scenario(server, reader-less)`` against a live in-process
+    TCP transport; tears the transport down afterwards."""
+    server = ServiceServer(workers=1, **server_kw)
+
+    async def main():
+        transport = asyncio.ensure_future(
+            server._amain_tcp("127.0.0.1", 0)
+        )
+        try:
+            while server.tcp_port is None:
+                await asyncio.sleep(0.01)
+            await scenario(server)
+        finally:
+            server._shutdown.set()
+            await transport
+
+    try:
+        asyncio.run(main())
+    finally:
+        server.close()
+    return server
+
+
+async def _open(server):
+    return await asyncio.open_connection("127.0.0.1", server.tcp_port)
+
+
+def _req(obj) -> bytes:
+    return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+class TestOversizedRequests:
+    def test_bufferable_oversize_answered_connection_survives(self):
+        """Between the protocol cap and the transport buffer: a
+        structured error, and the same connection keeps working."""
+
+        async def scenario(server):
+            reader, writer = await _open(server)
+            pad = "x" * (protocol.MAX_REQUEST_BYTES + 64)
+            writer.write(_req({"id": 7, "op": "ping", "pad": pad}))
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert not response["ok"]
+            assert "request too large" in response["error"]
+
+            writer.write(_req({"id": 8, "op": "ping"}))
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] and response["pong"]
+            writer.close()
+
+        server = _run_tcp(scenario)
+        assert server.protocol_errors == 1
+
+    def test_unbufferable_oversize_answered_then_closed(self):
+        """Past twice the cap the stream cannot even frame the line:
+        one final error response, then EOF -- never a hang, never a
+        misparse of the overflow bytes as a second request."""
+
+        async def scenario(server):
+            reader, writer = await _open(server)
+            writer.write(b'{"id": 9, "op": "ping", "pad": "')
+            writer.write(b"x" * (2 * protocol.MAX_REQUEST_BYTES + 128))
+            writer.write(b'"}\n')
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert not response["ok"]
+            assert "exceeds transport buffer" in response["error"]
+            assert await reader.readline() == b""  # server closed it
+
+            # The daemon itself is fine: fresh connections still served.
+            reader2, writer2 = await _open(server)
+            writer2.write(_req({"id": 10, "op": "ping"}))
+            await writer2.drain()
+            assert json.loads(await reader2.readline())["pong"]
+            writer2.close()
+
+        server = _run_tcp(scenario)
+        assert server.protocol_errors >= 1
+
+
+class TestMidStreamDisconnects:
+    def test_partial_line_then_eof_does_not_kill_others(self):
+        """A peer that dies mid-line: its fragment is refused, the
+        response write to the dead socket is swallowed, and an in-flight
+        verify on another connection still completes."""
+
+        async def scenario(server):
+            reader_a, writer_a = await _open(server)
+            writer_a.write(
+                _req({"id": 1, "op": "verify", "source": SAFE_PROGRAM})
+            )
+            await writer_a.drain()
+
+            _, writer_b = await _open(server)
+            writer_b.write(b'{"id": 2, "op": "ver')  # no newline, then gone
+            await writer_b.drain()
+            writer_b.close()
+
+            response = json.loads(await reader_a.readline())
+            assert response["ok"]
+            assert response["result"]["verdict"] == "safe"
+            writer_a.close()
+
+        _run_tcp(scenario)
+
+    def test_disconnect_with_request_in_flight(self):
+        """A peer that submits a verify and vanishes before the answer:
+        the daemon swallows the failed write and keeps serving."""
+
+        async def scenario(server):
+            _, writer = await _open(server)
+            writer.write(
+                _req({"id": 1, "op": "verify", "source": SAFE_PROGRAM})
+            )
+            await writer.drain()
+            writer.close()  # gone before the worker answers
+
+            # Give the orphaned respond() task time to hit the dead socket.
+            reader2, writer2 = await _open(server)
+            writer2.write(
+                _req({"id": 2, "op": "verify", "source": SAFE_PROGRAM})
+            )
+            await writer2.drain()
+            response = json.loads(await reader2.readline())
+            assert response["ok"]
+            assert response["result"]["verdict"] == "safe"
+            writer2.close()
+
+        _run_tcp(scenario)
+
+    def test_empty_and_blank_lines_ignored(self):
+        async def scenario(server):
+            reader, writer = await _open(server)
+            writer.write(b"\n   \n")
+            writer.write(_req({"id": 1, "op": "ping"}))
+            await writer.drain()
+            assert json.loads(await reader.readline())["pong"]
+            writer.close()
+
+        server = _run_tcp(scenario)
+        assert server.protocol_errors == 0

@@ -1,0 +1,416 @@
+"""Client resilience: timeouts, retries, hedging, and daemon reaping.
+
+Transport failures are simulated with a small in-process fake JSONL
+server (accept-then-close, accept-then-stall, answer-on-retry), so every
+scenario is deterministic and fast -- no real solver runs here.  The
+spawned-daemon garbage-collection test at the bottom uses a real
+``repro serve --stdio`` subprocess (satellite of the durability work:
+leaked clients must not strand daemons).
+"""
+
+import asyncio
+import gc
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.verify.result import Verdict, VerificationResult
+
+pytestmark = pytest.mark.timeout(120)
+
+#: Handler sentinel: sever the connection without answering.
+CLOSE = object()
+#: Handler sentinel: keep the connection open but never answer.
+STALL = object()
+
+NO_RETRY = RetryPolicy(attempts=1)
+FAST_RETRY = RetryPolicy(attempts=3, base_delay_s=0.01, max_delay_s=0.05)
+
+
+def _wire_result(verdict=Verdict.SAFE):
+    return VerificationResult(verdict, "zord", wall_time_s=0.01).to_dict()
+
+
+def _ok(req, **fields):
+    out = {"id": req.get("id"), "ok": True}
+    out.update(fields)
+    return out
+
+
+class FakeServer:
+    """A scriptable JSONL endpoint.
+
+    ``handler(conn_no, request) -> response | CLOSE | STALL`` decides the
+    fate of each request; ``conn_no`` counts accepted connections (1-based)
+    so tests can script "fail the first connection, answer the second".
+    """
+
+    def __init__(self, handler):
+        self._handler = handler
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self.connections = 0
+        self.requests = []
+        self._stall = threading.Event()
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    @property
+    def address(self):
+        return f"127.0.0.1:{self.port}"
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.connections += 1
+            threading.Thread(
+                target=self._session, args=(conn, self.connections),
+                daemon=True,
+            ).start()
+
+    def _session(self, conn, conn_no):
+        stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+        try:
+            for line in stream:
+                if not line.strip():
+                    continue
+                req = json.loads(line)
+                self.requests.append(req)
+                reply = self._handler(conn_no, req)
+                if reply is CLOSE:
+                    return
+                if reply is STALL:
+                    self._stall.wait(60.0)
+                    return
+                stream.write(json.dumps(reply) + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        self._stall.set()
+        self._listener.close()
+
+
+@pytest.fixture()
+def fake(request):
+    """Build a FakeServer around a handler the test provides later via
+    ``fake(handler)``; closed on teardown."""
+    servers = []
+
+    def factory(handler):
+        server = FakeServer(handler)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestRetryPolicy:
+    def test_delay_caps_and_grows(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.4, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(5) == pytest.approx(0.4)  # capped
+
+    def test_jitter_only_shrinks(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5)
+        for _ in range(50):
+            d = policy.delay(0)
+            assert 0.05 <= d <= 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestConnectFailsFast:
+    """Satellite: a dead TCP target must raise, not hang."""
+
+    def test_refused_port_raises_unavailable(self):
+        port = _free_port()  # nothing listening here
+        start = time.monotonic()
+        with pytest.raises(ServiceUnavailable):
+            ServiceClient.connect(f"127.0.0.1:{port}", timeout=2.0)
+        assert time.monotonic() - start < 2.5
+
+    def test_unresponsive_target_bounded_by_timeout(self):
+        """A listener whose accept queue is full never completes the
+        handshake -- the client must give up at the connect timeout
+        (ServiceTimeout), not hang.  Saturating a listen(0) backlog is
+        the deterministic local stand-in for a blackholed host."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(0)
+        port = listener.getsockname()[1]
+        filled = []
+        try:
+            for _ in range(64):  # fill the accept + SYN queues
+                probe = socket.socket()
+                probe.settimeout(0.3)
+                try:
+                    probe.connect(("127.0.0.1", port))
+                    filled.append(probe)
+                except socket.timeout:
+                    probe.close()
+                    break
+            else:
+                pytest.skip("could not saturate the listen backlog")
+            start = time.monotonic()
+            with pytest.raises(ServiceTimeout, match="timed out"):
+                ServiceClient.connect(f"127.0.0.1:{port}", timeout=0.5)
+            assert time.monotonic() - start < 5.0
+        finally:
+            for probe in filled:
+                probe.close()
+            listener.close()
+
+    def test_bad_address_shape(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            ServiceClient.connect("not-an-address")
+
+    def test_async_refused_port(self):
+        port = _free_port()
+
+        async def go():
+            with pytest.raises(ServiceUnavailable):
+                await AsyncServiceClient.connect(
+                    f"127.0.0.1:{port}", timeout=2.0
+                )
+
+        asyncio.run(go())
+
+
+class TestRequestTimeout:
+    def test_sync_read_timeout(self, fake):
+        server = fake(lambda conn_no, req: STALL)
+        client = ServiceClient.connect(
+            server.address, request_timeout_s=0.3, retry=NO_RETRY
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(ServiceTimeout, match="no response"):
+                client.ping()
+            assert time.monotonic() - start < 2.0
+        finally:
+            client.close()
+
+    def test_async_read_timeout(self, fake):
+        server = fake(lambda conn_no, req: STALL)
+
+        async def go():
+            client = await AsyncServiceClient.connect(
+                server.address, request_timeout_s=0.3, retry=NO_RETRY
+            )
+            try:
+                with pytest.raises(ServiceTimeout, match="no response"):
+                    await client.ping()
+            finally:
+                await client.close()
+
+        asyncio.run(go())
+
+    def test_timeout_exhausts_retries_then_raises(self, fake):
+        server = fake(lambda conn_no, req: STALL)
+        client = ServiceClient.connect(
+            server.address, request_timeout_s=0.2, retry=FAST_RETRY
+        )
+        try:
+            with pytest.raises(ServiceTimeout):
+                client.ping()
+            # Every attempt ran on a fresh connection: the timed-out
+            # stream's framing is unusable, so the client must not reuse it.
+            assert server.connections == FAST_RETRY.attempts
+        finally:
+            client.close()
+
+
+class TestRetryReconnect:
+    def test_dropped_connection_retried_on_fresh_one(self, fake):
+        server = fake(
+            lambda conn_no, req: CLOSE if conn_no == 1 else _ok(req, pong=True)
+        )
+        client = ServiceClient.connect(server.address, retry=FAST_RETRY)
+        try:
+            assert client.ping()["pong"]
+            assert server.connections == 2
+        finally:
+            client.close()
+
+    def test_async_dropped_connection_retried(self, fake):
+        server = fake(
+            lambda conn_no, req: CLOSE if conn_no == 1 else _ok(req, pong=True)
+        )
+
+        async def go():
+            client = await AsyncServiceClient.connect(
+                server.address, retry=FAST_RETRY
+            )
+            try:
+                assert (await client.ping())["pong"]
+            finally:
+                await client.close()
+
+        asyncio.run(go())
+        assert server.connections == 2
+
+    def test_delivered_error_is_never_retried(self, fake):
+        """ok:false is an *answer*; retrying it would re-run a request the
+        server already rejected."""
+        server = fake(
+            lambda conn_no, req: {
+                "id": req.get("id"), "ok": False, "error": "bad program",
+            }
+        )
+        client = ServiceClient.connect(server.address, retry=FAST_RETRY)
+        try:
+            with pytest.raises(ServiceError, match="bad program") as info:
+                client.ping()
+            assert not isinstance(
+                info.value, (ServiceTimeout, ServiceUnavailable)
+            )
+            assert len(server.requests) == 1
+        finally:
+            client.close()
+
+    def test_shutdown_is_never_retried(self, fake):
+        server = fake(lambda conn_no, req: CLOSE)
+        client = ServiceClient.connect(server.address, retry=FAST_RETRY)
+        try:
+            client.shutdown()  # swallows the transport error, no retries
+            assert server.connections == 1
+        finally:
+            client.close()
+
+    def test_persistent_outage_raises_last_error(self, fake):
+        server = fake(lambda conn_no, req: CLOSE)
+        client = ServiceClient.connect(server.address, retry=FAST_RETRY)
+        try:
+            with pytest.raises(ServiceUnavailable):
+                client.ping()
+            assert server.connections == FAST_RETRY.attempts
+        finally:
+            client.close()
+
+
+class TestHedging:
+    def test_slow_primary_answered_by_hedge(self, fake):
+        def handler(conn_no, req):
+            if conn_no == 1:
+                return STALL
+            return _ok(req, result=_wire_result(), cache_hit=True)
+
+        server = fake(handler)
+        client = ServiceClient.connect(
+            server.address, retry=NO_RETRY, hedge_after_s=0.2
+        )
+        try:
+            start = time.monotonic()
+            result = client.verify("int x = 0; main { assert(x == 0); }")
+            assert result.verdict == Verdict.SAFE
+            assert time.monotonic() - start < 5.0
+            assert server.connections == 2  # primary + hedge
+        finally:
+            client.close()
+
+    def test_fast_primary_never_hedges(self, fake):
+        server = fake(
+            lambda conn_no, req: _ok(req, result=_wire_result())
+        )
+        client = ServiceClient.connect(
+            server.address, retry=NO_RETRY, hedge_after_s=5.0
+        )
+        try:
+            result = client.verify("int x = 0; main { assert(x == 0); }")
+            assert result.verdict == Verdict.SAFE
+            assert server.connections == 1
+        finally:
+            client.close()
+
+    def test_async_slow_primary_answered_by_hedge(self, fake):
+        def handler(conn_no, req):
+            if conn_no == 1:
+                return STALL
+            return _ok(req, result=_wire_result(), cache_hit=True)
+
+        server = fake(handler)
+
+        async def go():
+            client = await AsyncServiceClient.connect(
+                server.address, retry=NO_RETRY, hedge_after_s=0.2
+            )
+            try:
+                result = await client.verify(
+                    "int x = 0; main { assert(x == 0); }"
+                )
+                assert result.verdict == Verdict.SAFE
+            finally:
+                await client.close()
+
+        asyncio.run(go())
+        assert server.connections == 2
+
+
+@pytest.mark.slow
+class TestSpawnedDaemonReaping:
+    """Satellite: a spawned stdio daemon must not outlive a client that
+    was garbage-collected without close()."""
+
+    def _wait_dead(self, proc, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                return True
+            time.sleep(0.1)
+        return False
+
+    def test_gc_reaps_spawned_daemon(self):
+        client = ServiceClient.spawn(workers=1)
+        proc = client._proc
+        assert proc.poll() is None  # daemon is up
+        del client
+        gc.collect()
+        assert self._wait_dead(proc), (
+            "spawned daemon leaked after client GC"
+        )
+
+    def test_close_reaps_and_detaches_finalizer(self):
+        client = ServiceClient.spawn(workers=1)
+        proc = client._proc
+        finalizer = client._finalizer
+        client.close()
+        assert proc.poll() is not None
+        assert not finalizer.alive  # close() detached the GC hook

@@ -36,6 +36,7 @@ def _bare_pool() -> WorkerPool:
     pool._queue_wait = {}
     pool._assigned = {}
     pool._procs = {}
+    pool._slots = {}
     pool._result_q = queue.Queue()
     pool._wids = itertools.count(100)
     pool.recycles = 0
