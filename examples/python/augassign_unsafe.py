@@ -1,0 +1,20 @@
+"""A single-line `counter += 1` race: the read and the write hide in one
+statement, so only opcode-level preemption can expose it concretely."""
+import threading
+
+counter = 0
+
+
+def worker():
+    global counter
+    counter += 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert counter == 2

@@ -1,0 +1,25 @@
+"""Check-then-act made atomic: the check and the act share a lock."""
+import threading
+
+slots = 1
+taken = 0
+lock = threading.Lock()
+
+
+def grab():
+    global slots, taken
+    with lock:
+        if slots > 0:
+            slots = slots - 1
+            taken = taken + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=grab)
+    t2 = threading.Thread(target=grab)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert slots >= 0
+    assert taken <= 1

@@ -1,0 +1,22 @@
+"""Check-then-act: both threads can pass the check before either acts."""
+import threading
+
+slots = 1
+taken = 0
+
+
+def grab():
+    global slots, taken
+    if slots > 0:
+        slots = slots - 1
+        taken = taken + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=grab)
+    t2 = threading.Thread(target=grab)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert slots >= 0

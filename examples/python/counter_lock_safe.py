@@ -1,0 +1,22 @@
+"""The counter race fixed: increments under a mutex."""
+import threading
+
+counter = 0
+lock = threading.Lock()
+
+
+def worker():
+    global counter
+    with lock:
+        tmp = counter
+        counter = tmp + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert counter == 2

@@ -1,0 +1,20 @@
+"""Unprotected shared counter: the classic lost-update race."""
+import threading
+
+counter = 0
+
+
+def worker():
+    global counter
+    tmp = counter
+    counter = tmp + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert counter == 2

@@ -1,0 +1,31 @@
+"""Double-checked locking done right: the payload is written before the
+flag is published, and under sequential consistency the reader can then
+never see the flag without the data."""
+import threading
+
+initialized = 0
+data = 0
+lock = threading.Lock()
+
+
+def publisher():
+    global initialized, data
+    if initialized == 0:
+        with lock:
+            if initialized == 0:
+                data = 42
+                initialized = 1
+
+
+def reader():
+    if initialized == 1:
+        assert data == 42
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=publisher)
+    t2 = threading.Thread(target=reader)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()

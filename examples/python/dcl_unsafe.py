@@ -1,0 +1,31 @@
+"""Broken double-checked locking: the `initialized` flag is published
+before the payload is written, so a reader can see the flag without the
+data."""
+import threading
+
+initialized = 0
+data = 0
+lock = threading.Lock()
+
+
+def publisher():
+    global initialized, data
+    if initialized == 0:
+        with lock:
+            if initialized == 0:
+                initialized = 1
+                data = 42
+
+
+def reader():
+    if initialized == 1:
+        assert data == 42
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=publisher)
+    t2 = threading.Thread(target=reader)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()

@@ -1,0 +1,26 @@
+"""The flag handshake fixed: publish the payload before the flag (sound
+under sequential consistency)."""
+import threading
+
+ready = 0
+data = 0
+
+
+def sender():
+    global ready, data
+    data = 7
+    ready = 1
+
+
+def receiver():
+    if ready == 1:
+        assert data == 7
+
+
+if __name__ == "__main__":
+    s = threading.Thread(target=sender)
+    r = threading.Thread(target=receiver)
+    s.start()
+    r.start()
+    s.join()
+    r.join()

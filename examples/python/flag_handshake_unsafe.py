@@ -1,0 +1,26 @@
+"""A broken flag handshake: `ready` is raised before the payload write,
+so the consumer can observe the flag and read a stale payload."""
+import threading
+
+ready = 0
+data = 0
+
+
+def sender():
+    global ready, data
+    ready = 1
+    data = 7
+
+
+def receiver():
+    if ready == 1:
+        assert data == 7
+
+
+if __name__ == "__main__":
+    s = threading.Thread(target=sender)
+    r = threading.Thread(target=receiver)
+    s.start()
+    r.start()
+    s.join()
+    r.join()

@@ -1,0 +1,22 @@
+"""Lost updates amplified by a loop: two threads each add 2, but the
+unprotected read-modify-write can drop increments."""
+import threading
+
+counter = 0
+
+
+def worker():
+    global counter
+    for i in range(2):
+        tmp = counter
+        counter = tmp + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert counter == 4

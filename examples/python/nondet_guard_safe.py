@@ -1,0 +1,25 @@
+"""random.randint nondeterminism: whatever value the dice roll takes,
+the guarded update keeps the invariant."""
+import threading
+import random
+
+total = 0
+lock = threading.Lock()
+
+
+def roller():
+    global total
+    n = random.randint(1, 3)
+    with lock:
+        total = total + n
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=roller)
+    t2 = threading.Thread(target=roller)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert total >= 2
+    assert total <= 6

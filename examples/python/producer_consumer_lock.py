@@ -1,0 +1,38 @@
+"""Producer/consumer over a lock-protected one-slot buffer: every
+production is matched by at most one consumption, so the consumed count
+never exceeds the produced count."""
+import threading
+
+produced = 0
+consumed = 0
+full = 0
+lock = threading.Lock()
+
+
+def producer():
+    global produced, full
+    for i in range(3):
+        with lock:
+            if full == 0:
+                full = 1
+                produced = produced + 1
+
+
+def consumer():
+    global consumed, full
+    for i in range(3):
+        with lock:
+            if full == 1:
+                full = 0
+                consumed = consumed + 1
+
+
+if __name__ == "__main__":
+    p = threading.Thread(target=producer)
+    c = threading.Thread(target=consumer)
+    p.start()
+    c.start()
+    p.join()
+    c.join()
+    assert consumed <= produced
+    assert produced <= 3

@@ -1,0 +1,30 @@
+"""Reentrant locking: the helper re-enters the RLock the caller already
+holds (a no-op in the model, legal at runtime), and the counter stays
+consistent."""
+import threading
+
+counter = 0
+lock = threading.RLock()
+
+
+def bump():
+    global counter
+    with lock:
+        counter = counter + 1
+
+
+def worker():
+    global counter
+    with lock:
+        bump()
+        counter = counter + 1
+
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    assert counter == 4

@@ -35,7 +35,7 @@ from repro.portfolio import (
     verify_portfolio,
 )
 from repro import api
-from repro.api import analyze, connect, serve, verify, verify_batch
+from repro.api import analyze, connect, serve, verify, verify_batch, verify_python
 
 __version__ = "1.2.0"
 
@@ -43,6 +43,7 @@ __all__ = [
     "parse",
     "api",
     "verify",
+    "verify_python",
     "verify_portfolio",
     "verify_batch",
     "analyze",

@@ -1,6 +1,7 @@
-"""Command-line interface: ``repro-verify FILE [options]``, the static
-race-report mode ``repro analyze FILE [options]``, the differential
-fuzzing mode ``repro fuzz [options]``, and the verification daemon
+"""Command-line interface: ``repro-verify FILE [options]``, the Python
+frontend ``repro verify-py FILE.py [options]``, the static race-report
+mode ``repro analyze FILE [options]``, the differential fuzzing mode
+``repro fuzz [options]``, and the verification daemon
 ``repro serve (--stdio | --tcp HOST:PORT) [options]``.
 
 Exit codes: 0 = SAFE (or, for ``analyze``, no races; for ``fuzz``, no
@@ -10,9 +11,9 @@ contained engine crash (ERROR verdict), or ``fuzz`` findings, 3 =
 ``serve`` stopped by a drain signal (SIGTERM/SIGINT: new work shed,
 in-flight jobs finished, journal fsynced).
 
-With ``REPRO_SERVER=HOST:PORT`` set, single-engine ``repro-verify`` runs
-are routed through a running daemon instead of solving in-process (see
-:mod:`repro.api`).
+With ``REPRO_SERVER=HOST:PORT`` set, single-engine ``repro-verify`` and
+``repro verify-py`` runs are routed through a running daemon instead of
+solving in-process (see :mod:`repro.api`).
 The engine choices are derived from the preset
 table in :mod:`repro.verify.config`, which is validated against the
 engine registry -- there is no second hand-maintained engine list here.
@@ -53,6 +54,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         return _analyze(argv[1:])
+    if argv and argv[0] == "verify-py":
+        return _verify_py(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz(argv[1:])
     if argv and argv[0] == "serve":
@@ -332,6 +335,173 @@ def _verify_portfolio(source: str, args) -> int:
     return _exit_code(outcome.verdict)
 
 
+def _verify_py(argv: List[str]) -> int:
+    """``repro verify-py FILE.py``: the Python ``threading`` frontend."""
+    parser = argparse.ArgumentParser(
+        prog="repro verify-py",
+        description="Verify a Python threading program: translate the "
+        "supported subset onto the mini language (precise file:line:col "
+        "rejection outside it), verify through the normal pipeline "
+        "(REPRO_SERVER routing and the verdict cache apply), and "
+        "confirm UNSAFE verdicts two ways -- symbolic witness replay "
+        "plus concrete execution of the original file under a "
+        "randomized/witness-guided scheduler.",
+    )
+    parser.add_argument("file", help="Python source file")
+    parser.add_argument(
+        "--engine",
+        default="zord",
+        choices=sorted(_PRESETS),
+        help="verification engine preset (default: zord)",
+    )
+    parser.add_argument("--unwind", type=int, default=8, help="loop bound")
+    parser.add_argument(
+        "--unwind-max", type=int, default=None, metavar="N",
+        help="iterative-deepening BMC up to N (see repro-verify --help)",
+    )
+    parser.add_argument(
+        "--unwind-schedule", metavar="B1,B2,...", default=None,
+        help="explicit iterative-deepening bound schedule",
+    )
+    parser.add_argument("--width", type=int, default=8, help="integer bit-width")
+    parser.add_argument(
+        "--memory-model", default="sc", choices=("sc", "tso", "pso"),
+        help="memory consistency model (weak models: SMT engines only)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="time budget in seconds"
+    )
+    parser.add_argument(
+        "--max-conflicts", type=int, default=None, metavar="N",
+        help="conflict/exploration budget; exhaustion yields UNKNOWN",
+    )
+    parser.add_argument(
+        "--memory-limit-mb", type=float, default=None, metavar="MB",
+        help="resident-memory growth budget",
+    )
+    parser.add_argument(
+        "--fallback", action="append", default=None, metavar="PRESET",
+        choices=sorted(_PRESETS),
+        help="preset to fall back to when the primary is inconclusive",
+    )
+    parser.add_argument(
+        "--prune", dest="prune_level", action="store_const", const=2,
+        default=None, help="force encoding pruning at full level",
+    )
+    parser.add_argument(
+        "--no-prune", dest="prune_level", action="store_const", const=0,
+        help="disable encoding pruning",
+    )
+    parser.add_argument(
+        "--witness", action="store_true",
+        help="print the counterexample trace with Python file:line "
+        "source locations",
+    )
+    parser.add_argument("--stats", action="store_true", help="print statistics")
+    parser.add_argument(
+        "--trace-jsonl", metavar="FILE",
+        help="stream a JSONL telemetry event trace",
+    )
+    parser.add_argument(
+        "--no-confirm", action="store_true",
+        help="skip the two-way UNSAFE confirmation (symbolic replay + "
+        "concrete randomized-scheduler execution)",
+    )
+    parser.add_argument(
+        "--confirm-trials", type=int, default=50, metavar="N",
+        help="randomized concrete executions to attempt after the "
+        "witness-guided one (default: 50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the randomized scheduler (default: 0)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.api import verify
+    from repro.pyfront import SubsetError, translate_file
+
+    try:
+        translation = translate_file(args.file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except SubsetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    kwargs = _config_kwargs(args)
+    config = _PRESETS[args.engine](
+        trace_jsonl=args.trace_jsonl,
+        fallbacks=tuple(args.fallback or ()),
+        **kwargs,
+    )
+    result = verify(translation.program, config)
+    print(f"verdict: {result.verdict.upper()}  ({result.wall_time_s:.3f}s)")
+    if result.diagnostic:
+        print(f"  diagnostic: {result.diagnostic}")
+    for attempt in result.attempts:
+        print(
+            f"  attempt {attempt['config_name']} ({attempt['engine']}): "
+            f"{attempt['status']} in {attempt['wall_time_s']:.3f}s"
+        )
+    unwind = kwargs["unwind"]
+    if args.witness and result.witness is not None:
+        from repro.pyfront.witness import witness_python_lines
+
+        for line in witness_python_lines(
+            translation, result.witness, unwind=unwind, width=args.width
+        ):
+            print(line)
+    if args.stats:
+        for key in sorted(result.stats):
+            print(f"  {key}: {result.stats[key]}")
+
+    if (
+        result.verdict == Verdict.UNSAFE
+        and result.witness is not None
+        and not args.no_confirm
+    ):
+        from repro.pyfront.dynexec import confirm
+        from repro.smc.witness_replay import replay_witness
+
+        replayed = replay_witness(
+            translation.program, result.witness,
+            width=args.width, unwind=unwind,
+        )
+        print(f"  symbolic replay: {'ok' if replayed else 'FAILED'}")
+        outcome = confirm(
+            translation,
+            witness=result.witness,
+            trials=args.confirm_trials,
+            seed=args.seed,
+        )
+        if outcome.confirmed:
+            which = (
+                "witness-guided"
+                if outcome.failing_trial == -1
+                else f"randomized trial {outcome.failing_trial}"
+            )
+            where = (
+                f" at {args.file}:{outcome.outcome.line}"
+                if outcome.outcome.line
+                else ""
+            )
+            print(
+                f"  concrete execution: CONFIRMED ({which}, "
+                f"{outcome.outcome.error}{where})"
+            )
+        else:
+            print(
+                f"  concrete execution: not reproduced in "
+                f"{outcome.trials_run} trials (the schedule space is "
+                "sampled; the symbolic witness stands)"
+            )
+        for problem in outcome.problems:
+            print(f"    note: {problem}")
+    return _exit_code(result.verdict)
+
+
 def _analyze(argv: List[str]) -> int:
     """``repro analyze FILE``: static race report, no solver involved."""
     parser = argparse.ArgumentParser(
@@ -431,6 +601,13 @@ def _fuzz(argv: List[str]) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-seed progress"
     )
+    parser.add_argument(
+        "--pycheck",
+        action="store_true",
+        help="run the pyfront translator cross-check instead: generate "
+        "Python-expressible programs, emit them as Python, translate "
+        "them back, and require verdict equality with the direct run",
+    )
     args = parser.parse_args(argv)
 
     if ":" in args.seeds:
@@ -438,6 +615,30 @@ def _fuzz(argv: List[str]) -> int:
         seeds = range(int(lo), int(hi))
     else:
         seeds = range(int(args.seeds))
+
+    if args.pycheck:
+        from repro.oracle.pycheck import crosscheck
+        from repro.verify import VerifierConfig
+
+        def py_progress(seed: int, report) -> None:
+            if not args.quiet and report.seeds_run % 50 == 0:
+                print(
+                    f"  ... {report.seeds_run} seeds, "
+                    f"{len(report.findings)} findings",
+                    file=sys.stderr,
+                )
+
+        report = crosscheck(
+            seeds,
+            config=VerifierConfig(
+                unwind=args.unwind, width=args.width,
+                time_limit_s=args.time_limit,
+            ),
+            max_findings=args.max_findings,
+            progress=py_progress,
+        )
+        print(report.format())
+        return EXIT_SAFE if report.ok else EXIT_ERROR
 
     from repro.oracle.harness import fuzz
 

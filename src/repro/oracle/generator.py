@@ -48,6 +48,13 @@ class GenConfig:
     allow_locks: bool = True
     allow_nondet: bool = True
     allow_fences: bool = True
+    allow_assumes: bool = True
+    #: Restrict generation to the Python-expressible fragment
+    #: (:mod:`repro.pyfront.emit`): no atomics, fences, free-standing
+    #: assumes or bare ``nondet()`` leaves -- instead a bounded-nondet
+    #: statement shaped exactly like the translator's ``random.randint``
+    #: idiom, so generated programs round-trip through Python emission.
+    python_profile: bool = False
 
 
 _CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
@@ -72,7 +79,7 @@ class _Gen:
             choices += ["shared", "shared"]
         if locals_:
             choices += ["local", "local"]
-        if allow_nondet and self.cfg.allow_nondet:
+        if allow_nondet and self.cfg.allow_nondet and not self.cfg.python_profile:
             choices.append("nondet")
         kind = r.choice(choices)
         if kind == "lit":
@@ -191,12 +198,15 @@ class _Gen:
                 choices.append("while")
             if cfg.allow_locks and self.locks:
                 choices += ["lock", "lock"]
-        if cfg.allow_atomics and self.shared:
+        if cfg.allow_atomics and self.shared and not cfg.python_profile:
             choices.append("atomic")
         if not in_loop:
             choices.append("decl")
-        choices.append("assume")
-        if cfg.allow_fences:
+            if cfg.python_profile and cfg.allow_nondet:
+                choices.append("randint")
+        if cfg.allow_assumes and not cfg.python_profile:
+            choices.append("assume")
+        if cfg.allow_fences and not cfg.python_profile:
             choices.append("fence")
         kind = r.choice(choices)
         if kind == "assign":
@@ -206,6 +216,23 @@ class _Gen:
             init = self._expr(cfg.max_expr_depth, locals_)
             locals_.append(name)
             return [ast.LocalDecl(name, init)]
+        if kind == "randint":
+            # The translator's random.randint shape, verbatim -- the
+            # Python emitter pattern-matches it back to a randint call.
+            name = self._fresh_local()
+            lo = r.randint(0, 2)
+            hi = lo + r.randint(0, 3)
+            locals_.append(name)
+            return [
+                ast.LocalDecl(name, ast.Nondet()),
+                ast.Assume(
+                    ast.Binary(
+                        "&&",
+                        ast.Binary(">=", ast.VarRef(name), ast.IntLit(lo)),
+                        ast.Binary("<=", ast.VarRef(name), ast.IntLit(hi)),
+                    )
+                ),
+            ]
         if kind == "if":
             # The condition must be generated *before* the bodies: nested
             # generation may declare new locals, which the condition (checked

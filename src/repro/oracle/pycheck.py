@@ -1,0 +1,163 @@
+"""Translator cross-check matrix: mini -> Python -> mini must agree.
+
+For each seed, a program is generated under the Python-expressible
+profile (``GenConfig(python_profile=True)``), then verified twice:
+
+* **direct** -- the generated mini-language program as-is;
+* **round-tripped** -- emitted as a runnable Python ``threading`` file
+  (:func:`repro.pyfront.emit.emit_python`), translated back through the
+  ``ast`` frontend (:func:`repro.pyfront.translate.translate_source`),
+  and verified.
+
+The two programs are not syntactically identical (the translator hoists
+local declarations and renames collisions) but must be *semantically*
+identical, so any SAFE/UNSAFE disagreement -- or an emit failure,
+translate rejection, or engine ERROR on either side -- is a finding
+against the translator/emitter pair.  UNKNOWN on either side (budget
+exhaustion) makes the seed inconclusive, not a finding.
+
+This is the fuzz-oracle idea (PR 5) pointed at the new frontend: the
+generator explores the subset far more densely than any hand-written
+corpus, and verdict equality over hundreds of seeds is the evidence the
+translation preserves semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.oracle.generator import GenConfig, generate_program
+from repro.verify import VerifierConfig
+
+__all__ = [
+    "CrossCheckFinding",
+    "CrossCheckReport",
+    "crosscheck_seed",
+    "crosscheck",
+]
+
+#: The generation profile used by default: Python-expressible fragment,
+#: loop bounds comfortably under the verification unwind bound.
+PY_PROFILE = GenConfig(python_profile=True, max_loop_iters=3)
+
+
+@dataclass
+class CrossCheckFinding:
+    """One seed where the round trip disagreed with the direct run."""
+
+    seed: int
+    kind: str  # verdict-mismatch | emit-error | translate-error | engine-error
+    detail: str
+    mini_source: str = ""
+    python_source: str = ""
+
+    def format(self) -> str:
+        lines = [f"seed {self.seed}: {self.kind}: {self.detail}"]
+        if self.python_source:
+            lines.append("  --- emitted python ---")
+            lines.extend("  " + l for l in self.python_source.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class CrossCheckReport:
+    seeds_run: int = 0
+    inconclusive: int = 0  # UNKNOWN on either side: no verdict to compare
+    findings: List[CrossCheckFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        head = (
+            f"pyfront cross-check: {self.seeds_run} seeds, "
+            f"{len(self.findings)} findings, "
+            f"{self.inconclusive} inconclusive"
+        )
+        return "\n".join([head] + [f.format() for f in self.findings])
+
+
+def crosscheck_seed(
+    seed: int,
+    config: Optional[VerifierConfig] = None,
+    gen_config: Optional[GenConfig] = None,
+) -> Optional[CrossCheckFinding]:
+    """Cross-check one seed; None = agreement (or inconclusive).
+
+    Raises nothing: every failure mode is folded into the returned
+    finding.  A finding of kind ``inconclusive`` is *returned* (so
+    :func:`crosscheck` can count it) but does not fail a sweep.
+    """
+    from repro.lang.unparse import unparse
+    from repro.pyfront import SubsetError, translate_source
+    from repro.pyfront.emit import EmitError, emit_python
+    from repro.verify.verifier import verify_one
+
+    gen_config = gen_config or PY_PROFILE
+    if config is None:
+        config = VerifierConfig(unwind=4, time_limit_s=20.0)
+    program = generate_program(seed, gen_config)
+    mini_source = unparse(program)
+
+    try:
+        python_source = emit_python(program)
+    except EmitError as exc:
+        return CrossCheckFinding(
+            seed, "emit-error", str(exc), mini_source=mini_source
+        )
+    try:
+        translation = translate_source(python_source, filename=f"<seed {seed}>")
+    except SubsetError as exc:
+        return CrossCheckFinding(
+            seed, "translate-error", str(exc),
+            mini_source=mini_source, python_source=python_source,
+        )
+
+    direct = verify_one(program, config)
+    routed = verify_one(translation.program, config)
+    for side, result in (("direct", direct), ("round-trip", routed)):
+        if result.verdict == "error":
+            return CrossCheckFinding(
+                seed, "engine-error",
+                f"{side} run errored: {result.diagnostic}",
+                mini_source=mini_source, python_source=python_source,
+            )
+    if direct.verdict == "unknown" or routed.verdict == "unknown":
+        return CrossCheckFinding(
+            seed, "inconclusive",
+            f"direct={direct.verdict} round-trip={routed.verdict}",
+            mini_source=mini_source, python_source=python_source,
+        )
+    if direct.verdict != routed.verdict:
+        return CrossCheckFinding(
+            seed, "verdict-mismatch",
+            f"direct={direct.verdict} round-trip={routed.verdict}",
+            mini_source=mini_source, python_source=python_source,
+        )
+    return None
+
+
+def crosscheck(
+    seeds: Iterable[int],
+    config: Optional[VerifierConfig] = None,
+    gen_config: Optional[GenConfig] = None,
+    max_findings: int = 25,
+    progress: Optional[Callable[[int, "CrossCheckReport"], None]] = None,
+) -> CrossCheckReport:
+    """Sweep ``seeds`` through :func:`crosscheck_seed`."""
+    report = CrossCheckReport()
+    for seed in seeds:
+        finding = crosscheck_seed(seed, config=config, gen_config=gen_config)
+        report.seeds_run += 1
+        if finding is not None:
+            if finding.kind == "inconclusive":
+                report.inconclusive += 1
+            else:
+                report.findings.append(finding)
+        if progress is not None:
+            progress(seed, report)
+        if len(report.findings) >= max_findings:
+            break
+    return report

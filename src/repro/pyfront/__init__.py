@@ -1,0 +1,47 @@
+"""``repro.pyfront``: verify real Python ``threading`` programs.
+
+The package maps a well-defined subset of Python -- ``threading.Thread``
+with zero-argument function targets, ``threading.Lock``/``RLock``
+(``acquire``/``release`` and ``with``), shared module-level ``int``/
+``bool`` globals, ``assert``, ``if``/``while``/``for range`` with
+bounded unrolling, and ``random.randint`` nondeterminism -- onto the
+mini concurrent language (:mod:`repro.lang.ast`), so the whole existing
+pipeline (engines, portfolio, budgets, pruning, the verification
+service and its verdict cache) applies to runnable Python files
+unchanged.
+
+Entry points:
+
+* :func:`translate_source` / :func:`translate_file` -- the ``ast``-based
+  translator; anything outside the subset raises :class:`SubsetError`
+  with a precise ``file:line:col`` diagnostic.
+* :func:`emit_python` -- the inverse direction, used by the fuzz
+  oracle's Python-emission mode (:mod:`repro.oracle.pycheck`).
+* :mod:`repro.pyfront.dynexec` -- concrete execution of the *original*
+  Python file under a cooperative randomized/guided scheduler, used to
+  differentially confirm UNSAFE verdicts.
+* :func:`annotate_witness` -- map a symbolic witness back to Python
+  ``file:line`` source locations.
+
+See ``docs/PYFRONT.md`` for the subset definition and translation
+rules.
+"""
+
+from repro.pyfront.subset import SubsetError
+from repro.pyfront.translate import (
+    Translation,
+    translate_file,
+    translate_source,
+)
+from repro.pyfront.emit import emit_python
+from repro.pyfront.witness import annotate_witness, witness_python_lines
+
+__all__ = [
+    "SubsetError",
+    "Translation",
+    "translate_file",
+    "translate_source",
+    "emit_python",
+    "annotate_witness",
+    "witness_python_lines",
+]

@@ -1,0 +1,589 @@
+"""Concrete execution of the original Python file under a controlled
+cooperative scheduler -- differential confirmation of UNSAFE verdicts.
+
+The translated model (:mod:`repro.pyfront.translate`) is what the
+symbolic engines verify; this module closes the loop by running the
+*real* program text under the *real* interpreter and searching for the
+assertion failure concretely, in the stateless-model-checking tradition:
+
+* the file is ``exec``-ed with shimmed ``threading``/``random`` modules
+  (injected through ``__import__``; ``sys.modules`` is never touched);
+* every user thread -- including the ``__main__`` block, which runs in
+  its own worker so it schedules uniformly -- is a real OS thread, but a
+  token-passing scheduler enforces that exactly one runs at a time;
+* ``sys.settrace`` (per-thread) with **opcode-level** events inside the
+  user file yields control at every bytecode of a shared-access line
+  (the translator's ``shared_lines``), so even single-line races like
+  ``counter += 1`` -- one ``LOAD``, one ``STORE`` -- are interleavable;
+* at each yield point the scheduler either follows a symbolic witness
+  (thread order + ``random.randint`` values from the model) or flips a
+  seeded coin, and blocking operations (``join``, lock ``acquire``)
+  hand the token over with deadlock detection.
+
+Trials are deterministic in ``(seed, trial)``.  A trial "confirms" when
+an ``AssertionError`` escapes user code; the failing schedule (thread
+name per scheduling decision) is reported so the run can be replayed.
+"""
+
+from __future__ import annotations
+
+import builtins as _builtins_mod
+import random as _random_mod
+import sys
+import threading as _real_threading
+import time
+import types
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pyfront.translate import Translation
+from repro.verify.witness import Trace
+
+__all__ = ["TrialOutcome", "ConfirmResult", "run_trial", "confirm"]
+
+#: Bytecode-yield budget per trial: generous for bounded corpus-sized
+#: programs, a hard stop for livelocked spin loops.
+_DEFAULT_MAX_STEPS = 50_000
+_DEFAULT_SWITCH_PROB = 0.35
+
+
+class _TrialAbort(BaseException):
+    """Raised inside user threads to tear a trial down (BaseException so
+    user-level ``except Exception`` cannot swallow it -- not that the
+    subset admits ``try``)."""
+
+
+@dataclass
+class TrialOutcome:
+    """One concrete execution attempt."""
+
+    failed: bool = False  # an AssertionError escaped user code
+    error: str = ""  # assertion message / engine-level trial problem
+    line: Optional[int] = None  # Python line of the failing assert
+    deadlocked: bool = False
+    exhausted: bool = False  # step budget ran out (livelock guard)
+    schedule: Tuple[str, ...] = ()  # thread chosen at each decision
+
+
+@dataclass
+class ConfirmResult:
+    """Outcome of a :func:`confirm` search across trials."""
+
+    confirmed: bool
+    trials_run: int = 0
+    failing_trial: Optional[int] = None  # -1 = the witness-guided trial
+    outcome: Optional[TrialOutcome] = None
+    problems: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.confirmed
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+
+
+class _Scheduler:
+    """Token-passing cooperative scheduler over real threads.
+
+    Exactly one registered thread holds the token (``self.current``).
+    Threads yield at trace-hook pause points and at blocking operations;
+    the scheduler picks the successor -- witness-guided when a guide
+    sequence is set, seeded-random otherwise.
+    """
+
+    def __init__(
+        self,
+        rng: _random_mod.Random,
+        switch_prob: float,
+        max_steps: int,
+        deadline: float,
+    ) -> None:
+        self.cond = _real_threading.Condition()
+        self.rng = rng
+        self.switch_prob = switch_prob
+        self.max_steps = max_steps
+        self.deadline = deadline
+        self.current: Optional[str] = None
+        self.registered: List[str] = []
+        self.started: set = set()
+        self.finished: set = set()
+        self.blocked: Dict[str, Callable[[], bool]] = {}
+        self.abort = False
+        self.outcome = TrialOutcome()
+        self.steps = 0
+        self.schedule: List[str] = []
+        #: Witness guidance: remaining thread names, consumed greedily.
+        self.guide: List[str] = []
+
+    # Callers hold ``self.cond``.
+
+    def _runnable(self, exclude: Optional[str] = None) -> List[str]:
+        out = []
+        for tid in self.registered:
+            if tid == exclude or tid in self.finished or tid not in self.started:
+                continue
+            pred = self.blocked.get(tid)
+            if pred is not None and not pred():
+                continue
+            out.append(tid)
+        return out
+
+    def _choose(self, tid: str, at_yield_point: bool) -> str:
+        """The next token holder, given that ``tid`` is yielding."""
+        runnable = self._runnable()
+        if tid in self.blocked and not self.blocked[tid]():
+            runnable = [t for t in runnable if t != tid]
+            if not runnable:
+                self.outcome.deadlocked = True
+                self._do_abort()
+                raise _TrialAbort()
+        if not runnable:  # tid itself is the only choice
+            return tid
+        # Witness guidance: head for the next guided thread that can run.
+        while self.guide:
+            want = self.guide[0]
+            if want in self.finished or want not in self.registered:
+                self.guide.pop(0)
+                continue
+            if want in runnable:
+                if want == tid and at_yield_point:
+                    self.guide.pop(0)  # tid performs the guided access
+                    return tid
+                return want
+            break  # wanted thread exists but cannot run yet
+        if tid in runnable and (
+            not at_yield_point or self.rng.random() >= self.switch_prob
+        ):
+            return tid
+        return self.rng.choice(runnable)
+
+    def _switch_to(self, nxt: str, tid: str) -> None:
+        if nxt != self.current:
+            self.current = nxt
+            self.schedule.append(nxt)
+            self.cond.notify_all()
+        while self.current != tid and not self.abort:
+            self.cond.wait(0.5)
+            self._check_deadline()
+        if self.abort:
+            raise _TrialAbort()
+
+    def _check_deadline(self) -> None:
+        if time.monotonic() > self.deadline:
+            self.outcome.exhausted = True
+            self._do_abort()
+            raise _TrialAbort()
+
+    def _do_abort(self) -> None:
+        self.abort = True
+        self.cond.notify_all()
+
+    # -- entry points (acquire the lock themselves) ---------------------
+
+    def register(self, tid: str) -> None:
+        with self.cond:
+            self.registered.append(tid)
+
+    def mark_started(self, tid: str) -> None:
+        with self.cond:
+            self.started.add(tid)
+
+    def wait_for_token(self, tid: str) -> None:
+        """A freshly-started thread parks until it is scheduled."""
+        with self.cond:
+            while self.current != tid and not self.abort:
+                self.cond.wait(0.5)
+                self._check_deadline()
+            if self.abort:
+                raise _TrialAbort()
+
+    def pause(self, tid: str) -> None:
+        """A preemption point: maybe hand the token to another thread."""
+        with self.cond:
+            if self.abort:
+                raise _TrialAbort()
+            self.steps += 1
+            if self.steps > self.max_steps:
+                self.outcome.exhausted = True
+                self._do_abort()
+                raise _TrialAbort()
+            self._check_deadline()
+            nxt = self._choose(tid, at_yield_point=True)
+            self._switch_to(nxt, tid)
+
+    def block_until(self, tid: str, pred: Callable[[], bool]) -> None:
+        """Yield the token until ``pred`` holds (join / lock acquire)."""
+        with self.cond:
+            while not pred():
+                if self.abort:
+                    raise _TrialAbort()
+                self.blocked[tid] = pred
+                try:
+                    nxt = self._choose(tid, at_yield_point=False)
+                    self._switch_to(nxt, tid)
+                finally:
+                    self.blocked.pop(tid, None)
+
+    def finish(self, tid: str) -> None:
+        """Thread ``tid`` is done; pass the token on."""
+        with self.cond:
+            self.finished.add(tid)
+            if self.abort:
+                return
+            runnable = self._runnable(exclude=tid)
+            if runnable:
+                nxt = self._choose_after_finish(runnable)
+                self.current = nxt
+                self.schedule.append(nxt)
+            self.cond.notify_all()
+
+    def _choose_after_finish(self, runnable: List[str]) -> str:
+        while self.guide:
+            want = self.guide[0]
+            if want in self.finished or want not in self.registered:
+                self.guide.pop(0)
+                continue
+            if want in runnable:
+                return want
+            break
+        return self.rng.choice(runnable)
+
+    def record_failure(self, message: str, line: Optional[int]) -> None:
+        with self.cond:
+            if not self.outcome.failed and not self.outcome.error:
+                self.outcome.failed = True
+                self.outcome.error = message
+                self.outcome.line = line
+            self._do_abort()
+
+    def record_error(self, message: str) -> None:
+        with self.cond:
+            if not self.outcome.failed and not self.outcome.error:
+                self.outcome.error = message
+            self._do_abort()
+
+
+# ----------------------------------------------------------------------
+# Shim modules
+# ----------------------------------------------------------------------
+
+
+class _ShimLock:
+    """A scheduler-aware threading.Lock/RLock stand-in."""
+
+    def __init__(self, sched: _Scheduler, reentrant: bool) -> None:
+        self._sched = sched
+        self._reentrant = reentrant
+        self._holder: Optional[str] = None
+        self._count = 0
+
+    def acquire(self) -> bool:
+        tid = _current_tid()
+        if self._reentrant and self._holder == tid:
+            self._count += 1
+            return True
+        self._sched.block_until(tid, lambda: self._holder is None)
+        self._holder = tid
+        self._count = 1
+        return True
+
+    def release(self) -> None:
+        tid = _current_tid()
+        if self._holder != tid:
+            raise RuntimeError("release of un-acquired lock")
+        self._count -= 1
+        if self._count == 0:
+            self._holder = None
+
+    def __enter__(self) -> "_ShimLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+_tls = _real_threading.local()
+
+
+def _current_tid() -> str:
+    return getattr(_tls, "tid", "main")
+
+
+class _ShimThread:
+    """threading.Thread stand-in running the target under the scheduler."""
+
+    def __init__(self, runner: "_Runner", target: Callable[[], None]) -> None:
+        self._runner = runner
+        self.tid = runner.next_thread_name()
+        self._target = target
+        self._finished = False
+        runner.sched.register(self.tid)
+        self._real = _real_threading.Thread(
+            target=self._run, name=f"dynexec:{self.tid}", daemon=True
+        )
+        runner.real_threads.append(self._real)
+
+    def _run(self) -> None:
+        _tls.tid = self.tid
+        sched = self._runner.sched
+        sys.settrace(self._runner.trace_fn)
+        try:
+            sched.wait_for_token(self.tid)
+            self._target()
+        except _TrialAbort:
+            pass
+        except AssertionError as exc:
+            sched.record_failure(
+                f"AssertionError: {exc}" if str(exc) else "AssertionError",
+                _user_line(self._runner.path),
+            )
+        except BaseException as exc:  # translator bugs, shim misuse
+            sched.record_error(f"{type(exc).__name__}: {exc}")
+        finally:
+            sys.settrace(None)
+            self._finished = True
+            sched.finish(self.tid)
+
+    def start(self) -> None:
+        sched = self._runner.sched
+        sched.mark_started(self.tid)
+        self._real.start()
+        # Starting is itself a decision point: the child may run first.
+        sched.pause(_current_tid())
+
+    def join(self) -> None:
+        sched = self._runner.sched
+        sched.block_until(_current_tid(), lambda: self._finished)
+        self._real.join(timeout=5.0)
+
+    def is_alive(self) -> bool:
+        return self._real.is_alive()
+
+
+def _user_line(path: str) -> Optional[int]:
+    """The innermost traceback line inside the user file."""
+    tb = sys.exc_info()[2]
+    line = None
+    while tb is not None:
+        if tb.tb_frame.f_code.co_filename == path:
+            line = tb.tb_lineno
+        tb = tb.tb_next
+    return line
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class _Runner:
+    def __init__(
+        self,
+        translation: Translation,
+        sched: _Scheduler,
+        nondet_hints: Dict[str, List[int]],
+    ) -> None:
+        self.translation = translation
+        self.path = translation.path
+        self.sched = sched
+        self.nondet_hints = nondet_hints
+        self._thread_counter = 0
+        self.shared_lines = translation.shared_lines
+        #: Real OS threads spawned by shim Threads, for end-of-trial
+        #: cleanup (stragglers are aborted, never leaked across trials).
+        self.real_threads: List[_real_threading.Thread] = []
+
+    def next_thread_name(self) -> str:
+        order = self.translation.thread_order
+        idx = self._thread_counter
+        self._thread_counter += 1
+        if idx < len(order):
+            return order[idx].name
+        return f"thread{idx}"
+
+    # -- the per-thread trace function ---------------------------------
+
+    def trace_fn(self, frame, event, arg):
+        if frame.f_code.co_filename != self.path:
+            return None  # never trace into shims or library code
+        frame.f_trace_opcodes = True
+        if event == "opcode" or event == "line":
+            if frame.f_lineno in self.shared_lines:
+                self.sched.pause(_current_tid())
+        return self.trace_fn
+
+    # -- shim module construction --------------------------------------
+
+    def make_modules(self) -> Dict[str, types.ModuleType]:
+        runner = self
+
+        threading_mod = types.ModuleType("threading")
+
+        def _Thread(target=None, args=(), kwargs=None, **extra):
+            if target is None:
+                raise TypeError("Thread requires target=")
+            return _ShimThread(runner, target)
+
+        threading_mod.Thread = _Thread
+        threading_mod.Lock = lambda: _ShimLock(runner.sched, reentrant=False)
+        threading_mod.RLock = lambda: _ShimLock(runner.sched, reentrant=True)
+
+        random_mod = types.ModuleType("random")
+
+        def _randint(lo: int, hi: int) -> int:
+            hints = runner.nondet_hints.get(_current_tid())
+            if hints:
+                return max(lo, min(hi, hints.pop(0)))
+            return runner.sched.rng.randint(lo, hi)
+
+        random_mod.randint = _randint
+        return {"threading": threading_mod, "random": random_mod}
+
+
+def _guide_from_witness(trace: Trace) -> List[str]:
+    """The witness's thread sequence, collapsed per shared access."""
+    return [step.thread for step in trace.steps]
+
+
+def _hints_from_witness(trace: Trace) -> Dict[str, List[int]]:
+    """Per-thread randint values, in static program order (matching the
+    translator's one-``randint``-per-``nondet`` discipline)."""
+    hints: Dict[str, List[int]] = {}
+    for thread, _ssa, value in trace.nondet_values:
+        hints.setdefault(thread, []).append(value)
+    return hints
+
+
+def run_trial(
+    translation: Translation,
+    seed: int = 0,
+    witness: Optional[Trace] = None,
+    switch_prob: float = _DEFAULT_SWITCH_PROB,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    deadline_s: float = 10.0,
+) -> TrialOutcome:
+    """One concrete execution of the program under the scheduler.
+
+    With ``witness``, scheduling follows the witness's thread order and
+    ``random.randint`` returns the model's nondet values; otherwise both
+    are seeded-random.  Deterministic in all arguments.
+    """
+    rng = _random_mod.Random(seed)
+    sched = _Scheduler(
+        rng, switch_prob, max_steps, time.monotonic() + deadline_s
+    )
+    hints = _hints_from_witness(witness) if witness is not None else {}
+    runner = _Runner(translation, sched, hints)
+    if witness is not None:
+        sched.guide = _guide_from_witness(witness)
+
+    modules = runner.make_modules()
+    real_import = __import__
+
+    def _import(name, globals=None, locals=None, fromlist=(), level=0):
+        if name in modules:
+            return modules[name]
+        return real_import(name, globals, locals, fromlist, level)
+
+    builtins_dict = dict(vars(_builtins_mod))
+    builtins_dict["__import__"] = _import
+    # The model treats print as a no-op; keep trials quiet to match.
+    builtins_dict["print"] = lambda *a, **k: None
+    glb = {
+        "__name__": "__main__",
+        "__file__": translation.path,
+        "__builtins__": builtins_dict,
+    }
+    code = compile(translation.source, translation.path, "exec")
+
+    sched.register("main")
+    sched.mark_started("main")
+    sched.current = "main"
+
+    def _main() -> None:
+        _tls.tid = "main"
+        sys.settrace(runner.trace_fn)
+        try:
+            exec(code, glb)
+        except _TrialAbort:
+            pass
+        except AssertionError as exc:
+            sched.record_failure(
+                f"AssertionError: {exc}" if str(exc) else "AssertionError",
+                _user_line(translation.path),
+            )
+        except BaseException as exc:
+            sched.record_error(f"{type(exc).__name__}: {exc}")
+        finally:
+            sys.settrace(None)
+            sched.finish("main")
+
+    main_thread = _real_threading.Thread(
+        target=_main, name="dynexec:main", daemon=True
+    )
+    main_thread.start()
+    main_thread.join(timeout=deadline_s + 5.0)
+    if main_thread.is_alive():
+        # Wedged beyond the in-band deadline: abort and report.
+        with sched.cond:
+            sched.outcome.exhausted = True
+            sched._do_abort()
+        main_thread.join(timeout=5.0)
+        if not sched.outcome.error:
+            sched.outcome.error = "trial wall deadline exceeded"
+    # Release any stragglers (threads started but never joined, or
+    # parked waiting for a token that will never come).
+    with sched.cond:
+        sched._do_abort()
+    for t in runner.real_threads:
+        t.join(timeout=2.0)
+    sched.outcome.schedule = tuple(sched.schedule)
+    return sched.outcome
+
+
+def confirm(
+    translation: Translation,
+    witness: Optional[Trace] = None,
+    trials: int = 50,
+    seed: int = 0,
+    switch_prob: float = _DEFAULT_SWITCH_PROB,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+    deadline_s: float = 10.0,
+) -> ConfirmResult:
+    """Search for a concrete assertion failure.
+
+    Trial -1 (when a witness is given) is guided by the witness; the
+    remaining ``trials`` executions explore randomized schedules, each
+    deterministic in ``(seed, trial index)``.  Stops at the first
+    failing execution.
+    """
+    problems: List[str] = []
+    run = 0
+    if witness is not None:
+        outcome = run_trial(
+            translation, seed=seed, witness=witness,
+            switch_prob=switch_prob, max_steps=max_steps,
+            deadline_s=deadline_s,
+        )
+        run += 1
+        if outcome.failed:
+            return ConfirmResult(True, run, -1, outcome, problems)
+        if outcome.error:
+            problems.append(f"guided trial: {outcome.error}")
+    for i in range(trials):
+        outcome = run_trial(
+            translation, seed=seed * 1_000_003 + i + 1,
+            switch_prob=switch_prob, max_steps=max_steps,
+            deadline_s=deadline_s,
+        )
+        run += 1
+        if outcome.failed:
+            return ConfirmResult(True, run, i, outcome, problems)
+        if outcome.deadlocked and "deadlock" not in " ".join(problems):
+            problems.append(f"trial {i}: deadlocked")
+        elif outcome.error and len(problems) < 5:
+            problems.append(f"trial {i}: {outcome.error}")
+    return ConfirmResult(False, run, None, None, problems)

@@ -1,0 +1,214 @@
+"""Emit a mini-language program as a runnable Python ``threading`` file.
+
+The inverse direction of :mod:`repro.pyfront.translate`, used by the
+fuzz oracle's Python-emission mode (:mod:`repro.oracle.pycheck`): a
+generated mini program (under ``GenConfig(python_profile=True)``) is
+emitted as Python, translated back, and verified -- the verdict must
+match the direct verification of the original.
+
+Only the *Python-expressible* fragment is supported; constructs with no
+Python counterpart (``atomic`` blocks, ``fence``, a free-standing
+``assume`` or bare ``nondet()``) raise :class:`EmitError`.  The one
+idiom that *is* mapped: the translator's own ``random.randint`` shape
+
+    int ND = nondet();
+    assume(ND >= LO && ND <= HI);
+
+is pattern-matched back to ``ND = random.randint(LO, HI)`` -- so the
+emit/translate pair is a proper round trip on the profile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast as mast
+
+__all__ = ["EmitError", "emit_python"]
+
+
+class EmitError(ValueError):
+    """The program uses constructs with no Python counterpart."""
+
+
+_PY_BINOP = {
+    "+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&&": "and", "||": "or",
+}
+
+
+def _expr(e: mast.Expr) -> str:
+    if isinstance(e, mast.IntLit):
+        return str(e.value) if e.value >= 0 else f"({e.value})"
+    if isinstance(e, mast.VarRef):
+        return e.name
+    if isinstance(e, mast.Binary):
+        op = _PY_BINOP.get(e.op)
+        if op is None:
+            raise EmitError(f"binary operator {e.op!r} has no Python mapping")
+        return f"({_expr(e.left)} {op} {_expr(e.right)})"
+    if isinstance(e, mast.Unary):
+        if e.op == "-":
+            return f"(-{_expr(e.operand)})"
+        if e.op == "~":
+            return f"(~{_expr(e.operand)})"
+        if e.op == "!":
+            return f"(not {_expr(e.operand)})"
+        raise EmitError(f"unary operator {e.op!r} has no Python mapping")
+    if isinstance(e, mast.Nondet):
+        raise EmitError(
+            "bare nondet() outside the randint idiom has no Python "
+            "counterpart"
+        )
+    raise EmitError(f"unsupported expression {type(e).__name__}")
+
+
+def _match_randint(
+    a: mast.Stmt, b: Optional[mast.Stmt]
+) -> Optional[Tuple[str, int, int]]:
+    """Match the translator's randint shape across two statements:
+    ``int ND = nondet(); assume(ND >= LO && ND <= HI);`` -> (ND, LO, HI).
+    """
+    if not (isinstance(a, mast.LocalDecl) and isinstance(a.init, mast.Nondet)):
+        return None
+    if not isinstance(b, mast.Assume):
+        return None
+    c = b.cond
+    if not (isinstance(c, mast.Binary) and c.op == "&&"):
+        return None
+    lo_t, hi_t = c.left, c.right
+    if not (
+        isinstance(lo_t, mast.Binary) and lo_t.op == ">="
+        and isinstance(lo_t.left, mast.VarRef) and lo_t.left.name == a.name
+        and isinstance(lo_t.right, mast.IntLit)
+        and isinstance(hi_t, mast.Binary) and hi_t.op == "<="
+        and isinstance(hi_t.left, mast.VarRef) and hi_t.left.name == a.name
+        and isinstance(hi_t.right, mast.IntLit)
+    ):
+        return None
+    return a.name, lo_t.right.value, hi_t.right.value
+
+
+class _Emitter:
+    def __init__(self, program: mast.Program) -> None:
+        self.program = program
+        self.shared = {g.name for g in program.globals if not g.is_lock}
+        self.locks = {g.name for g in program.globals if g.is_lock}
+
+    def run(self) -> str:
+        p = self.program
+        lines: List[str] = [
+            "import threading",
+            "import random",
+            "",
+        ]
+        for g in p.globals:
+            if g.is_lock:
+                lines.append(f"{g.name} = threading.Lock()")
+            else:
+                lines.append(f"{g.name} = {g.init}")
+        for t in p.threads:
+            lines.append("")
+            lines.append(f"def run_{t.name}():")
+            written = sorted(self._written_shared(t.body))
+            body: List[str] = []
+            if written:
+                body.append(f"global {', '.join(written)}")
+            body.extend(self._body(t.body))
+            if not body:
+                body = ["pass"]
+            lines.extend("    " + b for b in body)
+        lines.append("")
+        lines.append('if __name__ == "__main__":')
+        main_body: List[str] = []
+        main_stmts = p.main.body if p.main is not None else []
+        for t in p.threads:
+            main_body.append(f"{t.name} = threading.Thread(target=run_{t.name})")
+        main_body.extend(self._body(main_stmts))
+        if not main_body:
+            main_body = ["pass"]
+        lines.extend("    " + b for b in main_body)
+        return "\n".join(lines) + "\n"
+
+    def _written_shared(self, stmts: List[mast.Stmt]) -> set:
+        out = set()
+        for s in stmts:
+            if isinstance(s, mast.Assign) and s.name in self.shared:
+                out.add(s.name)
+            elif isinstance(s, mast.If):
+                out |= self._written_shared(s.then_body)
+                out |= self._written_shared(s.else_body)
+            elif isinstance(s, mast.While):
+                out |= self._written_shared(s.body)
+            elif isinstance(s, mast.Atomic):
+                out |= self._written_shared(s.body)
+        return out
+
+    def _body(self, stmts: List[mast.Stmt]) -> List[str]:
+        out: List[str] = []
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+            m = _match_randint(s, nxt)
+            if m is not None:
+                name, lo, hi = m
+                out.append(f"{name} = random.randint({lo}, {hi})")
+                i += 2
+                continue
+            out.extend(self._stmt(s))
+            i += 1
+        return out
+
+    def _stmt(self, s: mast.Stmt) -> List[str]:
+        if isinstance(s, mast.LocalDecl):
+            init = s.init if s.init is not None else mast.IntLit(0)
+            return [f"{s.name} = {_expr(init)}"]
+        if isinstance(s, mast.Assign):
+            return [f"{s.name} = {_expr(s.value)}"]
+        if isinstance(s, mast.Skip):
+            return ["pass"]
+        if isinstance(s, mast.Assert):
+            return [f"assert {_expr(s.cond)}"]
+        if isinstance(s, mast.Lock):
+            return [f"{s.name}.acquire()"]
+        if isinstance(s, mast.Unlock):
+            return [f"{s.name}.release()"]
+        if isinstance(s, mast.Start):
+            return [f"{s.thread}.start()"]
+        if isinstance(s, mast.Join):
+            return [f"{s.thread}.join()"]
+        if isinstance(s, mast.If):
+            out = [f"if {_expr(s.cond)}:"]
+            then = self._body(s.then_body) or ["pass"]
+            out.extend("    " + b for b in then)
+            if s.else_body:
+                out.append("else:")
+                out.extend("    " + b for b in self._body(s.else_body))
+            return out
+        if isinstance(s, mast.While):
+            out = [f"while {_expr(s.cond)}:"]
+            body = self._body(s.body) or ["pass"]
+            out.extend("    " + b for b in body)
+            return out
+        if isinstance(s, mast.Assume):
+            raise EmitError(
+                "free-standing assume() has no Python counterpart (only "
+                "the randint idiom is emitted)"
+            )
+        if isinstance(s, (mast.Atomic, mast.Fence)):
+            raise EmitError(
+                f"{type(s).__name__} has no Python counterpart"
+            )
+        raise EmitError(f"unsupported statement {type(s).__name__}")
+
+
+def emit_python(program: mast.Program) -> str:
+    """Render ``program`` as a runnable Python ``threading`` file.
+
+    Raises :class:`EmitError` on constructs outside the Python-
+    expressible fragment (generate with
+    ``GenConfig(python_profile=True)`` to stay inside it).
+    """
+    return _Emitter(program).run()

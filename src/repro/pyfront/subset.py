@@ -1,0 +1,47 @@
+"""The Python-subset contract: one exception type, precise locations.
+
+Every construct the translator cannot map onto the mini language is
+rejected with a :class:`SubsetError` carrying the offending source
+position -- the message always reads ``FILE:LINE:COL: ...`` so editors,
+the CLI, and the service can surface it verbatim.  Python syntax errors
+in the input file are wrapped into the same type: from the caller's
+point of view "not a verifiable Python program" is one failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SubsetError"]
+
+
+class SubsetError(ValueError):
+    """The input is outside the supported Python subset (or not valid
+    Python at all).  ``path``/``line``/``col`` locate the offending
+    construct; the rendered message embeds them."""
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "<python>",
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        where = path
+        if line is not None:
+            where += f":{line}"
+            if col is not None:
+                where += f":{col}"
+        super().__init__(f"{where}: {message}")
+
+    @classmethod
+    def at(cls, node, message: str, path: str = "<python>") -> "SubsetError":
+        """Build a SubsetError located at a Python ``ast`` node."""
+        line = getattr(node, "lineno", None)
+        col = getattr(node, "col_offset", None)
+        if col is not None:
+            col += 1  # ast columns are 0-based; diagnostics are 1-based
+        return cls(message, path=path, line=line, col=col)

@@ -138,12 +138,18 @@ def _prepare_verify_fields(
     program: Union[str, Any],
     config: Optional[Union[VerifierConfig, Dict]],
     deadline_s: Optional[float],
+    language: Optional[str] = None,
+    filename: Optional[str] = None,
 ) -> Dict[str, Any]:
     if not isinstance(program, str):
         from repro.lang.unparse import unparse
 
         program = unparse(program)
     fields: Dict[str, Any] = {"source": program}
+    if language is not None:
+        fields["language"] = language
+    if filename is not None:
+        fields["filename"] = filename
     if config is not None:
         fields["config"] = (
             config.to_dict() if isinstance(config, VerifierConfig) else config
@@ -441,6 +447,8 @@ class ServiceClient:
         program: Union[str, Any],
         config: Optional[Union[VerifierConfig, Dict]] = None,
         deadline_s: Optional[float] = None,
+        language: Optional[str] = None,
+        filename: Optional[str] = None,
     ) -> VerificationResult:
         """Verify ``program`` (source text or AST) on the server.
 
@@ -448,13 +456,21 @@ class ServiceClient:
         would, with the service stats (``cache_hit``, ``queue_wait_s``,
         ``worker_recycles``) merged into ``result.stats``.
 
+        ``language="python"`` submits Python ``threading`` source: the
+        server translates it (:mod:`repro.pyfront`) before keying the
+        cache, and subset violations come back as structured ERROR
+        verdicts whose diagnostic carries ``filename:line:col`` (pass
+        ``filename`` so those point at the real file).
+
         With ``hedge_after_s`` configured (TCP only), a primary answer
         slower than the hedge delay races a duplicate of the request on
         a second connection; the first answer wins.  Safe: the server
         coalesces identical in-flight requests, so the duplicate shares
         the primary's job instead of spawning a second solve.
         """
-        fields = _prepare_verify_fields(program, config, deadline_s)
+        fields = _prepare_verify_fields(
+            program, config, deadline_s, language=language, filename=filename
+        )
         if self._hedge_after_s is None or self._address is None:
             return _result_from_response(self.request("verify", **fields))
         return _result_from_response(self._hedged_request(fields))
@@ -739,8 +755,12 @@ class AsyncServiceClient:
         program: Union[str, Any],
         config: Optional[Union[VerifierConfig, Dict]] = None,
         deadline_s: Optional[float] = None,
+        language: Optional[str] = None,
+        filename: Optional[str] = None,
     ) -> VerificationResult:
-        fields = _prepare_verify_fields(program, config, deadline_s)
+        fields = _prepare_verify_fields(
+            program, config, deadline_s, language=language, filename=filename
+        )
         if self._hedge_after_s is None or self._address is None:
             return _result_from_response(
                 await self.request("verify", **fields)

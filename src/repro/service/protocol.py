@@ -8,6 +8,8 @@ answered in completion order, so clients must match on ``id``.
 Requests::
 
     {"id": 1, "op": "verify", "source": "...",
+     "language": "mini" | "python" (optional, default "mini"),
+     "filename": "prog.py" (optional, diagnostics only),
      "config": {"preset": "zord", "unwind": 8, ...} | null,
      "deadline_s": 10.0 | null}
     {"id": 2, "op": "analyze", "source": "...", "unwind": 8, "width": 8}
@@ -47,6 +49,14 @@ framing cannot be resynchronized mid-line.  Engine-side failures are
 *not* protocol errors: budget exhaustion and contained crashes travel
 inside a normal ``verify`` response as UNKNOWN/ERROR verdicts, exactly
 like the library API.
+
+``"language": "python"`` submits Python ``threading`` source instead of
+mini-language source; the server translates it (:mod:`repro.pyfront`)
+before keying the verdict cache, so the cache entry is shared with any
+equivalent mini-language submission.  A program outside the supported
+Python subset is *also* not a protocol error: it comes back ``ok`` with
+a structured ERROR verdict whose diagnostic carries the offending
+``filename:line:col`` (workers never see Python source at all).
 """
 
 from __future__ import annotations

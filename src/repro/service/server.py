@@ -545,6 +545,43 @@ class ServiceServer:
             )
         except ValueError as exc:
             return protocol.error_response(request_id, f"bad config: {exc}")
+        language = req.get("language") or "mini"
+        if language == "python":
+            # Translate up front, on the event loop: the workers only
+            # ever see mini-language source, so a program outside the
+            # Python subset can never crash (or even reach) a worker.
+            # Subset violations are a *structured* ERROR verdict with
+            # the offending file:line:col, not a protocol error -- the
+            # submitting program was understood, just not verifiable.
+            from repro.lang.unparse import unparse
+            from repro.pyfront import SubsetError, translate_source
+
+            filename = req.get("filename") or "<python>"
+            try:
+                translation = translate_source(source, filename=str(filename))
+            except SubsetError as exc:
+                self.jobs_total += 1
+                result = VerificationResult(
+                    Verdict.ERROR,
+                    config.name,
+                    diagnostic=f"python subset: {exc}",
+                    stats=normalize_stats({"reason": "subset-error"}),
+                ).to_dict()
+                self._annotate(result, cache_hit=False, queue_wait_s=0.0)
+                return self._verify_response(
+                    request_id, result, cache_hit=False
+                )
+            # From here on the job is indistinguishable from a mini-
+            # language submission: the cache key is the canonical
+            # *translated* form, so differently-formatted Python files
+            # sharing a translation share cache entries (and entries
+            # with CLI-side verify-py runs routed through the client).
+            source = unparse(translation.program)
+        elif language != "mini":
+            return protocol.error_response(
+                request_id, f"unknown language {language!r} "
+                "(supported: 'mini', 'python')"
+            )
         try:
             key = cache_key(source, config)
         except (LexError, ParseError) as exc:

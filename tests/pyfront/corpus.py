@@ -1,0 +1,33 @@
+"""Shared helpers for the Python example corpus.
+
+``EXPECTED`` is the manifest of every program under ``examples/python/``
+and its expected verdict; ``test_corpus.py`` enforces it and the CI
+smoke job replays it, so adding an example means adding a row here.
+"""
+
+import os
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples", "python"
+)
+
+#: filename -> expected verdict ("safe" | "unsafe")
+EXPECTED = {
+    "counter_unsafe.py": "unsafe",
+    "counter_lock_safe.py": "safe",
+    "augassign_unsafe.py": "unsafe",
+    "check_then_act_unsafe.py": "unsafe",
+    "check_then_act_lock_safe.py": "safe",
+    "dcl_unsafe.py": "unsafe",
+    "dcl_safe.py": "safe",
+    "producer_consumer_lock.py": "safe",
+    "flag_handshake_unsafe.py": "unsafe",
+    "flag_handshake_safe.py": "safe",
+    "nondet_guard_safe.py": "safe",
+    "loop_counter_unsafe.py": "unsafe",
+    "rlock_reentrant_safe.py": "safe",
+}
+
+
+def example(name: str) -> str:
+    return os.path.abspath(os.path.join(CORPUS_DIR, name))

@@ -1,0 +1,77 @@
+"""Concrete confirmation: the cooperative randomized scheduler."""
+
+from repro.pyfront import translate_file
+from repro.pyfront.dynexec import confirm, run_trial
+
+from tests.pyfront.corpus import example
+
+
+def test_racy_counter_is_confirmed():
+    translation = translate_file(example("counter_unsafe.py"))
+    result = confirm(translation, trials=60, seed=0)
+    assert result.confirmed, result.problems
+    assert result.outcome is not None
+    assert result.outcome.failed
+
+
+def test_single_line_augassign_race_is_confirmed():
+    # `counter += 1` is one Python line; only opcode-level preemption
+    # can interleave its LOAD/STORE halves.
+    translation = translate_file(example("augassign_unsafe.py"))
+    result = confirm(translation, trials=80, seed=0)
+    assert result.confirmed, result.problems
+
+
+def test_locked_counter_is_not_confirmed():
+    translation = translate_file(example("counter_lock_safe.py"))
+    result = confirm(translation, trials=40, seed=0)
+    assert not result.confirmed
+    assert result.trials_run == 40
+
+
+def test_failure_reports_python_line():
+    translation = translate_file(example("counter_unsafe.py"))
+    result = confirm(translation, trials=60, seed=0)
+    assert result.confirmed
+    assert result.outcome.line is not None
+    # The failing assert lives inside the file.
+    assert 1 <= result.outcome.line <= len(translation.source.splitlines())
+
+
+def test_trials_are_deterministic_in_seed():
+    translation = translate_file(example("counter_unsafe.py"))
+    a = run_trial(translation, seed=41)
+    b = run_trial(translation, seed=41)
+    assert a.failed == b.failed
+    assert a.schedule == b.schedule
+
+
+def test_deadlock_is_detected_not_hung():
+    import textwrap
+
+    from repro.pyfront import translate_source
+
+    src = textwrap.dedent(
+        """\
+        import threading
+
+        x = 0
+        m = threading.Lock()
+
+        def worker():
+            global x
+            m.acquire()
+            x = 1
+
+        if __name__ == "__main__":
+            m.acquire()
+            t1 = threading.Thread(target=worker)
+            t1.start()
+            t1.join()
+            assert x == 1
+        """
+    )
+    translation = translate_source(src, filename="deadlock.py")
+    outcome = run_trial(translation, seed=0)
+    assert outcome.deadlocked
+    assert not outcome.failed

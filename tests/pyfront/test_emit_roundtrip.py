@@ -1,0 +1,195 @@
+"""Python emission and the mini -> Python -> mini cross-check."""
+
+import pytest
+
+from repro.lang.parser import parse as parse_program
+from repro.oracle.generator import GenConfig, generate_program
+from repro.oracle.pycheck import PY_PROFILE, crosscheck
+from repro.pyfront import translate_source
+from repro.pyfront.emit import EmitError, emit_python
+
+
+def roundtrip(mini_source):
+    program = parse_program(mini_source)
+    python = emit_python(program)
+    return python, translate_source(python, filename="<roundtrip>")
+
+
+UNSAFE_MINI = """\
+int counter;
+
+thread t1 {
+    int tmp = counter;
+    counter = tmp + 1;
+}
+
+thread t2 {
+    int tmp = counter;
+    counter = tmp + 1;
+}
+
+main {
+    start t1;
+    start t2;
+    join t1;
+    join t2;
+    assert(counter == 2);
+}
+"""
+
+
+class TestEmit:
+    def test_emitted_python_is_valid_python(self):
+        program = parse_program(UNSAFE_MINI)
+        python = emit_python(program)
+        compile(python, "<emitted>", "exec")  # must parse
+        assert "import threading" in python
+        assert 'if __name__ == "__main__":' in python
+
+    def test_roundtrip_preserves_structure(self):
+        _, translation = roundtrip(UNSAFE_MINI)
+        prog = translation.program
+        assert [g.name for g in prog.globals] == ["counter"]
+        assert sorted(t.name for t in prog.threads) == ["t1", "t2"]
+
+    def test_lock_emission(self):
+        src = """\
+int x;
+lock m;
+
+thread t1 {
+    lock(m);
+    x = x + 1;
+    unlock(m);
+}
+
+main {
+    start t1;
+    join t1;
+    assert(x == 1);
+}
+"""
+        python, translation = roundtrip(src)
+        assert "threading.Lock()" in python
+        assert "m" in translation.locks
+
+    def test_randint_idiom_survives_roundtrip(self):
+        src = """\
+int x;
+
+thread t1 {
+    int n = nondet();
+    assume(n >= 2 && n <= 5);
+    x = n;
+}
+
+main {
+    start t1;
+    join t1;
+    assert(x >= 2);
+}
+"""
+        python, translation = roundtrip(src)
+        assert "random.randint(2, 5)" in python
+        # The back-translation restores the bounded-nondet idiom.
+        from repro.lang.unparse import unparse
+
+        out = unparse(translation.program)
+        assert "nondet()" in out and "assume(" in out
+
+    def test_bare_nondet_rejected(self):
+        src = """\
+int x;
+
+thread t1 {
+    x = nondet();
+}
+
+main {
+    start t1;
+    join t1;
+    assert(x == x);
+}
+"""
+        with pytest.raises(EmitError):
+            emit_python(parse_program(src))
+
+    def test_atomic_rejected(self):
+        src = """\
+int x;
+
+thread t1 {
+    atomic {
+        x = x + 1;
+    }
+}
+
+main {
+    start t1;
+    join t1;
+    assert(x == 1);
+}
+"""
+        with pytest.raises(EmitError):
+            emit_python(parse_program(src))
+
+    def test_fence_rejected(self):
+        src = """\
+int x;
+
+thread t1 {
+    fence;
+    x = 1;
+}
+
+main {
+    start t1;
+    join t1;
+    assert(x == 1);
+}
+"""
+        with pytest.raises(EmitError):
+            emit_python(parse_program(src))
+
+
+class TestGeneratorPythonProfile:
+    def test_profile_emits_cleanly(self):
+        for seed in range(30):
+            program = generate_program(seed, PY_PROFILE)
+            python = emit_python(program)  # must not raise
+            compile(python, f"<seed {seed}>", "exec")
+            translate_source(python, filename=f"<seed {seed}>")  # must not raise
+
+    def test_default_config_unchanged_by_new_flags(self):
+        # The new GenConfig fields must not perturb existing seeds.
+        from repro.lang.unparse import unparse
+
+        a = unparse(generate_program(1234, GenConfig()))
+        b = unparse(generate_program(1234, GenConfig(python_profile=False,
+                                                     allow_assumes=True)))
+        assert a == b
+
+
+class TestCrossCheck:
+    def test_small_sweep_is_clean(self):
+        from repro.verify import VerifierConfig
+
+        report = crosscheck(
+            range(25), config=VerifierConfig(unwind=4, time_limit_s=20.0)
+        )
+        assert report.seeds_run == 25
+        assert report.ok, report.format()
+
+    def test_report_formatting(self):
+        from repro.oracle.pycheck import CrossCheckFinding, CrossCheckReport
+
+        report = CrossCheckReport(seeds_run=3)
+        assert report.ok
+        report.findings.append(
+            CrossCheckFinding(7, "verdict-mismatch",
+                              "direct=safe round-trip=unsafe",
+                              python_source="import threading\n")
+        )
+        assert not report.ok
+        text = report.format()
+        assert "seed 7" in text and "verdict-mismatch" in text

@@ -1,0 +1,127 @@
+"""Python submissions through the verification service.
+
+The bugfix satellite lives here: a program outside the supported subset
+must NEVER crash (or even reach) a service worker -- it comes back as a
+normal ``ok`` response carrying a structured ERROR verdict with the
+offending ``file:line:col``, and the server keeps serving afterwards.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.server import ServiceServer
+
+from tests.pyfront.corpus import example
+
+
+RACY_PY = open(example("counter_unsafe.py")).read()
+SAFE_PY = open(example("counter_lock_safe.py")).read()
+
+BAD_SUBSET_PY = """\
+import threading
+import os
+
+x = 0
+
+def worker():
+    global x
+    x = 1
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert x == 1
+"""
+
+NOT_EVEN_PYTHON = "def broken(:\n"
+
+
+def _request(server, req):
+    return asyncio.run(server.handle_request(req))
+
+
+@pytest.fixture()
+def server():
+    srv = ServiceServer(workers=1, max_queue=4)
+    yield srv
+    srv.close()
+
+
+def test_python_language_verifies(server):
+    resp = _request(
+        server,
+        {"id": 1, "op": "verify", "source": RACY_PY,
+         "language": "python", "filename": "counter_unsafe.py"},
+    )
+    assert resp["ok"], resp
+    assert resp["result"]["verdict"] == "unsafe"
+    assert resp["result"]["witness"] is not None
+
+
+def test_python_shares_cache_with_mini_twin(server):
+    from repro.lang.unparse import unparse
+    from repro.pyfront import translate_source
+
+    first = _request(
+        server,
+        {"id": 1, "op": "verify", "source": SAFE_PY, "language": "python"},
+    )
+    assert first["ok"] and not first["cache_hit"]
+    # The translated mini form must hit the cache entry the Python
+    # submission created: the key is the canonical translated program.
+    mini = unparse(translate_source(SAFE_PY, filename="x.py").program)
+    second = _request(server, {"id": 2, "op": "verify", "source": mini})
+    assert second["ok"] and second["cache_hit"], second
+
+
+def test_subset_violation_is_structured_error_not_crash(server):
+    resp = _request(
+        server,
+        {"id": 1, "op": "verify", "source": BAD_SUBSET_PY,
+         "language": "python", "filename": "bad.py"},
+    )
+    # ok=true: this is an engine-level verdict, not a protocol error.
+    assert resp["ok"], resp
+    result = resp["result"]
+    assert result["verdict"] == "error"
+    assert "python subset" in result["diagnostic"]
+    assert "bad.py:2:" in result["diagnostic"]  # the `import os` line
+    assert result["stats"].get("reason") == "subset-error"
+
+
+def test_syntax_error_is_structured_error(server):
+    resp = _request(
+        server,
+        {"id": 1, "op": "verify", "source": NOT_EVEN_PYTHON,
+         "language": "python", "filename": "broken.py"},
+    )
+    assert resp["ok"], resp
+    assert resp["result"]["verdict"] == "error"
+    assert "broken.py:1:" in resp["result"]["diagnostic"]
+
+
+def test_server_keeps_serving_after_subset_errors(server):
+    # A burst of rejects must not poison the worker pool.
+    for i in range(3):
+        resp = _request(
+            server,
+            {"id": i, "op": "verify", "source": BAD_SUBSET_PY,
+             "language": "python"},
+        )
+        assert resp["ok"] and resp["result"]["verdict"] == "error"
+    resp = _request(
+        server,
+        {"id": 99, "op": "verify", "source": RACY_PY, "language": "python"},
+    )
+    assert resp["ok"] and resp["result"]["verdict"] == "unsafe"
+
+
+def test_unknown_language_is_protocol_error(server):
+    resp = _request(
+        server,
+        {"id": 1, "op": "verify", "source": RACY_PY, "language": "prolog"},
+    )
+    assert not resp["ok"]
+    assert "language" in resp["error"]

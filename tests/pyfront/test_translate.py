@@ -1,0 +1,476 @@
+"""The Python -> mini-language translator: acceptance and rejection."""
+
+import pytest
+
+from repro.lang import ast as mast
+from repro.lang.unparse import unparse
+from repro.pyfront import SubsetError, translate_source
+
+
+def tr(src, filename="prog.py"):
+    return translate_source(src, filename=filename)
+
+
+def mini(src):
+    return unparse(tr(src).program)
+
+
+HARNESS = """
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter >= 0
+"""
+
+
+def worker_program(body, globals_="counter = 0", decls="global counter"):
+    lines = ["import threading", "import random", "", globals_, "", "def worker():"]
+    lines.append(f"    {decls}")
+    lines.extend(f"    {line}" for line in body.splitlines())
+    return "\n".join(lines) + "\n" + HARNESS
+
+
+class TestAcceptedSubset:
+    def test_counter_program_structure(self):
+        src = worker_program("tmp = counter\ncounter = tmp + 1")
+        t = tr(src)
+        assert [g.name for g in t.program.globals] == ["counter"]
+        assert [th.name for th in t.program.threads] == ["t1"]
+        assert t.thread_order[0].target == "worker"
+        assert t.program.main is not None
+
+    def test_positions_are_python_positions(self):
+        src = worker_program("tmp = counter\ncounter = tmp + 1")
+        t = tr(src)
+        # The worker body statements carry the Python line numbers of
+        # `tmp = counter` (line 8) and `counter = tmp + 1` (line 9).
+        body = t.program.threads[0].body
+        assigns = [s for s in body if isinstance(s, mast.Assign)]
+        assert [s.pos[0] for s in assigns] == [8, 9]
+
+    def test_bool_and_int_literals(self):
+        src = """import threading
+
+flag = True
+count = -2
+
+def worker():
+    global flag
+    flag = False
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert count == -2
+"""
+        t = tr(src)
+        inits = {g.name: g.init for g in t.program.globals}
+        assert inits == {"flag": 1, "count": -2}
+
+    def test_locks_and_with(self):
+        src = """import threading
+
+counter = 0
+m = threading.Lock()
+
+def worker():
+    global counter
+    with m:
+        counter = counter + 1
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter == 1
+"""
+        out = mini(src)
+        assert "lock m;" in out
+        assert out.index("lock(m);") < out.index("counter = counter + 1;")
+        assert out.index("counter = counter + 1;") < out.index("unlock(m);")
+
+    def test_acquire_release_methods(self):
+        src = """import threading
+
+counter = 0
+m = threading.Lock()
+
+def worker():
+    global counter
+    m.acquire()
+    counter = counter + 1
+    m.release()
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter == 1
+"""
+        out = mini(src)
+        assert "lock(m);" in out and "unlock(m);" in out
+
+    def test_rlock_reentry_is_noop(self):
+        src = """import threading
+
+counter = 0
+m = threading.RLock()
+
+def worker():
+    global counter
+    with m:
+        with m:
+            counter = counter + 1
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter == 1
+"""
+        out = mini(src)
+        assert out.count("unlock(m);") == 1
+        # count acquire sites without matching the "lock" inside "unlock"
+        assert out.replace("unlock(m);", "").count("lock(m);") == 1
+
+    def test_randint_becomes_bounded_nondet(self):
+        src = worker_program(
+            "n = random.randint(2, 5)\ncounter = n", decls="global counter"
+        )
+        out = mini(src)
+        assert "nondet()" in out
+        assert "assume(" in out and ">= 2" in out and "<= 5" in out
+
+    def test_for_range_lowering(self):
+        src = worker_program(
+            "for i in range(3):\n    counter = counter + 1"
+        )
+        out = mini(src)
+        assert "while (i < 3)" in out
+        assert "i = i + 1;" in out
+
+    def test_for_range_two_args(self):
+        src = worker_program(
+            "for i in range(1, 4):\n    counter = counter + i"
+        )
+        out = mini(src)
+        assert "i = 1;" in out and "while (i < 4)" in out
+
+    def test_augassign(self):
+        src = worker_program("counter += 3")
+        assert "counter = counter + 3;" in mini(src)
+
+    def test_elif_chain(self):
+        src = worker_program(
+            "if counter == 0:\n"
+            "    counter = 1\n"
+            "elif counter == 1:\n"
+            "    counter = 2\n"
+            "else:\n"
+            "    counter = 3"
+        )
+        out = mini(src)
+        assert out.count("if (") == 2 and "else {" in out
+
+    def test_boolean_operators_and_chained_compare(self):
+        src = worker_program(
+            "if 0 <= counter <= 10 and not counter == 5:\n    counter = 0"
+        )
+        out = mini(src)
+        assert "&&" in out and "!(" in out
+
+    def test_truthiness_becomes_ne_zero(self):
+        src = worker_program("if counter:\n    counter = 0")
+        assert "if (counter != 0)" in mini(src)
+
+    def test_while_loop(self):
+        src = worker_program(
+            "while counter < 3:\n    counter = counter + 1"
+        )
+        assert "while (counter < 3)" in mini(src)
+
+    def test_print_and_pass_become_skip(self):
+        src = worker_program('print("hi", counter)\npass')
+        assert mini(src).count("skip;") == 2
+
+    def test_helper_function_inlined(self):
+        src = """import threading
+
+counter = 0
+
+def bump():
+    global counter
+    counter = counter + 1
+
+def worker():
+    bump()
+    bump()
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter == 2
+"""
+        out = mini(src)
+        assert out.count("counter = counter + 1;") == 2
+
+    def test_local_shadows_global_is_renamed(self):
+        src = worker_program(
+            "counter = 7", decls="pass"  # no global: a *local* counter
+        )
+        t = tr(src)
+        body = t.program.threads[0].body
+        assigns = [s for s in body if isinstance(s, mast.Assign)]
+        # The write must not hit the shared `counter`.
+        assert all(s.name != "counter" for s in assigns)
+
+    def test_main_block_assigns_globals_without_global_stmt(self):
+        src = """import threading
+
+counter = 0
+
+def worker():
+    global counter
+    counter = counter + 1
+
+if __name__ == "__main__":
+    counter = 5
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter == 6
+"""
+        t = tr(src)
+        main_assigns = [
+            s for s in t.program.main.body if isinstance(s, mast.Assign)
+        ]
+        assert any(s.name == "counter" for s in main_assigns)
+
+    def test_import_aliases(self):
+        src = """import threading as th
+import random as rnd
+
+x = 0
+
+def worker():
+    global x
+    x = rnd.randint(0, 1)
+
+if __name__ == "__main__":
+    t = th.Thread(target=worker)
+    t.start()
+    t.join()
+    assert x <= 1
+"""
+        assert "nondet()" in mini(src)
+
+    def test_shared_lines_cover_condition_reads(self):
+        src = worker_program("if counter > 0:\n    pass")
+        t = tr(src)
+        assert 8 in t.shared_lines  # the `if counter > 0:` line
+
+    def test_keyword_identifiers_are_mangled(self):
+        # `lock`, `main`, `thread` are mini-language keywords but fine
+        # Python names; the canonical (unparsed) form must re-parse.
+        src = """import threading
+
+main = 0
+lock = threading.Lock()
+
+def worker():
+    global main
+    with lock:
+        main = main + 1
+
+if __name__ == "__main__":
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert main == 1
+"""
+        from repro.lang.parser import parse
+
+        out = mini(src)
+        reparsed = parse(out)  # must not raise
+        assert sorted(g.name for g in reparsed.globals) == ["lock_", "main_"]
+        assert [t.name for t in reparsed.threads] == ["thread_"]
+
+    def test_translation_passes_sema(self):
+        from repro.lang.sema import check_program
+
+        src = worker_program("tmp = counter\ncounter = tmp + 1")
+        check_program(tr(src).program)  # must not raise
+
+
+class TestRejections:
+    def assert_rejects(self, src, fragment, line=None):
+        with pytest.raises(SubsetError) as exc_info:
+            tr(src)
+        exc = exc_info.value
+        assert fragment in str(exc), str(exc)
+        assert str(exc).startswith("prog.py:")
+        if line is not None:
+            assert exc.line == line
+
+    def test_unknown_import(self):
+        self.assert_rejects(
+            "import os\n" + worker_program("pass"), "unsupported import", 1
+        )
+
+    def test_from_import(self):
+        self.assert_rejects(
+            "from threading import Thread\n" + worker_program("pass"),
+            "from ... import", 1,
+        )
+
+    def test_missing_main_guard(self):
+        with pytest.raises(SubsetError) as exc_info:
+            tr("import threading\nx = 0\n")
+        assert "__main__" in str(exc_info.value)
+
+    def test_syntax_error_wrapped(self):
+        self.assert_rejects("def broken(:\n", "not valid Python", 1)
+
+    def test_class_rejected(self):
+        self.assert_rejects(
+            "class C:\n    pass\n" + worker_program("pass"),
+            "unsupported module-level statement", 1,
+        )
+
+    def test_function_with_args(self):
+        self.assert_rejects(
+            worker_program("pass").replace("def worker():", "def worker(n):"),
+            "zero-argument",
+        )
+
+    def test_float_literal(self):
+        self.assert_rejects(worker_program("counter = 1.5"), "unsupported literal")
+
+    def test_string_global(self):
+        self.assert_rejects(
+            "import threading\nname = 'x'\n" + worker_program("pass"),
+            "int/bool literal", 2,
+        )
+
+    def test_division(self):
+        self.assert_rejects(worker_program("counter = counter / 2"), "operator")
+
+    def test_write_to_shared_without_global(self):
+        # `counter = counter + 1` without `global counter` is a Python
+        # local -- but reading it before assignment would be an
+        # UnboundLocalError, which the model cannot express faithfully,
+        # so the translator maps it to a fresh local initialized to 0.
+        # Writing is accepted (see test_local_shadows_global_is_renamed);
+        # a *lock* rebind is not.
+        self.assert_rejects(
+            worker_program("m = 5", globals_="counter = 0\nm = threading.Lock()",
+                           decls="global m"),
+            "does not name a shared int global",
+        )
+
+    def test_early_return(self):
+        self.assert_rejects(
+            worker_program("if counter == 0:\n    return\ncounter = 1"),
+            "return",
+        )
+
+    def test_return_value(self):
+        self.assert_rejects(worker_program("return 3"), "return")
+
+    def test_thread_outside_main(self):
+        self.assert_rejects(
+            worker_program("t = threading.Thread(target=worker)"),
+            "__main__ block",
+        )
+
+    def test_thread_positional_args(self):
+        self.assert_rejects(
+            worker_program("pass").replace(
+                "threading.Thread(target=worker)", "threading.Thread(worker)"
+            ),
+            "positional",
+        )
+
+    def test_double_acquire_plain_lock_static(self):
+        self.assert_rejects(
+            """import threading
+
+counter = 0
+m = threading.Lock()
+
+def worker():
+    global counter
+    with m:
+        with m:
+            counter = 1
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert counter >= 0
+""",
+            "would deadlock",
+        )
+
+    def test_recursion_rejected(self):
+        self.assert_rejects(
+            """import threading
+
+x = 0
+
+def worker():
+    worker()
+
+if __name__ == "__main__":
+    t1 = threading.Thread(target=worker)
+    t1.start()
+    t1.join()
+    assert x == 0
+""",
+            "inline depth",
+        )
+
+    def test_randint_nonconstant_bounds(self):
+        self.assert_rejects(
+            worker_program("n = random.randint(counter, 5)"),
+            "int literals",
+        )
+
+    def test_randint_empty_range(self):
+        self.assert_rejects(
+            worker_program("n = random.randint(5, 2)"), "empty randint range"
+        )
+
+    def test_lock_used_as_value(self):
+        self.assert_rejects(
+            worker_program(
+                "counter = m", globals_="counter = 0\nm = threading.Lock()"
+            ),
+            "used as a value",
+        )
+
+    def test_while_else(self):
+        self.assert_rejects(
+            worker_program(
+                "while counter < 1:\n    counter = 1\nelse:\n    pass"
+            ),
+            "while/else",
+        )
+
+    def test_tuple_assignment(self):
+        self.assert_rejects(worker_program("a, b = 1, 2"), "one plain name")
+
+    def test_try_rejected(self):
+        self.assert_rejects(
+            worker_program("try:\n    pass\nexcept Exception:\n    pass"),
+            "unsupported statement",
+        )
+
+    def test_col_offsets_are_one_based(self):
+        with pytest.raises(SubsetError) as exc_info:
+            tr("import os\n", filename="prog.py")
+        assert exc_info.value.col == 1

@@ -1,0 +1,75 @@
+"""Witness mapping: event ids back to Python file:line positions."""
+
+from repro import api
+from repro.pyfront import annotate_witness, translate_file
+from repro.pyfront.witness import witness_python_lines
+
+from tests.pyfront.corpus import example
+
+
+def unsafe_result():
+    result, translation = api.verify_python(path=example("counter_unsafe.py"))
+    assert result.verdict == "unsafe"
+    assert result.witness is not None
+    return result, translation
+
+
+def test_annotated_steps_carry_python_lines():
+    result, translation = unsafe_result()
+    steps = annotate_witness(translation, result.witness)
+    assert steps, "witness has no steps"
+    lines = [s.line for s in steps if s.line is not None]
+    assert lines, "no step mapped back to a Python line"
+    n_lines = len(translation.source.splitlines())
+    assert all(1 <= ln <= n_lines for ln in lines)
+
+
+def test_annotated_steps_quote_source(tmp_path):
+    result, translation = unsafe_result()
+    steps = annotate_witness(translation, result.witness)
+    quoted = [s for s in steps if s.source]
+    assert quoted
+    src_lines = translation.source.splitlines()
+    for step in quoted:
+        assert step.source == src_lines[step.line - 1].strip()
+
+
+def test_witness_python_lines_renders():
+    result, translation = unsafe_result()
+    text = "\n".join(witness_python_lines(translation, result.witness))
+    assert "counter_unsafe.py:" in text
+    # The racy increment lines must appear in the rendered schedule.
+    assert "counter = tmp" in text or "tmp = counter" in text
+
+
+def test_mapping_survives_service_roundtrip():
+    # The eid -> pos map is rebuilt locally from the translation, so it
+    # must be valid for a result produced by a *remote* worker too.  The
+    # in-process server exercises the same serialize/deserialize path.
+    import asyncio
+
+    from repro.service.server import ServiceServer
+    from repro.verify.witness import Trace
+
+    translation = translate_file(example("counter_unsafe.py"))
+    server = ServiceServer(workers=1, max_queue=4)
+    try:
+        resp = asyncio.run(
+            server.handle_request(
+                {
+                    "id": 1,
+                    "op": "verify",
+                    "source": translation.source,
+                    "language": "python",
+                    "filename": "counter_unsafe.py",
+                }
+            )
+        )
+    finally:
+        server.close()
+    assert resp["ok"], resp
+    result = resp["result"]
+    assert result["verdict"] == "unsafe"
+    trace = Trace.from_dict(result["witness"])
+    steps = annotate_witness(translation, trace)
+    assert any(s.line is not None for s in steps)
