@@ -1,0 +1,224 @@
+"""Extension benchmark: the flat-arena CDCL kernel vs the frozen
+pre-rewrite reference core (ROADMAP item 2).
+
+Two claims, measured separately and recorded to ``out/BENCH_satcore*.json``:
+
+* **speed** -- on propagation-bound families (deep binary implication
+  chains, incremental assumption re-solves, wide watcher fan-out) the
+  flat kernel must be >= 3x faster than ``ReferenceSolver``.  These
+  families isolate unit propagation: (near-)zero conflicts, so the time
+  is watcher traversal + trail maintenance, which is exactly what the
+  arena/binary-watcher/indexed-heap rewrite targets.  Mixed
+  search-bound loads (random 3-SAT, core-extraction probes) are
+  reported alongside without the 3x gate -- conflict analysis and core
+  extraction were not the rewrite's hot path and gain less.
+* **equivalence** -- the two cores must agree on every ``examples/``
+  program and on a 200-seed generated-program sweep through the full
+  Zord pipeline (encoder + T_ord theory), reference core monkeypatched
+  in via ``repro.encoding.encoder.Solver``.
+"""
+
+import json
+import random
+import statistics
+import time
+
+import pytest
+from conftest import write_output
+
+from repro.sat import SolveResult, Solver
+from repro.sat.reference import ReferenceSolver
+
+#: Required speedup on the propagation-bound families (ROADMAP item 2).
+TARGET_RATIO = 3.0
+
+
+# ----------------------------------------------------------------------
+# Workload families
+# ----------------------------------------------------------------------
+
+
+def _chain(cls, n):
+    s = cls()
+    for _ in range(n):
+        s.new_var()
+    for i in range(1, n):
+        s.add_clause([-i, i + 1])
+    return s
+
+
+def fam_chain_once(cls):
+    """Deep binary implication chain, one assumption-driven solve."""
+    s = _chain(cls, 100_000)
+    t0 = time.perf_counter()
+    assert s.solve(assumptions=[1]) == SolveResult.SAT
+    return time.perf_counter() - t0
+
+
+def fam_chain_incremental(cls):
+    """30 incremental re-solves of the same chain: propagation plus the
+    backjump/heap churn of assumption-based incremental solving."""
+    s = _chain(cls, 3_000)
+    t0 = time.perf_counter()
+    for _ in range(30):
+        assert s.solve(assumptions=[1]) == SolveResult.SAT
+    return time.perf_counter() - t0
+
+
+def fam_fanout(cls):
+    """Star implication: one literal watches 30k binary clauses -- a
+    single very long watcher-list traversal per solve."""
+    n = 30_000
+    s = cls()
+    for _ in range(n):
+        s.new_var()
+    for v in range(2, n + 1):
+        s.add_clause([-1, v])
+    t0 = time.perf_counter()
+    for _ in range(10):
+        assert s.solve(assumptions=[1]) == SolveResult.SAT
+    return time.perf_counter() - t0
+
+
+def fam_unsat_probe(cls):
+    """Contradictory assumption probes: propagation to conflict plus
+    final-conflict core extraction (reported, not gated)."""
+    s = _chain(cls, 3_000)
+    t0 = time.perf_counter()
+    for _ in range(30):
+        assert s.solve(assumptions=[1, -3_000]) == SolveResult.UNSAT
+        assert sorted(s.unsat_core) == [-3_000, 1]
+    return time.perf_counter() - t0
+
+
+def fam_random_3sat(cls):
+    """Near-threshold random 3-SAT: search-bound (reported, not gated)."""
+    t0 = time.perf_counter()
+    for seed in range(8):
+        rng = random.Random(seed)
+        nvars = 120
+        s = cls()
+        for _ in range(nvars):
+            s.new_var()
+        for _ in range(int(nvars * 4.26)):
+            clause = []
+            while len(clause) < 3:
+                v = rng.randint(1, nvars)
+                if v not in map(abs, clause):
+                    clause.append(v if rng.random() < 0.5 else -v)
+            s.add_clause(clause)
+        assert s.solve() in (SolveResult.SAT, SolveResult.UNSAT)
+    return time.perf_counter() - t0
+
+
+PROPAGATION_BOUND = [
+    ("chain", fam_chain_once),
+    ("chain-incremental", fam_chain_incremental),
+    ("fanout", fam_fanout),
+]
+REPORTED_ONLY = [
+    ("unsat-probe", fam_unsat_probe),
+    ("random-3sat", fam_random_3sat),
+]
+
+
+def _best_of(fn, cls, rounds=3):
+    return min(fn(cls) for _ in range(rounds))
+
+
+def test_flat_kernel_speedup(benchmark):
+    benchmark.pedantic(
+        lambda: fam_chain_incremental(Solver), rounds=3, iterations=1
+    )
+    rows = []
+    gated = []
+    for name, fn in PROPAGATION_BOUND + REPORTED_ONLY:
+        t_flat = _best_of(fn, Solver)
+        t_ref = _best_of(fn, ReferenceSolver)
+        ratio = t_ref / max(t_flat, 1e-9)
+        gate = name in dict(PROPAGATION_BOUND)
+        if gate:
+            gated.append((name, ratio))
+        rows.append(
+            {
+                "family": name,
+                "flat_s": round(t_flat, 4),
+                "reference_s": round(t_ref, 4),
+                "ratio": round(ratio, 2),
+                "propagation_bound": gate,
+            }
+        )
+    record = {
+        "benchmark": "satcore",
+        "target_ratio": TARGET_RATIO,
+        "families": rows,
+        "geomean_propagation_bound": round(
+            statistics.geometric_mean(r for _, r in gated), 2
+        ),
+    }
+    write_output("BENCH_satcore.json", json.dumps(record, indent=2))
+    for name, ratio in gated:
+        assert ratio >= TARGET_RATIO, (
+            f"{name}: flat kernel only {ratio:.2f}x vs reference "
+            f"(target {TARGET_RATIO}x)\n{json.dumps(record, indent=2)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Verdict equivalence
+# ----------------------------------------------------------------------
+
+
+def _verify_both(source):
+    """Verdicts from the flat pipeline and the reference-core pipeline."""
+    import repro.encoding.encoder as encoder_mod
+    from repro.api import verify
+
+    flat = verify(source).verdict
+    saved = encoder_mod.Solver
+    encoder_mod.Solver = ReferenceSolver
+    try:
+        ref = verify(source).verdict
+    finally:
+        encoder_mod.Solver = saved
+    return str(flat), str(ref)
+
+
+def test_equivalence_examples_and_sweep(benchmark):
+    from pathlib import Path
+
+    from repro.oracle.generator import generate_source
+
+    examples_dir = Path(__file__).resolve().parent.parent / "examples" / "programs"
+    examples = sorted(examples_dir.glob("*"))
+    assert examples, "examples/programs/ missing"
+    rows = []
+    mismatches = []
+    t0 = time.perf_counter()
+    for path in examples:
+        flat, ref = _verify_both(path.read_text())
+        rows.append({"task": path.name, "flat": flat, "reference": ref})
+        if flat != ref:
+            mismatches.append(path.name)
+    n_seeds = 200
+    agree = 0
+    for seed in range(n_seeds):
+        flat, ref = _verify_both(generate_source(seed))
+        if flat == ref:
+            agree += 1
+        else:
+            mismatches.append(f"seed-{seed}")
+    benchmark.pedantic(
+        lambda: _verify_both(examples[0].read_text()), rounds=1, iterations=1
+    )
+    record = {
+        "benchmark": "satcore-equivalence",
+        "examples": rows,
+        "sweep_seeds": n_seeds,
+        "sweep_agreements": agree,
+        "mismatches": mismatches,
+        "elapsed_s": round(time.perf_counter() - t0, 1),
+    }
+    write_output("BENCH_satcore_equiv.json", json.dumps(record, indent=2))
+    assert not mismatches, f"verdict mismatches: {mismatches}"
+    assert agree == n_seeds

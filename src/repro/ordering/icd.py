@@ -20,6 +20,15 @@ reconstruction) are returned to the caller: unit-edge propagation
 
 On a detected cycle the graph is left *unchanged* (the offending edge is
 not activated), so the acyclicity invariant always holds between calls.
+
+Since the packed-kernel rewrite (``docs/SATCORE.md``) the searches run in
+:mod:`repro.ordering.kernel` over the graph's parallel int arrays:
+epoch-stamped visited/parent scratch instead of per-insertion dicts, int
+adjacency instead of ``Edge``-object chasing, and derivation reasons read
+from a flat literal pool.  :class:`AddResult` is a thin view over those
+search trees -- it captures parent *packed edge ids* as parallel lists
+(plain ints, immune to later epoch reuse) and materializes the historical
+``parent_b``/``parent_f`` ``Edge``-dict views only on demand.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.ordering.event_graph import Edge, EventGraph
+from repro.ordering.kernel import bounded_backward, bounded_forward, path_reason
 
 __all__ = ["AddResult", "IncrementalCycleDetector"]
 
@@ -40,10 +50,12 @@ class AddResult:
         fwd_nodes: nodes reached by the forward search (includes ``dst``).
         parent_b: for each backward node ``x`` (except ``src``), the edge
             ``x -> y`` it was discovered through (``y`` closer to ``src``);
-            following the chain reconstructs the path ``x ⇝ src``.
+            following the chain reconstructs the path ``x ⇝ src``.  A view
+            rebuilt from the packed parent ids on each access -- hot-path
+            code uses :meth:`back_map` instead.
         parent_f: for each forward node ``x`` (except ``dst``), the edge
             ``y -> x`` it was discovered through; following the chain
-            reconstructs the path ``dst ⇝ x``.
+            reconstructs the path ``dst ⇝ x``.  View; see :meth:`fwd_map`.
         fast_path: the insertion was accepted on the ``ord[u] < ord[v]``
             fast path, i.e. without running the two-way search.  The B/F
             sets are then the trivial ``{u}`` / ``{v}``, so unit-edge
@@ -57,9 +69,12 @@ class AddResult:
         "cycle",
         "back_nodes",
         "fwd_nodes",
-        "parent_b",
-        "parent_f",
         "fast_path",
+        "_graph",
+        "_back_par",
+        "_fwd_par",
+        "_bmap",
+        "_fmap",
     )
 
     def __init__(
@@ -67,34 +82,62 @@ class AddResult:
         cycle: bool,
         back_nodes: List[int],
         fwd_nodes: List[int],
-        parent_b: Dict[int, Optional[Edge]],
-        parent_f: Dict[int, Optional[Edge]],
+        graph: EventGraph,
+        back_par: List[int],
+        fwd_par: List[int],
         fast_path: bool = False,
     ) -> None:
         self.cycle = cycle
         self.back_nodes = back_nodes
         self.fwd_nodes = fwd_nodes
-        self.parent_b = parent_b
-        self.parent_f = parent_f
         self.fast_path = fast_path
+        self._graph = graph
+        self._back_par = back_par
+        self._fwd_par = fwd_par
+        self._bmap: Optional[Dict[int, int]] = None
+        self._fmap: Optional[Dict[int, int]] = None
+
+    def back_map(self) -> Dict[int, int]:
+        """Backward tree as ``node -> parent packed edge id`` (-1 at the
+        root ``src``); built once, cached."""
+        m = self._bmap
+        if m is None:
+            m = dict(zip(self.back_nodes, self._back_par))
+            self._bmap = m
+        return m
+
+    def fwd_map(self) -> Dict[int, int]:
+        """Forward tree as ``node -> parent packed edge id`` (-1 at the
+        root ``dst``); built once, cached."""
+        m = self._fmap
+        if m is None:
+            m = dict(zip(self.fwd_nodes, self._fwd_par))
+            self._fmap = m
+        return m
+
+    @property
+    def parent_b(self) -> Dict[int, Optional[Edge]]:
+        edges = self._graph.edges
+        return {
+            n: (edges[p] if p >= 0 else None)
+            for n, p in zip(self.back_nodes, self._back_par)
+        }
+
+    @property
+    def parent_f(self) -> Dict[int, Optional[Edge]]:
+        edges = self._graph.edges
+        return {
+            n: (edges[p] if p >= 0 else None)
+            for n, p in zip(self.fwd_nodes, self._fwd_par)
+        }
 
     def back_path_reason(self, node: int) -> List[int]:
         """Ordering literals along the path ``node ⇝ src``."""
-        lits: List[int] = []
-        edge = self.parent_b.get(node)
-        while edge is not None:
-            lits.extend(edge.reason)
-            edge = self.parent_b.get(edge.dst)
-        return lits
+        return path_reason(self._graph, node, self.back_map(), backward=True)
 
     def fwd_path_reason(self, node: int) -> List[int]:
         """Ordering literals along the path ``dst ⇝ node``."""
-        lits: List[int] = []
-        edge = self.parent_f.get(node)
-        while edge is not None:
-            lits.extend(edge.reason)
-            edge = self.parent_f.get(edge.src)
-        return lits
+        return path_reason(self._graph, node, self.fwd_map(), backward=False)
 
 
 class IncrementalCycleDetector:
@@ -124,51 +167,27 @@ class IncrementalCycleDetector:
         ord_ = g.ord
         if ord_[u] < ord_[v]:
             g.activate(edge)
-            return AddResult(False, [u], [v], {u: None}, {v: None}, fast_path=True)
+            return AddResult(False, [u], [v], g, [-1], [-1], fast_path=True)
 
-        lb = ord_[v]
-        ub = ord_[u]
+        # Two-way bounded search over the packed adjacency (see
+        # repro.ordering.kernel): backward from u within ord >= ord[v],
+        # then forward from v within ord <= ord[u].
+        epoch = g.new_epoch()
+        back_nodes, back_par = bounded_backward(g, u, ord_[v], epoch)
+        if g.vis_b[v] == epoch:
+            return AddResult(True, back_nodes, [v], g, back_par, [-1])
 
-        # Backward search from u (incoming edges, ord >= ord[v]).
-        parent_b: Dict[int, Optional[Edge]] = {u: None}
-        back_nodes: List[int] = []
-        stack = [u]
-        while stack:
-            x = stack.pop()
-            back_nodes.append(x)
-            for e in g.inc[x]:
-                y = e.src
-                if y not in parent_b and ord_[y] >= lb:
-                    parent_b[y] = e
-                    stack.append(y)
-        if v in parent_b:
-            return AddResult(True, back_nodes, [v], parent_b, {v: None})
-
-        # Forward search from v (outgoing edges, ord <= ord[u]).
-        parent_f: Dict[int, Optional[Edge]] = {v: None}
-        fwd_nodes: List[int] = []
-        stack = [v]
-        in_b = parent_b  # membership test
-        while stack:
-            x = stack.pop()
-            fwd_nodes.append(x)
-            for e in g.out[x]:
-                y = e.dst
-                if y in in_b:
-                    # Path v ⇝ y ⇝ u: cycle (defensive; the backward phase
-                    # finds any such cycle first).
-                    parent_f[y] = e
-                    fwd_nodes.append(y)
-                    return AddResult(True, back_nodes, fwd_nodes, parent_b, parent_f)
-                if y not in parent_f and ord_[y] <= ub:
-                    parent_f[y] = e
-                    stack.append(y)
+        fwd_nodes, fwd_par, hit = bounded_forward(g, v, ord_[u], epoch)
+        if hit:
+            # Path v ⇝ y ⇝ u: cycle (defensive; the backward phase finds
+            # any such cycle first).
+            return AddResult(True, back_nodes, fwd_nodes, g, back_par, fwd_par)
 
         self._reorder(back_nodes, fwd_nodes)
         if self.audit:
             self._audit_window(edge, back_nodes, fwd_nodes)
         g.activate(edge)
-        return AddResult(False, back_nodes, fwd_nodes, parent_b, parent_f)
+        return AddResult(False, back_nodes, fwd_nodes, g, back_par, fwd_par)
 
     def remove_edge(self, edge: Edge) -> None:
         """Deactivate an edge; the pseudo-topological order stays valid."""

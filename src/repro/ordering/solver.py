@@ -105,6 +105,12 @@ class OrderingTheory(Theory):
         if hasattr(self.detector, "on_reorder"):
             self.detector.on_reorder = self._note_reorder
         self._edge_of_var: Dict[int, Edge] = {}
+        #: Memoized FR edges keyed by (read, write, reason): re-deriving
+        #: the same from-read fact after a backtrack reuses the Edge
+        #: object, so the graph's packed edge store (which interns every
+        #: edge it ever sees) stays bounded by the number of *distinct*
+        #: derivations instead of growing with every re-derivation.
+        self._fr_cache: Dict[Tuple[int, int, Tuple[int, ...]], Edge] = {}
         #: Active outgoing RF / WS edges per node, for FR derivation.
         self._out_rf: List[List[Edge]] = [[] for _ in range(n_events)]
         self._out_ws: List[List[Edge]] = [[] for _ in range(n_events)]
@@ -288,8 +294,21 @@ class OrderingTheory(Theory):
         """Force to false the variables of inactive edges that would close a
         cycle through the newly inserted edge."""
         inactive_out = self.graph.inactive_out
-        back = added.parent_b  # membership: nodes reaching new_edge.src
         new_reason = list(new_edge.reason)
+        if added.fast_path:
+            # Trivial B/F = {src}/{dst}: the only candidate pair is
+            # (dst, src) with empty search paths -- skip map building.
+            edges = inactive_out[new_edge.dst].get(new_edge.src)
+            if edges:
+                path_set = sorted(set(new_reason))
+                for unit in edges:
+                    if unit.var is None or unit is new_edge:
+                        continue
+                    reason_clause = [-unit.var] + [-l for l in path_set]
+                    result.add_propagation(-unit.var, reason_clause)
+                    self.stats.unit_propagations += 1
+            return
+        back = added.back_map()  # membership: nodes reaching new_edge.src
         for f in added.fwd_nodes:
             buckets = inactive_out[f]
             if not buckets:
@@ -344,7 +363,15 @@ class OrderingTheory(Theory):
             self.stats.cycles += 1
             self.stats.conflict_clauses += 1
             return False
-        fr = Edge(read_eid, write_eid, EdgeKind.FR, reason)
+        key = (read_eid, write_eid, reason)
+        fr = self._fr_cache.get(key)
+        if fr is None:
+            fr = Edge(read_eid, write_eid, EdgeKind.FR, reason)
+            self._fr_cache[key] = fr
+        elif fr.active:
+            # Already derived and active on the trail (the partner pair
+            # re-triggered without an intervening backtrack): nothing new.
+            return True
         self.stats.fr_derived += 1
         return self._activate(fr, level, result)
 

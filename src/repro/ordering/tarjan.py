@@ -10,14 +10,18 @@ It exposes the same interface as
 :class:`repro.ordering.icd.IncrementalCycleDetector`, so the theory solver
 can swap detectors via configuration; the search sets it returns feed
 unit-edge propagation exactly as with ICD.
+
+The searches share the packed kernel (:mod:`repro.ordering.kernel`) with
+ICD, run with slack bounds: ``lb=0`` / ``ub=n`` never prune (order labels
+are a permutation of ``range(n)``), which makes the bounded DFS an
+unbounded one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
 from repro.ordering.event_graph import Edge, EventGraph
 from repro.ordering.icd import AddResult
+from repro.ordering.kernel import bounded_backward, bounded_forward
 
 __all__ = ["TarjanCycleDetector"]
 
@@ -37,36 +41,21 @@ class TarjanCycleDetector:
         u, v = edge.src, edge.dst
         assert u != v, "order edges are irreflexive"
 
-        # Full backward search from u: all ancestors.
-        parent_b: Dict[int, Optional[Edge]] = {u: None}
-        back_nodes: List[int] = []
-        stack = [u]
-        while stack:
-            x = stack.pop()
-            back_nodes.append(x)
-            for e in g.inc[x]:
-                y = e.src
-                if y not in parent_b:
-                    parent_b[y] = e
-                    stack.append(y)
-        if v in parent_b:
-            return AddResult(True, back_nodes, [v], parent_b, {v: None})
+        epoch = g.new_epoch()
+        # Full backward search from u: all ancestors (lb=0 never prunes).
+        back_nodes, back_par = bounded_backward(g, u, 0, epoch)
+        if g.vis_b[v] == epoch:
+            return AddResult(True, back_nodes, [v], g, back_par, [-1])
 
-        # Full forward search from v: all descendants.
-        parent_f: Dict[int, Optional[Edge]] = {v: None}
-        fwd_nodes: List[int] = []
-        stack = [v]
-        while stack:
-            x = stack.pop()
-            fwd_nodes.append(x)
-            for e in g.out[x]:
-                y = e.dst
-                if y not in parent_f:
-                    parent_f[y] = e
-                    stack.append(y)
+        # Full forward search from v: all descendants (ub=n never prunes).
+        # The B-hit branch cannot fire here: any forward path into B would
+        # imply v ⇝ u, which the unbounded backward pass just excluded.
+        fwd_nodes, fwd_par, hit = bounded_forward(g, v, g.n, epoch)
+        if hit:  # pragma: no cover - unreachable with unbounded backward
+            return AddResult(True, back_nodes, fwd_nodes, g, back_par, fwd_par)
 
         g.activate(edge)
-        return AddResult(False, back_nodes, fwd_nodes, parent_b, parent_f)
+        return AddResult(False, back_nodes, fwd_nodes, g, back_par, fwd_par)
 
     def remove_edge(self, edge: Edge) -> None:
         self.graph.deactivate(edge)

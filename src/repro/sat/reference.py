@@ -1,5 +1,17 @@
-"""A conflict-driven clause-learning (CDCL) SAT solver with theory hooks.
+"""Reference CDCL core: the pre-flat-arena, object-per-clause solver.
 
+This module is a frozen copy of the solver as it stood before the
+flat-array kernel rewrite (see ``docs/SATCORE.md``).  It exists for two
+purposes only:
+
+* **differential testing** -- ``tests/sat/test_flat_vs_reference.py``
+  drives random CNF and random ``T_ord`` instances through both cores
+  and asserts verdict / model / unsat-core equivalence;
+* **honest benchmarking** -- ``benchmarks/bench_ext_satcore.py`` measures
+  the flat kernel against this implementation in the same process, so
+  the recorded speedup is apples-to-apples.
+
+Do not "optimize" this file; its value is that it stays byte-stable.
 The solver implements the standard modern architecture:
 
 * two-watched-literal unit propagation,
@@ -14,28 +26,17 @@ to the attached :class:`repro.sat.theory.Theory`.  Theory conflict clauses
 enter the regular conflict analysis; theory propagations are enqueued with
 their reason clauses.
 
-Since the flat-kernel rewrite (``docs/SATCORE.md``) the hot state lives in
-:class:`repro.sat.kernel.BoolKernel`: clauses are integer offsets into a
-flat arena, watcher lists are flat ``(tag, blocker)`` pair-lists, and the
-VSIDS order is an indexed binary heap.  This module keeps everything
-*above* the kernel -- DPLL(T), 1UIP analysis, assumptions/unsat cores,
-clause sharing, audit, telemetry, budgets -- and exposes the pre-rewrite
-object surface (``_learned`` / ``_watches`` / ``_reason`` views with
-stable identity) for tests and debugging.  The byte-stable pre-rewrite
-implementation survives as :mod:`repro.sat.reference`.
-
 Literals are DIMACS integers (``v`` / ``-v``); variables are 1-based.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.robustness import checkpoint as _robustness_checkpoint
 from repro.robustness.budget import BudgetExceeded, get_active as _active_budget
-from repro.sat.kernel import NO_REASON, BoolKernel
 from repro.sat.sharing import ShareChannel
 from repro.sat.theory import Theory
 
@@ -43,10 +44,6 @@ from repro.sat.theory import Theory
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
-
-#: A conflict in flight: either an arena cref (attached clause) or a raw
-#: literal list (theory conflict clause, never attached).
-_Conflict = Union[int, List[int]]
 
 
 class SolveResult:
@@ -59,11 +56,7 @@ class SolveResult:
 
 @dataclass
 class SolverStats:
-    """Counters reported by the solver (used by the Fig. 9 ablation).
-
-    All counters are exact, not sampled: the flat kernel counts
-    propagations, watcher visits and heap operations inline (see
-    ``docs/SATCORE.md``)."""
+    """Counters reported by the solver (used by the Fig. 9 ablation)."""
 
     decisions: int = 0
     propagations: int = 0
@@ -73,10 +66,6 @@ class SolverStats:
     theory_conflicts: int = 0
     theory_propagations: int = 0
     max_trail: int = 0
-    #: Watcher-list entries scanned during unit propagation (exact).
-    watcher_visits: int = 0
-    #: Indexed-heap operations: inserts, pops and effective bumps (exact).
-    heap_ops: int = 0
     #: Number of :meth:`Solver.solve` calls on this instance.
     incremental_calls: int = 0
     #: Learned clauses carried into a re-solve (summed over calls 2..n).
@@ -95,8 +84,6 @@ class SolverStats:
             "theory_conflicts": self.theory_conflicts,
             "theory_propagations": self.theory_propagations,
             "max_trail": self.max_trail,
-            "watcher_visits": self.watcher_visits,
-            "heap_ops": self.heap_ops,
             "incremental_calls": self.incremental_calls,
             "clauses_retained": self.clauses_retained,
             "shared_exported": self.shared_exported,
@@ -104,117 +91,40 @@ class SolverStats:
         }
 
 
-class _ClauseView:
-    """Stable handle for an arena clause.
+class _Clause:
+    """A clause in the arena.  ``lits[0]`` and ``lits[1]`` are watched."""
 
-    Keyed by the clause's stable cid, so identity survives arena
-    compaction; ``lits`` reads through ``cid2ref`` and always reflects
-    the clause's current literal order (watched literals first).
-    """
+    __slots__ = ("lits", "learned", "activity")
 
-    __slots__ = ("_arena", "cid")
-
-    def __init__(self, arena, cid: int) -> None:
-        self._arena = arena
-        self.cid = cid
-
-    @property
-    def lits(self) -> List[int]:
-        arena = self._arena
-        cref = arena.cid2ref[self.cid]
-        base = cref + 2
-        return arena.data[base : base + (arena.data[cref] >> 2)]
-
-    @property
-    def learned(self) -> bool:
-        cref = self._arena.cid2ref[self.cid]
-        return bool(self._arena.data[cref] & 2)
-
-    @property
-    def activity(self) -> float:
-        return self._arena.activity[self.cid]
-
-    def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, _ClauseView)
-            and other.cid == self.cid
-            and other._arena is self._arena
-        )
-
-    def __hash__(self) -> int:
-        return hash((id(self._arena), self.cid))
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clause({self.lits}{' L' if self.learned else ''})"
 
 
-class _TheoryReasonView:
-    """Handle for a transient theory-propagation reason (pool slot)."""
-
-    __slots__ = ("_kernel", "slot")
-
-    def __init__(self, kernel: BoolKernel, slot: int) -> None:
-        self._kernel = kernel
-        self.slot = slot
-
-    @property
-    def lits(self) -> List[int]:
-        return self._kernel.treason[self.slot]
-
-    learned = True
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TheoryReason({self.lits})"
-
-
-class _ReasonMap:
-    """``solver._reason[v]`` compatibility view over integer reason refs."""
-
-    __slots__ = ("_solver",)
-
-    def __init__(self, solver: "Solver") -> None:
-        self._solver = solver
-
-    def __getitem__(self, v: int):
-        r = self._solver.kernel.reason[v]
-        if r == NO_REASON:
-            return None
-        if r >= 0:
-            return self._solver._clause_view_by_ref(r)
-        return self._solver._theory_reason_view(-2 - r)
-
-
-#: Memoized Luby sequence (satellite: ``luby`` used to re-derive the
-#: sequence from scratch on every restart).
-_LUBY_CACHE: List[int] = []
-
-
 def luby(i: int) -> int:
-    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…
-
-    Memoized: the sequence is extended on demand and cached, so repeated
-    restarts pay a list index instead of the log-time derivation."""
-    cache = _LUBY_CACHE
-    while len(cache) < i:
-        x = len(cache)  # 0-based index of the element being derived
-        size, seq = 1, 0
-        while size < x + 1:
-            seq += 1
-            size = 2 * size + 1
-        while size - 1 != x:
-            size = (size - 1) >> 1
-            seq -= 1
-            x %= size
-        cache.append(1 << seq)
-    return cache[i - 1]
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
 
 
-class Solver:
-    """CDCL SAT solver with an optional attached theory solver.
+class ReferenceSolver:
+    """The pre-rewrite CDCL solver (API-compatible with :class:`repro.sat.solver.Solver`).
 
     Typical use::
 
-        s = Solver()
+        s = ReferenceSolver()
         v1, v2 = s.new_var(), s.new_var()
         s.add_clause([v1, v2])
         s.add_clause([-v1, v2])
@@ -224,33 +134,30 @@ class Solver:
 
     def __init__(self, theory: Optional[Theory] = None) -> None:
         self.theory: Theory = theory if theory is not None else Theory()
-        #: The flat-array Boolean engine (arena, watches, trail, heap).
-        self.kernel = BoolKernel()
         self.nvars = 0
-        # Hot kernel state aliased onto the solver: the kernel mutates
-        # these lists in place and never rebinds them.
-        self._assign = self.kernel.assign
-        self._level = self.kernel.level
-        self._phase = self.kernel.phase
-        self._activity = self.kernel.activity
-        self._trail = self.kernel.trail
-        self._trail_lim = self.kernel.trail_lim
+        # Indexed by variable (1-based; index 0 unused).
+        self._assign: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
         self._relevant: List[bool] = [False]
-        # Count of theory-relevant variables: when zero (pure-SAT use,
-        # e.g. the bit-blasted closure baseline or DIMACS export), the
-        # per-literal theory feed in _propagate is skipped wholesale.
-        self._n_relevant = 0
-        self._seen: List[bool] = [False]
-        # Problem/learned clauses as arena refs (see kernel.ClauseArena).
-        self._clause_refs: List[int] = []
-        self._learned_refs: List[int] = []
+        # Watches indexed by literal: _watch_index(lit) -> list of clauses.
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
         self._theory_qhead = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
         self._cla_decay = 0.999
+        self._order_heap: List = []  # lazy max-heap of (-activity, var)
         self._unsat = False
         self._model: List[int] = []
+        self._seen: List[bool] = [False]
         self._pending_lemmas: List[List[int]] = []
         #: Assumption literals of the current solve() call, in order.
         self._assumps: List[int] = []
@@ -260,10 +167,6 @@ class Solver:
         #: Optional clause-exchange endpoint (portfolio clause sharing).
         self.share: Optional[ShareChannel] = None
         self.stats = SolverStats()
-        # Stable clause handles for the _learned/_watches/_reason views.
-        self._views: Dict[int, _ClauseView] = {}
-        self._treason_views: Dict[int, _TheoryReasonView] = {}
-        self._reason_map = _ReasonMap(self)
         #: Debug-mode invariant auditing (``REPRO_AUDIT=1`` or
         #: ``VerifierConfig.audit``): checks that theory conflict clauses
         #: are falsified, propagation reasons are well-formed, and unsat
@@ -278,56 +181,6 @@ class Solver:
         self.telemetry = None
 
     # ------------------------------------------------------------------
-    # Pre-rewrite object surface (tests, export, debugging)
-    # ------------------------------------------------------------------
-
-    def _clause_view_by_ref(self, cref: int) -> _ClauseView:
-        cid = self.kernel.arena.data[cref + 1]
-        view = self._views.get(cid)
-        if view is None:
-            view = self._views[cid] = _ClauseView(self.kernel.arena, cid)
-        return view
-
-    def _theory_reason_view(self, slot: int) -> _TheoryReasonView:
-        view = self._treason_views.get(slot)
-        if view is None:
-            view = self._treason_views[slot] = _TheoryReasonView(self.kernel, slot)
-        return view
-
-    @property
-    def _clauses(self) -> List[_ClauseView]:
-        """Problem clauses as stable views (cold-path compatibility)."""
-        return [self._clause_view_by_ref(c) for c in self._clause_refs]
-
-    @property
-    def _learned(self) -> List[_ClauseView]:
-        """Learned clauses as stable views (cold-path compatibility)."""
-        return [self._clause_view_by_ref(c) for c in self._learned_refs]
-
-    @property
-    def _watches(self) -> List[List[_ClauseView]]:
-        """Watcher lists as clause views, indexed by :meth:`_widx`."""
-        out: List[List[_ClauseView]] = []
-        for wl in self.kernel.watch:
-            entry = []
-            for i in range(0, len(wl), 2):
-                tag = wl[i]
-                entry.append(
-                    self._clause_view_by_ref(tag - 1 if tag > 0 else -tag - 1)
-                )
-            out.append(entry)
-        return out
-
-    @property
-    def _reason(self) -> _ReasonMap:
-        """Per-variable reason clauses as stable views (``None`` if free)."""
-        return self._reason_map
-
-    @property
-    def _qhead(self) -> int:
-        return self.kernel.qhead
-
-    # ------------------------------------------------------------------
     # Problem construction
     # ------------------------------------------------------------------
 
@@ -337,18 +190,22 @@ class Solver:
         ``relevant=True`` marks the variable as theory-relevant: its
         assignments are reported to the attached theory solver.
         """
-        self.nvars = self.kernel.new_var()
+        self.nvars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
         self._relevant.append(relevant)
-        if relevant:
-            self._n_relevant += 1
+        self._watches.append([])
+        self._watches.append([])
         self._seen.append(False)
+        self._heap_insert(self.nvars)
         return self.nvars
 
     def mark_relevant(self, var: int) -> None:
         """Mark an existing variable theory-relevant."""
-        if not self._relevant[var]:
-            self._relevant[var] = True
-            self._n_relevant += 1
+        self._relevant[var] = True
 
     def add_clause(self, lits: Sequence[int]) -> bool:
         """Add a problem clause.  Returns False if the formula became UNSAT.
@@ -379,17 +236,17 @@ class Solver:
             self._unsat = True
             return False
         if len(out) == 1:
-            if not self.kernel.enqueue(out[0], NO_REASON):
+            if not self._enqueue(out[0], None):
                 self._unsat = True
                 return False
-            if self.kernel.propagate() != -1:
+            conflict = self._bool_propagate()
+            if conflict is not None:
                 self._unsat = True
                 return False
-            self._sync_stats()
             return True
-        cref = self.kernel.arena.alloc(out, learned=False)
-        self._clause_refs.append(cref)
-        self.kernel.attach(cref)
+        clause = _Clause(out)
+        self._clauses.append(clause)
+        self._attach(clause)
         return True
 
     # ------------------------------------------------------------------
@@ -419,7 +276,7 @@ class Solver:
         self.unsat_core = []
         self.stats.incremental_calls += 1
         if self.stats.incremental_calls > 1:
-            self.stats.clauses_retained += len(self._learned_refs)
+            self.stats.clauses_retained += len(self._learned)
             if self._trail_lim:
                 self._backjump(0)
             self.theory.reset()
@@ -427,7 +284,7 @@ class Solver:
             self.telemetry.emit(
                 "solve_start",
                 nvars=self.nvars,
-                clauses=len(self._clause_refs),
+                clauses=len(self._clauses),
                 assumptions=len(self._assumps),
                 call=self.stats.incremental_calls,
             )
@@ -441,14 +298,12 @@ class Solver:
         except BudgetExceeded as exc:
             # Attach the partial counters so the budget-exhausted UNKNOWN
             # still reports how far the search got.
-            self._sync_stats()
             exc.partial_stats.update(self.stats.as_dict())
             if self.telemetry is not None:
                 self.telemetry.emit(
                     "solve_end", result="budget_exceeded", **self.stats.as_dict()
                 )
             raise
-        self._sync_stats()
         if (
             self.audit
             and not self._in_audit
@@ -459,15 +314,6 @@ class Solver:
         if self.telemetry is not None:
             self.telemetry.emit("solve_end", result=result, **self.stats.as_dict())
         return result
-
-    def _sync_stats(self) -> None:
-        """Copy the kernel's exact operation counters into the stats."""
-        k = self.kernel
-        st = self.stats
-        st.propagations = k.n_props
-        st.max_trail = k.max_trail
-        st.watcher_visits = k.n_visits
-        st.heap_ops = k.heap.n_ops
 
     def _audit_unsat_core(self) -> None:
         """Audit check: the reported unsat core re-solves UNSAT in
@@ -512,7 +358,7 @@ class Solver:
         restart_idx = 1
         restart_base = 100
         conflicts_total = 0
-        max_learned = max(1000, len(self._clause_refs) // 2)
+        max_learned = max(1000, len(self._clauses) // 2)
         while True:
             # Robustness checkpoint once per restart period: fires injected
             # faults and checks the run budget's deadline / memory cap
@@ -535,7 +381,7 @@ class Solver:
                 self.telemetry.emit(
                     "restart", index=restart_idx, conflicts=conflicts_total
                 )
-            if len(self._learned_refs) > max_learned:
+            if len(self._learned) > max_learned:
                 self._reduce_db()
                 max_learned = int(max_learned * 1.3)
 
@@ -623,7 +469,7 @@ class Solver:
                     else:
                         self.stats.decisions += 1
                         self._trail_lim.append(len(self._trail))
-                        self.kernel.enqueue(p, NO_REASON)
+                        self._enqueue(p, None)
                         placed = True
                         break
                 if placed:
@@ -646,34 +492,23 @@ class Solver:
                     return SolveResult.SAT, conflicts
                 self.stats.decisions += 1
                 self._trail_lim.append(len(self._trail))
-                self.kernel.enqueue(lit, NO_REASON)
+                self._enqueue(lit, None)
 
-    def _propagate(self) -> Optional[_Conflict]:
+    def _propagate(self) -> Optional[_Clause]:
         """Boolean + theory propagation to fixpoint.
 
-        Returns a falsified clause (arena cref or theory literal list) on
-        conflict, else None.
+        Returns a falsified clause on conflict, else None.
         """
-        kernel = self.kernel
-        trail = self._trail
-        relevant = self._relevant
         while True:
-            conflict = kernel.propagate()
-            if conflict != -1:
+            conflict = self._bool_propagate()
+            if conflict is not None:
                 return conflict
-            n = len(trail)
-            if self._n_relevant == 0:
-                # Pure-SAT instance: nothing to feed the theory.
-                self._theory_qhead = n
-                return None
-            # Feed newly assigned relevant literals to the theory.  The
-            # trail only grows via the `progressed` break below, so the
-            # length is loop-invariant here.
+            # Feed newly assigned relevant literals to the theory.
             progressed = False
-            while self._theory_qhead < n:
-                lit = trail[self._theory_qhead]
+            while self._theory_qhead < len(self._trail):
+                lit = self._trail[self._theory_qhead]
                 self._theory_qhead += 1
-                if not relevant[abs(lit)]:
+                if not self._relevant[abs(lit)]:
                     continue
                 res = self.theory.assign(lit, self.decision_level)
                 if res.is_conflict:
@@ -684,28 +519,78 @@ class Solver:
                             level=self.decision_level,
                             clauses=len(res.conflicts),
                         )
-                    return self._handle_theory_conflict_clauses(res.conflicts)
+                    clause = self._handle_theory_conflict_clauses(res.conflicts)
+                    return clause
                 if res.propagations:
                     c = self._apply_theory_propagations(res.propagations)
                     if c is not None:
                         return c
                     progressed = True
                     break  # run boolean propagation on the new literals
-            if not progressed and self._theory_qhead >= n:
-                if kernel.qhead >= n:
+            if not progressed and self._theory_qhead >= len(self._trail):
+                if self._qhead >= len(self._trail):
                     return None
 
-    def _conflict_lits(self, conflict: _Conflict) -> List[int]:
-        """The literals of a conflict in flight (cref or raw list)."""
-        if type(conflict) is int:
-            data = self.kernel.arena.data
-            base = conflict + 2
-            return data[base : base + (data[conflict] >> 2)]
-        return conflict
+    def _bool_propagate(self) -> Optional[_Clause]:
+        """Two-watched-literal unit propagation.
 
-    def _handle_theory_conflict_clauses(
-        self, conflicts: List[List[int]]
-    ) -> List[int]:
+        Hand-inlined value lookups: this is the solver's hottest loop and
+        Python call overhead dominates otherwise.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            neg = -lit
+            watchers = watches[2 * lit + 1] if lit > 0 else watches[-2 * lit]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified literal is lits[1].
+                if lits[0] == neg:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                # Inline: value(first).
+                fv = assign[first] if first > 0 else -assign[-first]
+                if fv == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Look for a new (non-false) literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    kv = assign[lk] if lk > 0 else -assign[-lk]
+                    if kv != -1:
+                        lits[1], lits[k] = lk, lits[1]
+                        watches[2 * lk if lk > 0 else 1 - 2 * lk].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or falsified.
+                watchers[j] = clause
+                j += 1
+                if fv == -1:
+                    # Conflict: keep remaining watchers, restore list.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    def _handle_theory_conflict_clauses(self, conflicts: List[List[int]]) -> _Clause:
         """Store theory conflict clauses; return the first as the conflict.
 
         All returned clauses are currently falsified.  Extra clauses beyond
@@ -718,10 +603,11 @@ class Solver:
 
             for clause_lits in conflicts:
                 check_conflict_clause(self.value, clause_lits)
+        first = _Clause(list(conflicts[0]), learned=True)
         for extra in conflicts[1:]:
             if len(extra) >= 1:
                 self._pending_lemmas.append(list(extra))
-        return list(conflicts[0])
+        return first
 
     def _flush_pending_lemmas(self) -> None:
         """Attach lemmas queued during conflict handling.
@@ -739,30 +625,27 @@ class Solver:
             non_false = [l for l in lits if self._value(l) != _FALSE]
             if len(lits) < 2:
                 continue
-            lits = list(lits)
+            clause = _Clause(list(lits), learned=True)
             if len(non_false) >= 2:
-                a = lits.index(non_false[0])
-                lits[0], lits[a] = lits[a], lits[0]
-                b = lits.index(non_false[1])
-                lits[1], lits[b] = lits[b], lits[1]
-                enqueue_first = False
+                a = clause.lits.index(non_false[0])
+                clause.lits[0], clause.lits[a] = clause.lits[a], clause.lits[0]
+                b = clause.lits.index(non_false[1])
+                clause.lits[1], clause.lits[b] = clause.lits[b], clause.lits[1]
             elif len(non_false) == 1:
-                a = lits.index(non_false[0])
-                lits[0], lits[a] = lits[a], lits[0]
+                a = clause.lits.index(non_false[0])
+                clause.lits[0], clause.lits[a] = clause.lits[a], clause.lits[0]
                 # Second watch: the highest-level false literal.
-                hi = max(range(1, len(lits)), key=lambda k: self._level[abs(lits[k])])
-                lits[1], lits[hi] = lits[hi], lits[1]
-                enqueue_first = self._value(lits[0]) == _UNASSIGNED
+                hi = max(range(1, len(clause.lits)), key=lambda k: self._level[abs(clause.lits[k])])
+                clause.lits[1], clause.lits[hi] = clause.lits[hi], clause.lits[1]
+                if self._value(clause.lits[0]) == _UNASSIGNED:
+                    self._enqueue(clause.lits[0], clause)
             else:
                 # Still falsified after the backjump; dropping is sound
                 # (the lemma is theory-valid and will be re-derived).
                 continue
-            cref = self.kernel.arena.alloc(lits, learned=True)
-            self._learned_refs.append(cref)
+            self._learned.append(clause)
             self.stats.learned += 1
-            self.kernel.attach(cref)
-            if enqueue_first:
-                self.kernel.enqueue(lits[0], cref)
+            self._attach(clause)
 
     def _handle_theory_conflicts(self, conflicts: List[List[int]]) -> bool:
         """Conflict at final check.  Returns False if UNSAT at level 0."""
@@ -775,17 +658,17 @@ class Solver:
                 clauses=len(conflicts),
                 final_check=True,
             )
-        conflict = self._handle_theory_conflict_clauses(conflicts)
-        if not self._normalize_conflict_level(conflict):
+        clause = self._handle_theory_conflict_clauses(conflicts)
+        if not self._normalize_conflict_level(clause):
             return False
-        learnt, back_level = self._analyze(conflict)
+        learnt, back_level = self._analyze(clause)
         self._backjump(back_level)
         self._record_learnt(learnt)
         self._flush_pending_lemmas()
         self._decay_activities()
         return True
 
-    def _apply_theory_propagations(self, props) -> Optional[_Conflict]:
+    def _apply_theory_propagations(self, props) -> Optional[_Clause]:
         """Enqueue theory-propagated literals.  Returns a conflict clause if
         a propagated literal is already false."""
         if self.telemetry is not None and props:
@@ -798,13 +681,18 @@ class Solver:
                 from repro.oracle.audit import check_propagation_reason
 
                 check_propagation_reason(self.value, lit, reason_lits)
+            reason = _Clause(list(reason_lits), learned=True)
+            # Put the propagated literal first (reason-clause invariant).
+            if reason.lits[0] != lit:
+                idx = reason.lits.index(lit)
+                reason.lits[0], reason.lits[idx] = reason.lits[idx], reason.lits[0]
             if val == _FALSE:
-                return list(reason_lits)
+                return reason
             self.stats.theory_propagations += 1
-            self.kernel.enqueue(lit, self.kernel.add_treason(list(reason_lits)))
+            self._enqueue(lit, reason)
         return None
 
-    def _normalize_conflict_level(self, conflict: _Conflict) -> bool:
+    def _normalize_conflict_level(self, conflict: _Clause) -> bool:
         """Prepare a falsified clause for 1UIP analysis.
 
         Theory conflict clauses (notably from final checks) may contain no
@@ -812,10 +700,9 @@ class Solver:
         drop to the clause's highest level first.  Returns False when the
         clause is falsified at level 0 (the formula is UNSAT).
         """
-        level = self._level
         max_level = 0
-        for lit in self._conflict_lits(conflict):
-            lvl = level[abs(lit)]
+        for lit in conflict.lits:
+            lvl = self._level[abs(lit)]
             if lvl > max_level:
                 max_level = lvl
         if max_level == 0:
@@ -831,77 +718,53 @@ class Solver:
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
 
-    def _analyze(self, conflict: _Conflict):
+    def _analyze(self, conflict: _Clause):
         """First-UIP learning.  Returns (learnt clause lits, backjump level).
 
         The asserting literal ends up at index 0 of the learnt clause.
-        Reason clauses are resolved straight out of the arena (or the
-        theory-reason pool); the literal being resolved on is skipped by
-        variable, so no positional reason invariant is needed.
         """
-        kernel = self.kernel
-        trail = self._trail
-        level = self._level
-        reason = kernel.reason
-        data = kernel.arena.data
-        treason = kernel.treason
-        seen = self._seen
-        dl = self.decision_level
         learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
         path_count = 0
         p = 0  # literal being resolved on (0 = use whole conflict clause)
-        pv = 0
-        index = len(trail) - 1
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = conflict
         to_clear: List[int] = []
-        cl: _Conflict = conflict
         while True:
-            if type(cl) is int:
-                header = data[cl]
-                if header & 2:
-                    self._bump_clause_ref(cl)
-                src = data
-                start = cl + 2
-                end = start + (header >> 2)
-            else:
-                src = cl
-                start = 0
-                end = len(cl)
-            for k in range(start, end):
-                q = src[k]
-                v = q if q > 0 else -q
-                if v == pv:
-                    continue  # the literal being resolved on
-                if not seen[v] and level[v] > 0:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 1 if p != 0 else 0
+            for k in range(start, len(clause.lits)):
+                q = clause.lits[k]
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
                     seen[v] = True
                     to_clear.append(v)
                     self._bump_var(v)
-                    if level[v] >= dl:
+                    if self._level[v] >= self.decision_level:
                         path_count += 1
                     else:
                         learnt.append(q)
             # Pick next literal on the trail to resolve.
-            while not seen[abs(trail[index])]:
+            while not seen[abs(self._trail[index])]:
                 index -= 1
-            p = trail[index]
-            pv = abs(p)
-            r = reason[pv]
-            seen[pv] = False
+            p = self._trail[index]
+            v = abs(p)
+            clause = self._reason[v]
+            seen[v] = False
             index -= 1
             path_count -= 1
             if path_count <= 0:
                 break
-            # A decision has no reason and can never be resolved on while
-            # literals above it remain on the current level.
-            assert r != NO_REASON, "resolving on a decision in _analyze"
-            cl = r if r >= 0 else treason[-2 - r]
         learnt[0] = -p
         # Clause minimization: drop literals implied by the rest.
         abstract_levels = 0
         for q in learnt[1:]:
-            abstract_levels |= 1 << (level[abs(q)] & 31)
+            abstract_levels |= 1 << (self._level[abs(q)] & 31)
         minimized = [learnt[0]]
         for q in learnt[1:]:
-            if reason[abs(q)] == NO_REASON or not self._lit_redundant(
+            if self._reason[abs(q)] is None or not self._lit_redundant(
                 q, abstract_levels, to_clear
             ):
                 minimized.append(q)
@@ -914,43 +777,28 @@ class Solver:
         else:
             max_i = 1
             for k in range(2, len(learnt)):
-                if level[abs(learnt[k])] > level[abs(learnt[max_i])]:
+                if self._level[abs(learnt[k])] > self._level[abs(learnt[max_i])]:
                     max_i = k
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            back_level = level[abs(learnt[1])]
+            back_level = self._level[abs(learnt[1])]
         return learnt, back_level
 
     def _lit_redundant(self, lit: int, abstract_levels: int, to_clear: List[int]) -> bool:
         """Check (recursively) whether ``lit`` is implied by other learnt
         literals; part of clause minimization (Sorensson & Biere)."""
-        kernel = self.kernel
-        reason = kernel.reason
-        level = self._level
-        data = kernel.arena.data
-        treason = kernel.treason
-        seen = self._seen
         stack = [lit]
+        seen = self._seen
         top = len(to_clear)
         while stack:
             p = stack.pop()
-            pv = abs(p)
-            r = reason[pv]
-            assert r != NO_REASON
-            if r >= 0:
-                src = data
-                start = r + 2
-                end = start + (data[r] >> 2)
-            else:
-                src = treason[-2 - r]
-                start = 0
-                end = len(src)
-            for k in range(start, end):
-                q = src[k]
+            reason = self._reason[abs(p)]
+            assert reason is not None
+            for q in reason.lits[1:]:
                 v = abs(q)
-                if v == pv or seen[v] or level[v] == 0:
+                if seen[v] or self._level[v] == 0:
                     continue
-                if reason[v] == NO_REASON or not (
-                    (1 << (level[v] & 31)) & abstract_levels
+                if self._reason[v] is None or not (
+                    (1 << (self._level[v] & 31)) & abstract_levels
                 ):
                     # Cannot be resolved away: undo marks made here.
                     for u in to_clear[top:]:
@@ -975,11 +823,6 @@ class Solver:
         core = [p]
         if self.decision_level == 0 or self._level[abs(p)] == 0:
             return core
-        kernel = self.kernel
-        reason = kernel.reason
-        data = kernel.arena.data
-        treason = kernel.treason
-        level = self._level
         seen = self._seen
         to_clear = [abs(p)]
         seen[abs(p)] = True
@@ -988,24 +831,15 @@ class Solver:
             v = abs(lit)
             if not seen[v]:
                 continue
-            r = reason[v]
-            if r == NO_REASON:
+            reason = self._reason[v]
+            if reason is None:
                 # A decision above level 0 is an assumption (it was
                 # enqueued exactly as passed).
                 core.append(lit)
             else:
-                if r >= 0:
-                    src = data
-                    start = r + 2
-                    end = start + (data[r] >> 2)
-                else:
-                    src = treason[-2 - r]
-                    start = 0
-                    end = len(src)
-                for k in range(start, end):
-                    q = src[k]
+                for q in reason.lits[1:]:
                     u = abs(q)
-                    if u != v and not seen[u] and level[u] > 0:
+                    if not seen[u] and self._level[u] > 0:
                         seen[u] = True
                         to_clear.append(u)
         for v in to_clear:
@@ -1016,14 +850,14 @@ class Solver:
         if self.share is not None and self.share.offer(learnt):
             self.stats.shared_exported += 1
         if len(learnt) == 1:
-            self.kernel.enqueue(learnt[0], NO_REASON)
+            self._enqueue(learnt[0], None)
             return
-        cref = self.kernel.arena.alloc(learnt, learned=True)
-        self._learned_refs.append(cref)
+        clause = _Clause(learnt, learned=True)
+        self._learned.append(clause)
         self.stats.learned += 1
-        self.kernel.attach(cref)
-        self._bump_clause_ref(cref)
-        self.kernel.enqueue(learnt[0], cref)
+        self._attach(clause)
+        self._bump_clause(clause)
+        self._enqueue(learnt[0], clause)
 
     def _exchange_shared(self) -> bool:
         """Flush/import shared clauses at a restart boundary (level 0).
@@ -1044,74 +878,79 @@ class Solver:
     # Assignment management
     # ------------------------------------------------------------------
 
-    def _enqueue(self, lit: int, reason=None) -> bool:
-        """Cold-path enqueue (compatibility shim; reasons must be None)."""
-        assert reason is None
-        return self.kernel.enqueue(lit, NO_REASON)
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        if lit > 0:
+            v = lit
+            cur = self._assign[v]
+            if cur:
+                return cur == 1
+            self._assign[v] = 1
+            self._phase[v] = True
+        else:
+            v = -lit
+            cur = self._assign[v]
+            if cur:
+                return cur == -1
+            self._assign[v] = -1
+            self._phase[v] = False
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        if len(self._trail) > self.stats.max_trail:
+            self.stats.max_trail = len(self._trail)
+        return True
 
     def _backjump(self, level: int) -> None:
         if self.decision_level <= level:
             return
-        self.kernel.cancel_until(level)
-        if self._theory_qhead > len(self._trail):
-            self._theory_qhead = len(self._trail)
+        bound = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            v = abs(lit)
+            self._assign[v] = _UNASSIGNED
+            self._reason[v] = None
+            self._heap_insert(v)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        self._theory_qhead = min(self._theory_qhead, len(self._trail))
         self.theory.backjump(level)
 
     def _pick_branch(self) -> int:
-        kernel = self.kernel
-        if len(kernel.trail) == kernel.nvars:
-            # Every variable is assigned: the model is complete.  Skip
-            # draining the heap (it would pop all n live entries just to
-            # discover there is nothing left to decide); `insert` is
-            # idempotent, so the entries stay valid for the next solve.
-            return 0
-        assign = self._assign
-        phase = self._phase
-        heap = kernel.heap
-        while True:
-            v = heap.pop()
-            if v == 0:
-                return 0
-            if assign[v] == _UNASSIGNED:
-                return v if phase[v] else -v
+        import heapq
+
+        while self._order_heap:
+            _act, v = heapq.heappop(self._order_heap)
+            if self._assign[v] == _UNASSIGNED:
+                return v if self._phase[v] else -v
+        return 0
 
     # ------------------------------------------------------------------
     # Activities
     # ------------------------------------------------------------------
 
     def _bump_var(self, v: int) -> None:
-        activity = self._activity
-        a = activity[v] + self._var_inc
-        activity[v] = a
-        if a > 1e100:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > 1e100:
             for u in range(1, self.nvars + 1):
-                activity[u] *= 1e-100
+                self._activity[u] *= 1e-100
             self._var_inc *= 1e-100
-        # Indexed heap: re-key the live entry in place (sift up).
-        self.kernel.heap.bump(v)
+        if self._assign[v] == _UNASSIGNED:
+            # Lazy heap: push a fresh entry; stale duplicates are skipped
+            # (by the unassigned check) when popped.
+            self._heap_insert(v)
 
-    def _bump_clause_ref(self, cref: int) -> None:
-        arena = self.kernel.arena
-        cid = arena.data[cref + 1]
-        a = arena.activity[cid] + self._cla_inc
-        arena.activity[cid] = a
-        if a > 1e20:
-            self._rescale_clause_activity()
-
-    def _rescale_clause_activity(self) -> None:
-        activity = self.kernel.arena.activity
-        data = self.kernel.arena.data
-        for cref in self._learned_refs:
-            activity[data[cref + 1]] *= 1e-20
-        self._cla_inc *= 1e-20
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
         self._cla_inc /= self._cla_decay
-        # Keep the increments bounded even across conflict streaks where
-        # no attached learned clause is bumped (theory-heavy searches).
-        if self._cla_inc > 1e20:
-            self._rescale_clause_activity()
 
     # ------------------------------------------------------------------
     # Learned clause DB reduction
@@ -1119,35 +958,25 @@ class Solver:
 
     def _reduce_db(self) -> None:
         """Remove the lower-activity half of removable learned clauses."""
-        kernel = self.kernel
-        arena = kernel.arena
-        data = arena.data
-        activity = arena.activity
-        reason = kernel.reason
         locked = set()
         for v in range(1, self.nvars + 1):
-            r = reason[v]
-            if r >= 0:
-                locked.add(r)
-        self._learned_refs.sort(key=lambda c: activity[data[c + 1]])
-        keep: List[int] = []
-        n_remove = len(self._learned_refs) // 2
+            r = self._reason[v]
+            if r is not None:
+                locked.add(id(r))
+        self._learned.sort(key=lambda c: c.activity)
+        keep: List[_Clause] = []
+        n_remove = len(self._learned) // 2
         removed = 0
-        for cref in self._learned_refs:
-            if removed < n_remove and cref not in locked and (data[cref] >> 2) > 2:
-                kernel.detach(cref)
-                arena.free(cref)
+        for clause in self._learned:
+            if removed < n_remove and id(clause) not in locked and len(clause.lits) > 2:
+                self._detach(clause)
                 removed += 1
             else:
-                keep.append(cref)
-        self._learned_refs = keep
-        # Compact once dead clauses dominate the arena; clause handles
-        # stay valid (they are keyed by cid, not by offset).
-        if arena.dead_words > 4096 and arena.dead_words * 2 > len(data):
-            kernel.compact_arena([self._clause_refs, self._learned_refs])
+                keep.append(clause)
+        self._learned = keep
 
     # ------------------------------------------------------------------
-    # Watches plumbing (compatibility + cold paths)
+    # Watches / heap plumbing
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -1155,8 +984,28 @@ class Solver:
         v = lit if lit > 0 else -lit
         return 2 * v + (0 if lit > 0 else 1)
 
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._widx(clause.lits[0])].append(clause)
+        self._watches[self._widx(clause.lits[1])].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            lst = self._watches[self._widx(lit)]
+            try:
+                lst.remove(clause)
+            except ValueError:
+                pass
+
     def _value(self, lit: int) -> int:
         v = self._assign[abs(lit)]
         if v == _UNASSIGNED:
             return _UNASSIGNED
         return v if lit > 0 else -v
+
+    # Lazy binary max-heap keyed by activity: entries are (-activity, var).
+    # Duplicate entries are allowed; pop skips assigned variables, so stale
+    # duplicates are harmless.
+    def _heap_insert(self, v: int) -> None:
+        import heapq
+
+        heapq.heappush(self._order_heap, (-self._activity[v], v))

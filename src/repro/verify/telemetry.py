@@ -62,6 +62,10 @@ STAT_KEYS = (
     "theory_conflicts",
     "theory_propagations",
     "max_trail",
+    # exact hot-loop counters (tracked natively by the flat kernel:
+    # watcher-pair visits during propagation, indexed-heap operations)
+    "watcher_visits",
+    "heap_ops",
     # incremental solving (assumption-based re-solves, clause sharing)
     "incremental_calls",
     "clauses_retained",

@@ -1,0 +1,109 @@
+"""Deterministic perf smoke for the flat kernel (CI: ``satcore-smoke``).
+
+Timing assertions are flaky on shared runners, so every check here is
+**count-based**: the kernel's exact hot-loop counters (propagations,
+watcher visits, heap ops, blocker skips -- all deterministic for a fixed
+instance) are compared against structural expectations and against a
+recorded object-soup baseline.
+
+Recorded baseline (measured once against
+``repro.sat.reference.ReferenceSolver`` on the fixed instance below,
+2026-08; see ``docs/SATCORE.md``): the lazy ``(-activity, var)`` tuple
+heap performed 3580 heappush+heappop operations over 43 conflicts --
+**83.3 heap ops per conflict** -- because every bump pushes a fresh tuple
+and pops must discard stale ones.  The indexed heap measured 21.9 ops per
+conflict on the same instance (bump = in-place sift, no dead entries).
+The threshold asserts the structural win at half the baseline, leaving
+room for heuristic drift without letting a stale-entry regression slip
+through.
+"""
+
+import random
+
+from repro.sat import SolveResult, Solver
+
+#: Recorded ReferenceSolver heap traffic per conflict on FIXED_SEED/NVARS
+#: (see module docstring for how it was measured).
+REF_HEAP_OPS_PER_CONFLICT = 83.3
+
+FIXED_SEED = 2024
+NVARS = 120
+
+
+def fixed_3sat():
+    rng = random.Random(FIXED_SEED)
+    clauses = []
+    for _ in range(int(NVARS * 4.26)):
+        clause = []
+        while len(clause) < 3:
+            v = rng.randint(1, NVARS)
+            if v not in map(abs, clause):
+                clause.append(v if rng.random() < 0.5 else -v)
+        clauses.append(clause)
+    return clauses
+
+
+def solved_fixed_instance():
+    s = Solver()
+    for _ in range(NVARS):
+        s.new_var()
+    for c in fixed_3sat():
+        s.add_clause(c)
+    assert s.solve() == SolveResult.SAT
+    return s
+
+
+class TestStructuralCounts:
+    def test_binary_chain_propagation_is_linear(self):
+        """An implication chain of n vars propagates with exactly one
+        watcher visit per edge: the binary-watcher fast path never touches
+        the arena and never revisits a pair."""
+        n = 2000
+        s = Solver()
+        for _ in range(n):
+            s.new_var()
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+        assert s.solve(assumptions=[1]) == SolveResult.SAT
+        assert s.stats.propagations == n  # assumption + n-1 implied
+        assert s.stats.watcher_visits == n - 1
+        assert s.stats.max_trail == n
+        assert s.kernel.n_blocked == 0  # binary pairs have no blocker
+
+    def test_chain_core_is_minimal(self):
+        n = 200
+        s = Solver()
+        for _ in range(n):
+            s.new_var()
+        for i in range(1, n):
+            s.add_clause([-i, i + 1])
+        assert s.solve(assumptions=[1, -n]) == SolveResult.UNSAT
+        assert sorted(s.unsat_core) == [-n, 1]
+
+
+class TestRecordedBaselineRatios:
+    def test_indexed_heap_beats_lazy_heap_traffic(self):
+        s = solved_fixed_instance()
+        st = s.stats
+        assert st.conflicts > 0
+        per_conflict = st.heap_ops / st.conflicts
+        assert per_conflict < REF_HEAP_OPS_PER_CONFLICT / 2, (
+            f"indexed heap regressed: {per_conflict:.1f} ops/conflict vs "
+            f"recorded lazy-heap baseline {REF_HEAP_OPS_PER_CONFLICT}"
+        )
+
+    def test_blocker_literals_skip_clause_touches(self):
+        """On a satisfiable 3-SAT instance a healthy share of watcher
+        visits must resolve on the cached blocker literal alone (no arena
+        access); measured 0.30 on this instance at rewrite time."""
+        s = solved_fixed_instance()
+        k = s.kernel
+        assert k.n_visits > 0
+        assert k.n_blocked / k.n_visits > 0.15
+
+    def test_counters_flow_into_stats_dict(self):
+        s = solved_fixed_instance()
+        d = s.stats.as_dict()
+        assert d["watcher_visits"] == s.kernel.n_visits > 0
+        assert d["heap_ops"] == s.kernel.heap.n_ops > 0
+        assert d["propagations"] == s.kernel.n_props > 0
